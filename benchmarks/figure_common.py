@@ -1,0 +1,99 @@
+"""Shared driver for the figure benchmarks (Figures 1–6).
+
+Each paper figure is a 3x3 grid of panels (M in {10, 15, 20} x three privacy
+budgets) showing the average training loss per round for the five
+algorithms.  The benchmark drivers below regenerate a reduced grid (agent
+counts and budgets configurable via environment variables, see
+``benchmarks/conftest.py``) and print one loss-curve table per panel, plus a
+compact summary of final losses so the ordering is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from conftest import (
+    bench_agent_counts,
+    bench_epsilons,
+    bench_rounds,
+    print_figure_panel,
+    run_figure_cell,
+)
+
+from repro.experiments.specs import cifar_like_spec, mnist_like_spec
+from repro.simulation.metrics import TrainingHistory
+
+_FAMILY_EPSILONS = {"mnist": (0.08, 0.1, 0.3), "cifar": (0.5, 0.7, 1.0)}
+_FAMILY_SPEC = {"mnist": mnist_like_spec, "cifar": cifar_like_spec}
+
+
+def run_figure_grid(
+    family: str, topology: str, figure_number: int
+) -> Dict[Tuple[int, float], Dict[str, TrainingHistory]]:
+    """Run every (M, epsilon) panel of one figure and print the loss curves."""
+    maker = _FAMILY_SPEC[family]
+    results: Dict[Tuple[int, float], Dict[str, TrainingHistory]] = {}
+    for num_agents in bench_agent_counts():
+        for epsilon in bench_epsilons(_FAMILY_EPSILONS[family]):
+            spec = maker(num_agents=num_agents, epsilon=epsilon, topology=topology)
+            spec = spec.with_updates(num_rounds=bench_rounds())
+            histories = run_figure_cell(spec)
+            results[(num_agents, epsilon)] = histories
+            print_figure_panel(
+                f"Figure {figure_number} panel: {family}-like, {topology}, "
+                f"M={num_agents}, eps={epsilon} (loss per round)",
+                histories,
+            )
+    _print_summary(figure_number, results)
+    return results
+
+
+def _print_summary(
+    figure_number: int, results: Dict[Tuple[int, float], Dict[str, TrainingHistory]]
+) -> None:
+    print()
+    print(f"Figure {figure_number} summary (final average training loss per panel):")
+    algorithms: List[str] = []
+    for histories in results.values():
+        algorithms = list(histories.keys())
+        break
+    header = "panel (M, eps)      " + "  ".join(f"{name:>13s}" for name in algorithms)
+    print(header)
+    for (num_agents, epsilon), histories in sorted(results.items()):
+        row = "  ".join(f"{histories[name].final_loss():>13.3f}" for name in algorithms)
+        print(f"M={num_agents:<3d} eps={epsilon:<6g}   " + row)
+    wins, total, wins_at_max_eps, panels_at_max_eps = pdsl_win_stats(results)
+    print(
+        f"PDSL achieves the lowest final loss in {wins}/{total} panels "
+        f"({wins_at_max_eps}/{panels_at_max_eps} at the largest privacy budget)"
+    )
+
+
+def pdsl_win_stats(
+    results: Dict[Tuple[int, float], Dict[str, TrainingHistory]],
+    metric: str = "loss",
+) -> Tuple[int, int, int, int]:
+    """Count panels where PDSL is best, overall and at the largest epsilon.
+
+    At the reduced benchmark scale the smallest paper budgets (e.g. eps=0.08
+    with a batch of ~100 samples) put every algorithm in a noise-dominated
+    regime where the ordering is unstable; the paper's clean ordering is
+    expected at the larger budgets, so the benches assert strictly there and
+    only a majority overall.  ``metric`` selects final loss (lower is better)
+    or final test accuracy (higher is better).
+    """
+    max_eps = max(eps for _, eps in results)
+    wins = total = wins_at_max = panels_at_max = 0
+    for (num_agents, epsilon), histories in results.items():
+        if metric == "loss":
+            best = min(h.final_loss() for h in histories.values())
+            pdsl_is_best = histories["PDSL"].final_loss() <= best + 1e-12
+        else:
+            best = max(h.final_test_accuracy for h in histories.values())
+            pdsl_is_best = histories["PDSL"].final_test_accuracy >= best - 1e-12
+        total += 1
+        wins += int(pdsl_is_best)
+        if epsilon == max_eps:
+            panels_at_max += 1
+            wins_at_max += int(pdsl_is_best)
+    return wins, total, wins_at_max, panels_at_max

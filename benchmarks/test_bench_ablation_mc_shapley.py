@@ -1,0 +1,72 @@
+"""Ablation B: Monte-Carlo Shapley sample count R (Algorithm 2).
+
+The paper replaces the exact Shapley value (eq. 18) with permutation
+sampling to keep each round tractable.  This ablation measures both sides of
+that trade-off on a fixed characteristic function:
+
+* estimation error of the Monte-Carlo estimate vs. the exact value as R grows;
+* wall-clock cost of one PDSL round as R grows (the pytest-benchmark timing).
+"""
+
+import numpy as np
+from conftest import bench_rounds
+
+from repro.experiments.harness import build_experiment_components, build_algorithm
+from repro.experiments.specs import fast_spec
+from repro.game.cooperative import CooperativeGame
+from repro.game.shapley import exact_shapley, monte_carlo_shapley
+
+
+def shapley_error_curve():
+    """Mean absolute estimation error vs. R for a synthetic 6-player game."""
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(0.0, 1.0, size=6)
+
+    def value(coalition):
+        base = sum(weights[p] for p in coalition)
+        synergy = 0.2 * len(coalition) ** 1.5
+        return float(base + synergy)
+
+    game = CooperativeGame(list(range(6)), value)
+    exact = exact_shapley(game)
+    errors = {}
+    for r in (1, 2, 4, 8, 16, 32):
+        estimate = monte_carlo_shapley(game, r, np.random.default_rng(1))
+        errors[r] = float(np.mean([abs(estimate[p] - exact[p]) for p in range(6)]))
+    return errors
+
+
+def pdsl_round_cost(shapley_permutations: int) -> float:
+    """Seconds for one PDSL round at the given R (coarse, single measurement)."""
+    import time
+
+    spec = fast_spec(num_agents=8, epsilon=0.3, num_rounds=1, algorithms=["PDSL"], seed=5)
+    spec = spec.with_updates(shapley_permutations=shapley_permutations)
+    components = build_experiment_components(spec)
+    algorithm = build_algorithm("PDSL", components)
+    start = time.perf_counter()
+    algorithm.run_round()
+    return time.perf_counter() - start
+
+
+def run_mc_shapley_ablation():
+    errors = shapley_error_curve()
+    costs = {r: pdsl_round_cost(r) for r in (1, 4, 16)}
+    print()
+    print("=" * 78)
+    print("Ablation B: Monte-Carlo Shapley sample count R")
+    print("estimation error vs exact (6-player synthetic game):")
+    for r, err in errors.items():
+        print(f"  R={r:<3d} mean |error| = {err:.4f}")
+    print("cost of one PDSL round (M=8, fully connected):")
+    for r, cost in costs.items():
+        print(f"  R={r:<3d} {cost * 1000:.1f} ms")
+    return errors, costs
+
+
+def test_bench_ablation_mc_shapley(benchmark, bench_config):
+    errors, costs = benchmark.pedantic(run_mc_shapley_ablation, rounds=1, iterations=1)
+    # More permutations -> better estimate (compare the extremes).
+    assert errors[32] <= errors[1] + 1e-9
+    # More permutations -> more expensive rounds.
+    assert costs[16] >= costs[1] * 0.8

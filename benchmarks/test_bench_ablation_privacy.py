@@ -1,0 +1,58 @@
+"""Ablation C: privacy budget sweep and the Theorem 1 noise floor.
+
+Two artefacts are produced:
+
+* the privacy–utility trade-off curve for PDSL (final accuracy vs. epsilon),
+  mirroring the trend across the columns of Tables I–II;
+* the Theorem 1 sigma lower bound evaluated for each paper topology, showing
+  how the bound scales with the privacy budget and the topology's minimum
+  mixing weight.
+"""
+
+from conftest import bench_rounds
+
+from repro.analysis.privacy_bounds import theorem1_sigma_bound
+from repro.experiments.harness import run_comparison
+from repro.experiments.specs import fast_spec
+from repro.topology.graphs import bipartite_graph, fully_connected_graph, ring_graph
+
+
+EPSILONS = (0.08, 0.3, 1.0)
+
+
+def run_privacy_ablation():
+    accuracies = {}
+    for epsilon in EPSILONS:
+        spec = fast_spec(num_agents=6, epsilon=epsilon, num_rounds=bench_rounds(), algorithms=["PDSL"], seed=23)
+        accuracies[epsilon] = run_comparison(spec)["PDSL"].final_test_accuracy
+
+    bounds = {}
+    for topology in (fully_connected_graph(10), bipartite_graph(10), ring_graph(10)):
+        bounds[topology.name] = {
+            epsilon: theorem1_sigma_bound(topology, epsilon, 1e-5, clip_threshold=1.0)
+            for epsilon in EPSILONS
+        }
+
+    print()
+    print("=" * 78)
+    print("Ablation C: privacy budget sweep (PDSL, M=6, fully connected)")
+    for epsilon, accuracy in accuracies.items():
+        print(f"  eps={epsilon:<5g} final test accuracy = {accuracy:.3f}")
+    print("Theorem 1 sigma lower bound (C=1, delta=1e-5, M=10):")
+    for name, row in bounds.items():
+        rendered = "  ".join(f"eps={eps:g}: {sigma:8.1f}" for eps, sigma in row.items())
+        print(f"  {name:>16s}  {rendered}")
+    return accuracies, bounds
+
+
+def test_bench_ablation_privacy_sweep(benchmark, bench_config):
+    accuracies, bounds = benchmark.pedantic(run_privacy_ablation, rounds=1, iterations=1)
+    # Larger budget (less noise) should not hurt utility.
+    assert accuracies[1.0] >= accuracies[0.08] - 0.05
+    # The Theorem 1 bound decreases as epsilon grows, for every topology.
+    for row in bounds.values():
+        assert row[0.08] > row[0.3] > row[1.0]
+    # The bound grows as omega_min shrinks: the fully connected graph (where
+    # every weight is 1/M, the smallest in this comparison) needs the most
+    # noise per Theorem 1, the ring (weights 1/3) the least.
+    assert bounds["fully_connected"][0.3] >= bounds["bipartite"][0.3] >= bounds["ring"][0.3]

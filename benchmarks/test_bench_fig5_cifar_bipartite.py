@@ -1,0 +1,22 @@
+"""Figure 5: CIFAR-like loss curves on bipartite graphs.
+
+Paper reference: Fig. 5 — same grid as Fig. 4 over the complete bipartite
+topology.
+"""
+
+from figure_common import pdsl_win_stats, run_figure_grid
+
+
+def test_bench_figure5_cifar_bipartite(benchmark, bench_config):
+    results = benchmark.pedantic(
+        lambda: run_figure_grid("cifar", "bipartite", figure_number=5),
+        rounds=1,
+        iterations=1,
+    )
+    wins, total, wins_at_max, panels_at_max = pdsl_win_stats(results, metric="loss")
+    # Paper shape: PDSL attains the lowest final loss.  At the reduced
+    # benchmark scale we require this strictly at the largest privacy budget
+    # and in a majority of panels overall (the smallest budgets are
+    # noise-dominated for every algorithm, see EXPERIMENTS.md).
+    assert wins_at_max == panels_at_max
+    assert wins >= total / 2

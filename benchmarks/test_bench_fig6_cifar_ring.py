@@ -1,0 +1,22 @@
+"""Figure 6: CIFAR-like loss curves on ring graphs.
+
+Paper reference: Fig. 6 — same grid as Fig. 4 over the ring topology.  The
+paper notes DP-NET-FLEET shows comparable convergence here while its test
+accuracy stays below PDSL's; the benchmark therefore asserts on accuracy
+ordering rather than final loss for this figure.
+"""
+
+from figure_common import pdsl_win_stats, run_figure_grid
+
+
+def test_bench_figure6_cifar_ring(benchmark, bench_config):
+    results = benchmark.pedantic(
+        lambda: run_figure_grid("cifar", "ring", figure_number=6),
+        rounds=1,
+        iterations=1,
+    )
+    wins, total, wins_at_max, panels_at_max = pdsl_win_stats(results, metric="accuracy")
+    # Fig. 6: the paper notes DP-NET-FLEET matches PDSL's loss curve on rings
+    # while PDSL keeps the higher test accuracy — assert on accuracy instead.
+    assert wins_at_max >= panels_at_max / 2
+    assert wins >= total / 2

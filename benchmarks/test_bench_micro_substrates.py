@@ -1,0 +1,77 @@
+"""Micro-benchmarks of the substrates PDSL is built on.
+
+These are conventional pytest-benchmark timings (multiple rounds) of the
+hot paths: a CNN forward/backward pass, a full PDSL communication round, a
+Monte-Carlo Shapley evaluation, the Gaussian mechanism and gossip averaging.
+They exist so performance regressions in the substrates are visible
+independently of the experiment-level benchmarks.
+"""
+
+import numpy as np
+
+from repro.data.synthetic import make_classification_dataset, make_synthetic_mnist
+from repro.experiments.harness import build_algorithm, build_experiment_components
+from repro.experiments.specs import fast_spec
+from repro.game.cooperative import CooperativeGame
+from repro.game.shapley import monte_carlo_shapley
+from repro.nn.zoo import make_mlp, make_mnist_cnn
+from repro.privacy.mechanisms import GaussianMechanism
+from repro.topology.graphs import ring_graph
+
+
+def test_bench_micro_mlp_gradient(benchmark):
+    model = make_mlp(64, 10, hidden_sizes=(32,), seed=0)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(128, 64))
+    y = rng.integers(0, 10, size=128)
+    benchmark(lambda: model.loss_and_gradient(x, y))
+
+
+def test_bench_micro_cnn_forward_backward(benchmark):
+    model = make_mnist_cnn(num_classes=10, channels=(4, 8), image_size=28, seed=0)
+    data = make_synthetic_mnist(num_samples=16, seed=0)
+    benchmark(lambda: model.loss_and_gradient(data.inputs, data.labels))
+
+
+def test_bench_micro_pdsl_round(benchmark):
+    spec = fast_spec(num_agents=6, epsilon=0.3, num_rounds=1, algorithms=["PDSL"], seed=3)
+    components = build_experiment_components(spec)
+    algorithm = build_algorithm("PDSL", components)
+    benchmark(algorithm.run_round)
+
+
+def test_bench_micro_dpsgd_round(benchmark):
+    spec = fast_spec(num_agents=6, epsilon=0.3, num_rounds=1, algorithms=["DP-DPSGD"], seed=3)
+    components = build_experiment_components(spec)
+    algorithm = build_algorithm("DP-DPSGD", components)
+    benchmark(algorithm.run_round)
+
+
+def test_bench_micro_monte_carlo_shapley(benchmark):
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(size=8)
+    game = CooperativeGame(
+        list(range(8)), lambda c: float(sum(weights[p] for p in c) + 0.1 * len(c) ** 2)
+    )
+    benchmark(lambda: monte_carlo_shapley(game, 8, np.random.default_rng(1)))
+
+
+def test_bench_micro_gaussian_mechanism(benchmark):
+    mechanism = GaussianMechanism(1.0, np.random.default_rng(0), clip_threshold=1.0)
+    vector = np.random.default_rng(1).normal(size=50_000)
+    benchmark(lambda: mechanism.privatize(vector))
+
+
+def test_bench_micro_gossip_mixing(benchmark):
+    topology = ring_graph(20)
+    vectors = np.random.default_rng(0).normal(size=(20, 10_000))
+    benchmark(lambda: topology.mixing_matrix @ vectors)
+
+
+def test_bench_micro_dirichlet_partition(benchmark):
+    from repro.data.partition import partition_dirichlet
+
+    data = make_classification_dataset(5_000, num_features=16, num_classes=10, seed=0)
+    benchmark(
+        lambda: partition_dirichlet(data, 20, alpha=0.25, rng=np.random.default_rng(0))
+    )

@@ -1,0 +1,14 @@
+"""Pytest root configuration.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (the offline environment lacks the ``wheel`` package that pip's
+PEP 660 editable installs require, so ``python setup.py develop`` or plain
+``pytest`` from the repository root are the supported workflows).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

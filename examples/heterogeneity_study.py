@@ -1,0 +1,63 @@
+"""Example: how data heterogeneity affects PDSL vs. a heterogeneity-oblivious baseline.
+
+The paper's motivation (Sec. I) is that non-IID local data degrades
+decentralized learning, and that cross-gradient information weighted by
+Shapley values counteracts the degradation.  This example makes that
+concrete: it sweeps the Dirichlet concentration ``alpha`` from near-IID
+(alpha = 100) down to highly skewed (alpha = 0.05) and compares PDSL with
+DP-DPSGD under the same privacy budget.
+
+Run with::
+
+    python examples/heterogeneity_study.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.data.partition import heterogeneity_degree
+from repro.experiments import fast_spec
+from repro.experiments.harness import build_experiment_components, run_single
+
+
+ALPHAS = (100.0, 1.0, 0.25, 0.05)
+ALGORITHMS = ("PDSL", "DP-DPSGD")
+
+
+def main() -> None:
+    print("Dirichlet alpha sweep (M=8 agents, fully connected, eps=0.3, 18 rounds)")
+    print(f"{'alpha':>8s} {'heterogeneity':>14s} " + " ".join(f"{name:>12s}" for name in ALGORITHMS))
+
+    results = {}
+    for alpha in ALPHAS:
+        spec = fast_spec(num_agents=8, epsilon=0.3, num_rounds=18, algorithms=list(ALGORITHMS), seed=29)
+        spec = spec.with_updates(dirichlet_alpha=alpha, name=f"hetero_alpha_{alpha}")
+        components = build_experiment_components(spec)
+        degree = heterogeneity_degree(components.partition, spec.num_classes)
+        accuracies = {}
+        for name in ALGORITHMS:
+            history = run_single(name, components)
+            accuracies[name] = history.final_test_accuracy
+        results[alpha] = (degree, accuracies)
+        row = " ".join(f"{accuracies[name]:>12.3f}" for name in ALGORITHMS)
+        print(f"{alpha:>8g} {degree:>14.3f} {row}")
+
+    print()
+    print("Reading the table:")
+    print(" * the heterogeneity column is the mean total-variation distance between each")
+    print("   agent's label distribution and the global one (0 = IID, -> 1 = disjoint labels);")
+    print(" * as alpha shrinks the task becomes more heterogeneous and the gap between")
+    print("   PDSL and the heterogeneity-oblivious DP-DPSGD baseline widens, which is the")
+    print("   paper's central claim.")
+
+    iid_gap = results[ALPHAS[0]][1]["PDSL"] - results[ALPHAS[0]][1]["DP-DPSGD"]
+    skewed_gap = results[ALPHAS[-1]][1]["PDSL"] - results[ALPHAS[-1]][1]["DP-DPSGD"]
+    print(f"\nPDSL advantage at alpha={ALPHAS[0]:g}: {iid_gap:+.3f}   at alpha={ALPHAS[-1]:g}: {skewed_gap:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Example: why PDSL perturbs gradients — privacy attacks with and without DP.
+
+The paper's threat model (Sec. I–II) is an honest-but-curious neighbour who
+inspects the cross-gradients it receives.  This example mounts the two
+attacks implemented in ``repro.attacks`` against a victim agent's gradient:
+
+1. **gradient inversion** — reconstruct the victim's batch from the observed
+   gradient, with and without the Gaussian mechanism applied;
+2. **membership inference** — decide whether specific examples belong to the
+   victim's local dataset from the model's per-sample loss.
+
+Run with::
+
+    python examples/privacy_attack_demo.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.attacks import gradient_inversion_attack, membership_inference_attack
+from repro.data import make_classification_dataset
+from repro.nn import make_linear_classifier
+from repro.privacy import GaussianMechanism, gaussian_sigma
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    # Harder, noisier data so a locally trained model genuinely overfits its
+    # members — that gap is what the membership-inference attack exploits.
+    data = make_classification_dataset(
+        600, num_features=8, num_classes=4, cluster_std=1.6, label_noise=0.1, seed=0
+    )
+    model = make_linear_classifier(8, 4, seed=0)
+    params = model.get_flat_params()
+
+    # --- victim computes a cross-gradient on a small private batch ------------
+    victim_batch = data.subset(np.arange(4))
+    _, victim_gradient = model.loss_and_gradient(victim_batch.inputs, victim_batch.labels, params=params)
+
+    print("Gradient-inversion attack (reconstruct the victim batch from its gradient)")
+    print(f"{'setting':>28s} {'matching loss':>14s} {'reconstruction MSE':>20s}")
+    for label, epsilon in (("no DP (raw gradient)", None), ("eps=1.0 per release", 1.0), ("eps=0.1 per release", 0.1)):
+        if epsilon is None:
+            observed = victim_gradient
+        else:
+            sigma = gaussian_sigma(epsilon, 1e-5, sensitivity=2.0 / len(victim_batch))
+            mechanism = GaussianMechanism(sigma, np.random.default_rng(1), clip_threshold=1.0)
+            observed = mechanism.privatize(victim_gradient)
+        result = gradient_inversion_attack(
+            model, observed, params, batch_size=len(victim_batch),
+            input_shape=victim_batch.input_shape, num_classes=4,
+            iterations=150, rng=np.random.default_rng(2),
+        )
+        mse = result.error_against(victim_batch.inputs)
+        print(f"{label:>28s} {result.matching_loss:>14.4f} {mse:>20.3f}")
+
+    # --- membership inference against an overfit local model ------------------
+    members = data.subset(np.arange(0, 80))
+    non_members = data.subset(np.arange(300, 380))
+    overfit_params = params.copy()
+    for _ in range(300):
+        _, grad = model.loss_and_gradient(members.inputs, members.labels, params=overfit_params)
+        overfit_params -= 0.5 * grad
+
+    print("\nMembership-inference attack (loss-threshold) against the victim's local model")
+    result = membership_inference_attack(model, overfit_params, members, non_members, rng=rng)
+    print(f"  attack accuracy  : {result.accuracy:.3f}")
+    print(f"  membership advantage (TPR - FPR): {result.advantage:.3f}")
+    print("  (an advantage near 0 means the model leaks little about who is in the training set;")
+    print("   DP training bounds this advantage, which is the guarantee Theorem 1 buys.)")
+
+
+if __name__ == "__main__":
+    main()

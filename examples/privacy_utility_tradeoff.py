@@ -1,0 +1,68 @@
+"""Example: the privacy–utility trade-off and privacy accounting in PDSL.
+
+Sweeps the per-round privacy budget epsilon, reports the derived Gaussian
+noise scale, the final accuracy of PDSL and of the non-private D-PSGD
+reference, and the cumulative (epsilon, delta) spent over the whole run
+under basic vs. advanced composition.
+
+Run with::
+
+    python examples/privacy_utility_tradeoff.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import fast_spec
+from repro.experiments.harness import build_algorithm, build_experiment_components
+from repro.privacy import CompositionMethod
+from repro.simulation import EvaluationConfig, run_decentralized
+
+EPSILONS = (0.08, 0.3, 1.0, 3.0)
+ROUNDS = 18
+
+
+def main() -> None:
+    print(f"PDSL privacy-utility trade-off (M=6, fully connected, {ROUNDS} rounds)\n")
+    print(
+        f"{'eps/round':>10s} {'sigma':>8s} {'final acc':>10s} "
+        f"{'eps total (basic)':>18s} {'eps total (adv.)':>17s}"
+    )
+
+    baseline_accuracy = None
+    for epsilon in EPSILONS:
+        spec = fast_spec(num_agents=6, epsilon=epsilon, num_rounds=ROUNDS, algorithms=["PDSL"], seed=13)
+        components = build_experiment_components(spec)
+        algorithm = build_algorithm("PDSL", components)
+        history = run_decentralized(
+            algorithm, ROUNDS, evaluation=EvaluationConfig(eval_every=ROUNDS, test_data=components.test)
+        )
+        basic_eps, _ = algorithm.accountant.total(CompositionMethod.BASIC)
+        adv_eps, _ = algorithm.accountant.total(CompositionMethod.ADVANCED)
+        print(
+            f"{epsilon:>10g} {algorithm.sigma:>8.3f} {history.final_test_accuracy:>10.3f} "
+            f"{basic_eps:>18.2f} {adv_eps:>17.2f}"
+        )
+
+        if baseline_accuracy is None:
+            non_private = build_algorithm("D-PSGD", components)
+            non_private_history = run_decentralized(
+                non_private, ROUNDS, evaluation=EvaluationConfig(eval_every=ROUNDS, test_data=components.test)
+            )
+            baseline_accuracy = non_private_history.final_test_accuracy
+
+    print(f"\nnon-private D-PSGD reference accuracy on the same data: {baseline_accuracy:.3f}")
+    print("(D-PSGD runs without any DP noise but also without momentum or cross-gradients,")
+    print(" so on this non-IID partition its bottleneck is data heterogeneity, not noise —")
+    print(" which is exactly the gap PDSL's Shapley-weighted cross-gradients close.)")
+    print("Smaller per-round budgets mean more Gaussian noise per gradient and lower final")
+    print("accuracy for PDSL; the two rightmost columns show how the budget accumulates")
+    print("over rounds under basic vs. advanced composition.")
+
+
+if __name__ == "__main__":
+    main()

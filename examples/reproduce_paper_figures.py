@@ -1,0 +1,67 @@
+"""Example: regenerate a panel of any paper figure or table from the command line.
+
+Usage::
+
+    python examples/reproduce_paper_figures.py --figure 1
+    python examples/reproduce_paper_figures.py --figure 4 --agents 10 --epsilon 0.7
+    python examples/reproduce_paper_figures.py --table 1 --topology ring --agents 10 --epsilon 0.1
+    python examples/reproduce_paper_figures.py --figure 1 --scale paper   # full-size (slow)
+
+By default the reduced "fast" scale is used so a panel completes in seconds;
+``--scale paper`` switches to the paper's CNN models, batch size 250 and full
+round counts (hours on a laptop — provided for completeness).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments import (
+    format_loss_curves,
+    paper_figure_spec,
+    paper_table_spec,
+    run_comparison,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--figure", type=int, choices=range(1, 7), help="paper figure number (1-6)")
+    target.add_argument("--table", type=int, choices=(1, 2), help="paper table number (1 or 2)")
+    parser.add_argument("--agents", type=int, default=10, help="number of agents M (default 10)")
+    parser.add_argument("--epsilon", type=float, default=None, help="privacy budget (defaults to the figure's largest)")
+    parser.add_argument("--topology", default="fully_connected", help="topology for --table runs")
+    parser.add_argument("--rounds", type=int, default=None, help="override the number of communication rounds")
+    parser.add_argument("--scale", choices=("fast", "paper"), default="fast", help="experiment scale")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    if args.figure is not None:
+        spec = paper_figure_spec(args.figure, num_agents=args.agents, epsilon=args.epsilon, scale=args.scale)
+        title = f"Figure {args.figure} panel (M={args.agents}, eps={spec.epsilon}, {spec.topology})"
+    else:
+        epsilon = args.epsilon if args.epsilon is not None else (0.3 if args.table == 1 else 1.0)
+        spec = paper_table_spec(args.table, args.topology, args.agents, epsilon, scale=args.scale)
+        title = f"Table {'I' if args.table == 1 else 'II'} cell ({args.topology}, M={args.agents}, eps={epsilon})"
+    if args.rounds is not None:
+        spec = spec.with_updates(num_rounds=args.rounds)
+
+    print(f"running {title} at scale '{args.scale}' ({spec.num_rounds} rounds)...\n")
+    histories = run_comparison(
+        spec, progress_callback=None
+    )
+    print(format_loss_curves(histories, title=f"{title}: average training loss per round", max_rows=12))
+    print("\nfinal test accuracy:")
+    for name, history in histories.items():
+        print(f"  {name:>14s}  {history.final_test_accuracy:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Example: PDSL across communication topologies of different density.
+
+The paper evaluates fully connected, complete bipartite and ring graphs
+(plus we add a 2-D torus and a random Erdős–Rényi graph for context).  This
+example runs PDSL on each topology with identical data and privacy settings
+and reports the spectral gap of the mixing matrix, the Theorem 1 noise floor,
+the final accuracy and the total number of messages exchanged — showing the
+accuracy/communication trade-off of denser graphs.
+
+Run with::
+
+    python examples/topology_comparison.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis import theorem1_sigma_bound
+from repro.experiments import fast_spec
+from repro.experiments.harness import build_algorithm, build_experiment_components
+from repro.simulation import EvaluationConfig, run_decentralized
+
+TOPOLOGIES = ("fully_connected", "bipartite", "ring", "grid", "erdos_renyi")
+
+
+def main() -> None:
+    num_agents = 9  # 9 agents so the grid topology is a 3x3 torus
+    print(f"PDSL on {num_agents} agents, eps=0.3, Dirichlet(0.25), 18 rounds\n")
+    header = (
+        f"{'topology':>16s} {'spectral gap':>13s} {'thm1 sigma':>11s} "
+        f"{'final loss':>11s} {'test acc':>9s} {'messages':>9s}"
+    )
+    print(header)
+
+    for topology_name in TOPOLOGIES:
+        spec = fast_spec(
+            num_agents=num_agents, epsilon=0.3, topology=topology_name,
+            num_rounds=18, algorithms=["PDSL"], seed=41,
+        )
+        components = build_experiment_components(spec)
+        algorithm = build_algorithm("PDSL", components)
+        history = run_decentralized(
+            algorithm,
+            spec.num_rounds,
+            evaluation=EvaluationConfig(eval_every=spec.num_rounds, test_data=components.test),
+        )
+        sigma_floor = theorem1_sigma_bound(
+            components.topology, epsilon=spec.epsilon, delta=spec.delta, clip_threshold=spec.clip_threshold
+        )
+        print(
+            f"{topology_name:>16s} {components.topology.spectral_gap:>13.3f} {sigma_floor:>11.1f} "
+            f"{history.final_loss():>11.3f} {history.final_test_accuracy:>9.3f} "
+            f"{algorithm.network.messages_sent:>9d}"
+        )
+
+    print()
+    print("Denser topologies (larger spectral gap) converge to better accuracy but cost")
+    print("more messages per round; the Theorem 1 noise floor also grows for dense graphs")
+    print("because the minimum mixing weight omega_min = 1/M shrinks.")
+
+
+if __name__ == "__main__":
+    main()

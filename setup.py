@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment used for this reproduction has no ``wheel`` package,
+so PEP 660 editable installs cannot build their metadata wheel.  Keeping a
+``setup.py`` (and omitting the ``[build-system]`` table from pyproject.toml)
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` path,
+which works without ``wheel``.  All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""PDSL reproduction: privacy-preserved decentralized stochastic learning.
+
+A from-scratch Python implementation of the system described in
+"PDSL: Privacy-Preserved Decentralized Stochastic Learning with Heterogeneous
+Data Distribution" (ICDCS 2025), including every substrate the algorithm
+depends on:
+
+* ``repro.nn`` — NumPy neural-network substrate (layers, models, losses);
+* ``repro.data`` — synthetic datasets and non-IID (Dirichlet) partitioning;
+* ``repro.topology`` — communication graphs and doubly stochastic mixing;
+* ``repro.privacy`` — clipping, Gaussian mechanism, calibration, accounting;
+* ``repro.game`` — cooperative games and (Monte-Carlo) Shapley values;
+* ``repro.core`` — the PDSL algorithm (Algorithm 1 & 2);
+* ``repro.baselines`` — DP-DPSGD, MUFFLIATO, DP-CGA, DP-NET-FLEET, DMSGD;
+* ``repro.simulation`` — message-passing network, metrics and the round loop;
+* ``repro.analysis`` — Theorem 1 / Theorem 2 / Corollary 1 bound evaluation;
+* ``repro.experiments`` — the harness reproducing Figures 1–6 and Tables I–II.
+
+Quickstart::
+
+    from repro.experiments import fast_spec, run_comparison
+
+    histories = run_comparison(fast_spec(num_agents=6, epsilon=0.3))
+    for name, history in histories.items():
+        print(name, history.final_loss(), history.final_test_accuracy)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nn",
+    "data",
+    "topology",
+    "privacy",
+    "game",
+    "core",
+    "baselines",
+    "simulation",
+    "analysis",
+    "experiments",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Theoretical-analysis helpers: Theorem 1, Theorem 2 and Corollary 1.
+
+These functions evaluate the paper's closed-form bounds for a given
+configuration so experiments can report the predicted privacy noise floor
+and the predicted convergence envelope alongside the measured curves.
+"""
+
+from repro.analysis.privacy_bounds import theorem1_sigma_bound
+from repro.analysis.convergence import (
+    ConvergenceConstants,
+    corollary1_rate,
+    learning_rate_interval,
+    theorem2_bound,
+)
+
+__all__ = [
+    "theorem1_sigma_bound",
+    "ConvergenceConstants",
+    "learning_rate_interval",
+    "theorem2_bound",
+    "corollary1_rate",
+]

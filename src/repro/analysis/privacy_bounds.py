@@ -1,0 +1,57 @@
+"""Theorem 1: the per-round noise floor guaranteeing (epsilon, delta)-DP.
+
+This module is a thin, analysis-oriented wrapper around
+:func:`repro.privacy.calibration.pdsl_sigma_for_topology` that also exposes
+per-agent breakdowns, which the privacy ablation benchmark prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.privacy.calibration import pdsl_sigma_lower_bound
+from repro.topology.graphs import Topology
+
+__all__ = ["theorem1_sigma_bound"]
+
+
+def theorem1_sigma_bound(
+    topology: Topology,
+    epsilon: float,
+    delta: float,
+    clip_threshold: float,
+    phi_min: Optional[float] = None,
+    per_agent: bool = False,
+) -> float | Dict[int, float]:
+    """Evaluate the Theorem 1 lower bound on sigma for a topology.
+
+    Parameters
+    ----------
+    per_agent:
+        If True, return the dictionary of per-agent bounds (the max of which
+        is the Theorem 1 bound); otherwise return the max directly.
+    phi_min:
+        The smallest normalised Shapley share assumed; defaults to the
+        uniform value ``1 / max_i |M_i|``.
+    """
+    omega_min = topology.min_weight()
+    if phi_min is None:
+        largest = max(
+            len(topology.neighbors(i, include_self=True)) for i in range(topology.num_agents)
+        )
+        phi_min = 1.0 / float(largest)
+    bounds: Dict[int, float] = {}
+    for agent in range(topology.num_agents):
+        neighbors = topology.neighbors(agent, include_self=True)
+        weights = [topology.weight(agent, j) for j in neighbors]
+        bounds[agent] = pdsl_sigma_lower_bound(
+            epsilon=epsilon,
+            delta=delta,
+            clip_threshold=clip_threshold,
+            neighbor_weights=weights,
+            omega_min=omega_min,
+            phi_min=phi_min,
+        )
+    if per_agent:
+        return bounds
+    return float(max(bounds.values()))

@@ -1,0 +1,42 @@
+"""Privacy attacks against exchanged gradients.
+
+The paper motivates its DP mechanism with the observation that sharing
+(cross-)gradient information leaks private data (Sec. I–II, citing
+membership-inference [Shokri et al.], model-inversion [Fredrikson et al.] and
+deep-leakage-from-gradients [Zhu et al.] attacks).  This package implements
+lightweight versions of two such attacks so the defence can be evaluated
+quantitatively inside this repository:
+
+* :func:`gradient_inversion_attack` / :class:`GradientInversionAttack` —
+  reconstruct the input features of a victim batch from an observed gradient
+  by optimising a dummy batch whose gradient matches the observation (the
+  "deep leakage from gradients" recipe, implemented with NumPy finite
+  batches and analytic gradients).
+* :func:`membership_inference_attack` — the classic loss-threshold attack
+  (Yeom et al.): declare a sample a training member if the model's loss on
+  it is below a threshold fitted on known member/non-member populations.
+
+Both attacks operate on exactly the artefacts PDSL exchanges (clipped,
+optionally noised gradient vectors and model parameters), so the ablation
+benchmark can show attack success decaying as the privacy budget shrinks.
+"""
+
+from repro.attacks.gradient_inversion import (
+    GradientInversionAttack,
+    InversionResult,
+    gradient_inversion_attack,
+    reconstruction_error,
+)
+from repro.attacks.membership_inference import (
+    MembershipInferenceResult,
+    membership_inference_attack,
+)
+
+__all__ = [
+    "GradientInversionAttack",
+    "InversionResult",
+    "gradient_inversion_attack",
+    "reconstruction_error",
+    "MembershipInferenceResult",
+    "membership_inference_attack",
+]

@@ -1,0 +1,209 @@
+"""Gradient-inversion ("deep leakage from gradients") attack.
+
+An honest-but-curious neighbour observes a victim's gradient ``g_victim``
+(in PDSL: a cross-gradient returned by the victim, or the victim's local
+gradient in a baseline algorithm) together with the model parameters at
+which it was computed.  The attacker reconstructs the victim's batch by
+optimising a *dummy* batch ``(X, y)`` so that the model's gradient on the
+dummy batch matches the observation:
+
+    minimise_X  || grad(params; X, y_guess) - g_victim ||^2
+
+For classification models the label distribution of the batch can be
+recovered directly from the sign structure of the output-layer bias gradient
+(Zhao et al., "iDLG"), so the attack below first infers labels and then
+optimises the inputs with simple gradient descent on the matching loss
+(gradients of the matching loss with respect to the dummy inputs are
+computed by finite differences in a low-dimensional random subspace to stay
+framework-free; for the linear models used in the experiments the attack is
+near-exact when no DP noise is added).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.model import Model
+
+__all__ = [
+    "InversionResult",
+    "GradientInversionAttack",
+    "gradient_inversion_attack",
+    "reconstruction_error",
+]
+
+
+def reconstruction_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error between victim inputs and their reconstruction.
+
+    Rows are matched greedily by nearest neighbour because gradient matching
+    recovers the *set* of examples, not their order within the batch.
+    """
+    original = np.asarray(original, dtype=np.float64).reshape(len(original), -1)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64).reshape(len(reconstructed), -1)
+    if original.shape[0] == 0 or reconstructed.shape[0] == 0:
+        raise ValueError("both batches must be non-empty")
+    errors = []
+    available = list(range(reconstructed.shape[0]))
+    for row in original:
+        distances = [float(np.mean((row - reconstructed[j]) ** 2)) for j in available]
+        best = int(np.argmin(distances))
+        errors.append(distances[best])
+        available.pop(best)
+        if not available:
+            break
+    return float(np.mean(errors))
+
+
+@dataclass
+class InversionResult:
+    """Outcome of a gradient-inversion attack."""
+
+    reconstructed_inputs: np.ndarray
+    inferred_labels: np.ndarray
+    matching_loss: float
+    iterations: int
+
+    def error_against(self, true_inputs: np.ndarray) -> float:
+        return reconstruction_error(true_inputs, self.reconstructed_inputs)
+
+
+class GradientInversionAttack:
+    """Reconstruct a victim batch from an observed gradient.
+
+    Parameters
+    ----------
+    model:
+        The shared model architecture (the attacker knows it — in PDSL every
+        agent holds the same architecture).
+    num_classes:
+        Number of output classes.
+    learning_rate, iterations:
+        Optimisation schedule for the dummy-input matching.
+    rng:
+        Randomness for the dummy initialisation.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        num_classes: int,
+        learning_rate: float = 0.5,
+        iterations: int = 200,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+        if learning_rate <= 0 or iterations <= 0:
+            raise ValueError("learning_rate and iterations must be positive")
+        self.model = model
+        self.num_classes = int(num_classes)
+        self.learning_rate = float(learning_rate)
+        self.iterations = int(iterations)
+        self.rng = rng or np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    # Label inference (iDLG-style)
+    # ------------------------------------------------------------------
+    def infer_label_counts(self, observed_gradient: np.ndarray, batch_size: int) -> np.ndarray:
+        """Estimate how many examples of each class the victim batch contains.
+
+        For a softmax classifier the gradient of the mean loss with respect to
+        the output bias is ``mean(softmax - onehot)``; classes present in the
+        batch therefore have markedly negative bias-gradient entries.  We
+        allocate the batch to classes proportionally to the negative part.
+        """
+        bias_grad = observed_gradient[-self.num_classes :]
+        negative = np.clip(-bias_grad, 0.0, None)
+        if negative.sum() <= 1e-12:
+            # noise destroyed the signal: fall back to a uniform guess
+            counts = np.full(self.num_classes, batch_size // self.num_classes, dtype=np.int64)
+            counts[: batch_size - counts.sum()] += 1
+            return counts
+        proportions = negative / negative.sum()
+        counts = np.floor(proportions * batch_size).astype(np.int64)
+        while counts.sum() < batch_size:
+            counts[int(np.argmax(proportions - counts / batch_size))] += 1
+        return counts
+
+    def _matching_loss(
+        self, params: np.ndarray, dummy_inputs: np.ndarray, dummy_labels: np.ndarray, target: np.ndarray
+    ) -> float:
+        _, grad = self.model.loss_and_gradient(dummy_inputs, dummy_labels, params=params)
+        diff = grad - target
+        return float(np.dot(diff, diff))
+
+    # ------------------------------------------------------------------
+    # Input reconstruction
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        observed_gradient: np.ndarray,
+        params: np.ndarray,
+        batch_size: int,
+        input_shape: Tuple[int, ...],
+    ) -> InversionResult:
+        """Run the attack and return the reconstructed batch."""
+        observed_gradient = np.asarray(observed_gradient, dtype=np.float64)
+        if observed_gradient.shape != (self.model.num_params,):
+            raise ValueError("observed_gradient must match the model dimension")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+        counts = self.infer_label_counts(observed_gradient, batch_size)
+        labels = np.repeat(np.arange(self.num_classes), counts)[:batch_size]
+
+        flat_dim = int(np.prod(input_shape))
+        dummy = self.rng.normal(0.0, 0.5, size=(batch_size, flat_dim))
+        loss = self._matching_loss(params, dummy.reshape((batch_size,) + input_shape), labels, observed_gradient)
+
+        # Coordinate-free descent: perturb along random Gaussian directions and
+        # keep improvements (SPSA-style two-point estimate).  This keeps the
+        # attack independent of the model internals while remaining effective
+        # for the small models used in the experiments.
+        step = self.learning_rate
+        for iteration in range(self.iterations):
+            direction = self.rng.normal(size=dummy.shape)
+            direction /= max(np.linalg.norm(direction), 1e-12)
+            eps = 1e-3
+            plus = self._matching_loss(
+                params, (dummy + eps * direction).reshape((batch_size,) + input_shape), labels, observed_gradient
+            )
+            minus = self._matching_loss(
+                params, (dummy - eps * direction).reshape((batch_size,) + input_shape), labels, observed_gradient
+            )
+            directional_derivative = (plus - minus) / (2 * eps)
+            candidate = dummy - step * directional_derivative * direction
+            candidate_loss = self._matching_loss(
+                params, candidate.reshape((batch_size,) + input_shape), labels, observed_gradient
+            )
+            if candidate_loss < loss:
+                dummy, loss = candidate, candidate_loss
+            else:
+                step *= 0.97  # shrink the step when progress stalls
+        return InversionResult(
+            reconstructed_inputs=dummy.reshape((batch_size,) + input_shape),
+            inferred_labels=labels,
+            matching_loss=loss,
+            iterations=self.iterations,
+        )
+
+
+def gradient_inversion_attack(
+    model: Model,
+    observed_gradient: np.ndarray,
+    params: np.ndarray,
+    batch_size: int,
+    input_shape: Tuple[int, ...],
+    num_classes: int,
+    iterations: int = 200,
+    rng: Optional[np.random.Generator] = None,
+) -> InversionResult:
+    """Functional wrapper around :class:`GradientInversionAttack`."""
+    attack = GradientInversionAttack(
+        model, num_classes=num_classes, iterations=iterations, rng=rng
+    )
+    return attack.run(observed_gradient, params, batch_size, input_shape)

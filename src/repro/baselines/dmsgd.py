@@ -1,0 +1,48 @@
+"""DMSGD: decentralized momentum SGD (non-private reference).
+
+The momentum version of D-PSGD [Yu, Jin & Yang, ICML 2019]: each agent takes
+a momentum step with its (optionally clipped / perturbed) local gradient and
+then gossip-averages the model.  With ``sigma = 0`` this is the classic
+non-private algorithm; with noise enabled it is a "DP but heterogeneity
+oblivious with momentum" ablation point between DP-DPSGD and PDSL.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.base import DecentralizedAlgorithm
+
+__all__ = ["DMSGD"]
+
+
+class DMSGD(DecentralizedAlgorithm):
+    """Decentralized momentum SGD with one gossip-averaging step per round."""
+
+    name = "DMSGD"
+
+    def step(self, round_index: int) -> None:
+        gamma = self.config.learning_rate
+        alpha = self.config.momentum
+        batches = self.draw_batches()
+
+        provisional: List[np.ndarray] = []
+        for agent in range(self.num_agents):
+            gradient = self.local_gradient(agent, self.params[agent], batches[agent])
+            perturbed = self.privatize(agent, gradient)
+            self.momenta[agent] = alpha * self.momenta[agent] + perturbed
+            provisional.append(self.params[agent] - gamma * self.momenta[agent])
+            neighbors = self.topology.neighbors(agent, include_self=False)
+            self.network.broadcast(agent, neighbors, "model", provisional[agent].copy())
+
+        new_params: List[np.ndarray] = []
+        for agent in range(self.num_agents):
+            received = self.network.receive_by_sender(agent, "model")
+            received[agent] = provisional[agent]
+            acc = np.zeros(self.dimension, dtype=np.float64)
+            for j, value in received.items():
+                acc += self.topology.weight(agent, j) * value
+            new_params.append(acc)
+        self.params = new_params

@@ -1,0 +1,116 @@
+"""DP-NET-FLEET: recursive gradient correction with local steps, plus DP noise.
+
+NET-FLEET [Zhang et al., MobiHoc 2022] tackles heterogeneous data in fully
+decentralized federated learning with a *recursive gradient correction*
+(a gradient-tracking variable ``y_i`` that estimates the global gradient)
+and multiple local updates between communication rounds.  The paper's
+baseline adds Gaussian perturbation to the quantities agents exchange.
+
+Per communication round each agent:
+
+1. runs ``local_steps`` SGD steps using its corrected gradient estimate
+   ``y_i`` in place of the raw local gradient;
+2. gossip-averages its model with the mixing matrix;
+3. updates the tracking variable with the freshly computed local gradient:
+   ``y_i <- sum_j w_ij y_j + (g_i_new - g_i_old)`` where both the tracking
+   variables and the models exchanged are clipped and perturbed for DP.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.base import DecentralizedAlgorithm
+from repro.core.config import NetFleetConfig
+
+__all__ = ["DPNetFleet"]
+
+
+class DPNetFleet(DecentralizedAlgorithm):
+    """Gradient-tracking decentralized SGD with local steps and DP perturbation."""
+
+    name = "DP-NET-FLEET"
+
+    def __init__(self, model, topology, shards, config, validation=None) -> None:
+        if not isinstance(config, NetFleetConfig):
+            raise TypeError("DPNetFleet requires a NetFleetConfig")
+        super().__init__(model, topology, shards, config, validation=validation)
+        self.config: NetFleetConfig = config
+        # Gradient-tracking state: y_i (the corrected gradient estimate) and
+        # the previous local gradient used in the recursive correction.
+        self.tracking: List[np.ndarray] = [
+            np.zeros(self.dimension, dtype=np.float64) for _ in range(self.num_agents)
+        ]
+        self.previous_gradient: List[np.ndarray] = [
+            np.zeros(self.dimension, dtype=np.float64) for _ in range(self.num_agents)
+        ]
+        self._initialized = False
+
+    def _perturbed_local_gradient(self, agent: int, params: np.ndarray) -> np.ndarray:
+        """A fresh clipped + noised local gradient at the given parameters."""
+        batch = self.samplers[agent].next_batch()
+        gradient = self.local_gradient(agent, params, batch)
+        return self.privatize(agent, gradient)
+
+    def step(self, round_index: int) -> None:
+        gamma = self.config.learning_rate
+
+        # Lazy initialisation of the tracking variable with the first gradients.
+        if not self._initialized:
+            for agent in range(self.num_agents):
+                grad = self._perturbed_local_gradient(agent, self.params[agent])
+                self.tracking[agent] = grad
+                self.previous_gradient[agent] = grad
+            self._initialized = True
+
+        # 1. One DP gradient release per round, reused by every local step.
+        #    Each round, agent i publishes a single clipped-and-perturbed local
+        #    gradient; the recursive correction and the local steps are
+        #    post-processing of that release (plus the already-released
+        #    tracking variables), so the per-round privacy cost matches the
+        #    other baselines.
+        local_params: List[np.ndarray] = []
+        for agent in range(self.num_agents):
+            # Gradient-tracking descent: the update direction is the tracking
+            # variable y_i (the running estimate of the network-average
+            # gradient), re-clipped so accumulated noise cannot inflate the
+            # step size.
+            corrected = self.clip(self.tracking[agent])
+            params = self.params[agent].copy()
+            for _ in range(self.config.local_steps):
+                params = params - gamma * corrected
+            local_params.append(params)
+
+        # 2. Exchange models and tracking variables with neighbours.  The
+        #    tracking variable is a post-processing of already clipped-and-
+        #    perturbed gradients, so no additional noise is required for DP.
+        for agent in range(self.num_agents):
+            neighbors = self.topology.neighbors(agent, include_self=False)
+            payload = (local_params[agent].copy(), self.tracking[agent].copy())
+            self.network.broadcast(agent, neighbors, "state", payload)
+
+        # 3. Gossip averaging + recursive gradient correction
+        #    y_i <- sum_j w_ij y_j + (g_i^{t} - g_i^{t-1}).
+        new_params: List[np.ndarray] = []
+        new_tracking: List[np.ndarray] = []
+        for agent in range(self.num_agents):
+            received = self.network.receive_by_sender(agent, "state")
+            received[agent] = (local_params[agent], self.tracking[agent])
+            params_acc = np.zeros(self.dimension, dtype=np.float64)
+            tracking_acc = np.zeros(self.dimension, dtype=np.float64)
+            for j, (params_j, tracking_j) in received.items():
+                weight = self.topology.weight(agent, j)
+                params_acc += weight * params_j
+                tracking_acc += weight * tracking_j
+            # Recursive correction with a fresh DP gradient at the mixed model:
+            # y_i <- sum_j w_ij y_j + (g_i^{t} - g_i^{t-1}).
+            fresh = self._perturbed_local_gradient(agent, params_acc)
+            tracking_acc = tracking_acc + fresh - self.previous_gradient[agent]
+            self.previous_gradient[agent] = fresh
+            new_params.append(params_acc)
+            new_tracking.append(tracking_acc)
+
+        self.params = new_params
+        self.tracking = new_tracking

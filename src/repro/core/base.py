@@ -1,0 +1,233 @@
+"""Shared infrastructure for decentralized learning algorithms.
+
+:class:`DecentralizedAlgorithm` owns everything PDSL and the baselines have in
+common: one flat parameter vector per agent (all initialised to the same
+point ``x^[0]``), per-agent mini-batch samplers and DP mechanisms, the
+message-passing :class:`~repro.simulation.network.Network`, gossip averaging
+with the topology's mixing matrix, and the evaluation helpers used by the
+experiment runner (average training loss, test accuracy, consensus distance).
+
+Subclasses implement :meth:`step`, which executes one communication round for
+all agents.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import AlgorithmConfig
+from repro.data.dataset import Dataset
+from repro.data.loaders import BatchSampler
+from repro.nn.model import Model
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.mechanisms import GaussianMechanism, clip_by_l2_norm
+from repro.simulation.metrics import consensus_distance
+from repro.simulation.network import Network
+from repro.topology.graphs import Topology
+
+__all__ = ["DecentralizedAlgorithm"]
+
+
+class DecentralizedAlgorithm(ABC):
+    """Base class for synchronous round-based decentralized learning algorithms.
+
+    Parameters
+    ----------
+    model:
+        A template model; its initial parameters become every agent's
+        ``x^[0]`` and its forward/backward passes are reused for all gradient
+        evaluations (agents are distinguished purely by their parameter
+        vectors, exactly as the paper treats them as points in ``R^d``).
+    topology:
+        Communication graph with doubly stochastic mixing matrix ``W``.
+    shards:
+        One local dataset per agent (e.g. from
+        :func:`repro.data.partition.partition_dirichlet`).
+    config:
+        Optimisation / DP hyper-parameters.
+    validation:
+        Optional shared validation set ``Q``; required by PDSL, unused by the
+        baselines.
+    """
+
+    name: str = "decentralized"
+
+    def __init__(
+        self,
+        model: Model,
+        topology: Topology,
+        shards: Sequence[Dataset],
+        config: AlgorithmConfig,
+        validation: Optional[Dataset] = None,
+    ) -> None:
+        if len(shards) != topology.num_agents:
+            raise ValueError(
+                f"got {len(shards)} data shards for {topology.num_agents} agents"
+            )
+        for agent, shard in enumerate(shards):
+            if len(shard) == 0:
+                raise ValueError(f"agent {agent} received an empty local dataset")
+        self.model = model
+        self.topology = topology
+        self.shards = list(shards)
+        self.config = config
+        self.validation = validation
+        self.num_agents = topology.num_agents
+        self.dimension = model.num_params
+        self.sigma = config.resolve_sigma()
+
+        root_rng = np.random.default_rng(config.seed)
+        child_seeds = root_rng.integers(0, 2**63 - 1, size=3 * self.num_agents + 2)
+        self._rng = np.random.default_rng(int(child_seeds[-1]))
+        self.network = Network(self.num_agents)
+        self.accountant = PrivacyAccountant()
+
+        initial = model.get_flat_params()
+        self.params: List[np.ndarray] = [initial.copy() for _ in range(self.num_agents)]
+        self.momenta: List[np.ndarray] = [
+            np.zeros_like(initial) for _ in range(self.num_agents)
+        ]
+        self.samplers: List[BatchSampler] = [
+            BatchSampler(
+                shards[i], config.batch_size, np.random.default_rng(int(child_seeds[i]))
+            )
+            for i in range(self.num_agents)
+        ]
+        self.mechanisms: List[GaussianMechanism] = [
+            GaussianMechanism(
+                sigma=self.sigma,
+                clip_threshold=config.clip_threshold,
+                rng=np.random.default_rng(int(child_seeds[self.num_agents + i])),
+            )
+            for i in range(self.num_agents)
+        ]
+        # A dedicated per-agent generator for algorithm-level randomness
+        # (e.g. Shapley permutations) so it does not perturb the DP noise stream.
+        self.agent_rngs: List[np.random.Generator] = [
+            np.random.default_rng(int(child_seeds[2 * self.num_agents + i]))
+            for i in range(self.num_agents)
+        ]
+        self.rounds_completed = 0
+
+    # ------------------------------------------------------------------
+    # Core abstract interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def step(self, round_index: int) -> None:
+        """Execute one synchronous communication round for every agent."""
+
+    def run_round(self) -> None:
+        """Advance the network round counter and run :meth:`step` once."""
+        self.network.advance_round()
+        self.step(self.rounds_completed)
+        if self.config.epsilon is not None and self.sigma > 0:
+            self.accountant.record(self.config.epsilon, self.config.delta)
+        self.rounds_completed += 1
+
+    # ------------------------------------------------------------------
+    # Gradient and gossip helpers
+    # ------------------------------------------------------------------
+    def local_gradient(
+        self,
+        agent: int,
+        params: np.ndarray,
+        batch: Tuple[np.ndarray, np.ndarray],
+    ) -> np.ndarray:
+        """Stochastic gradient of the loss at ``params`` on ``agent``'s batch.
+
+        When ``params`` belongs to a neighbour this is exactly the
+        cross-gradient ``g_{i,j}`` of eq. 12: agent ``i``'s data, agent
+        ``j``'s model.
+        """
+        inputs, labels = batch
+        _, grad = self.model.loss_and_gradient(inputs, labels, params=params)
+        return grad
+
+    def privatize(self, agent: int, gradient: np.ndarray) -> np.ndarray:
+        """Clip to ``C`` and add ``N(0, sigma^2 I)`` noise (Algorithm 1 lines 3–4, 9–10)."""
+        return self.mechanisms[agent].privatize(gradient)
+
+    def clip(self, gradient: np.ndarray) -> np.ndarray:
+        """Clip a gradient to the configured threshold without adding noise."""
+        return clip_by_l2_norm(gradient, self.config.clip_threshold)
+
+    def neighbor_weights(self, agent: int) -> Dict[int, float]:
+        """``{j: omega_{ij}}`` over the agent's closed neighbourhood ``M_i``."""
+        return {
+            j: self.topology.weight(agent, j)
+            for j in self.topology.neighbors(agent, include_self=True)
+        }
+
+    def gossip_average(self, vectors: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """One gossip step: each agent's vector becomes the W-weighted neighbour average.
+
+        Implements ``x_i <- sum_j omega_{ij} x_j`` (eqs. 24–25) for all agents
+        simultaneously.
+        """
+        stacked = np.stack([np.asarray(v, dtype=np.float64) for v in vectors], axis=0)
+        mixed = self.topology.mixing_matrix @ stacked
+        return [mixed[i] for i in range(self.num_agents)]
+
+    def draw_batches(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """One fresh mini-batch per agent for the current round."""
+        return [self.samplers[i].next_batch() for i in range(self.num_agents)]
+
+    # ------------------------------------------------------------------
+    # State accessors and evaluation
+    # ------------------------------------------------------------------
+    def agent_parameters(self) -> List[np.ndarray]:
+        """Copies of every agent's current parameter vector."""
+        return [p.copy() for p in self.params]
+
+    def average_parameters(self) -> np.ndarray:
+        """The network-average model ``x_bar`` used in the convergence analysis."""
+        return np.mean(np.stack(self.params, axis=0), axis=0)
+
+    def consensus(self) -> float:
+        """Average squared distance of agent models from their mean (Lemma 6 quantity)."""
+        return consensus_distance(self.params)
+
+    def average_train_loss(self, max_samples_per_agent: int = 256) -> float:
+        """Average of each agent's loss on (a sample of) its own local dataset.
+
+        This is the quantity plotted in Figs. 1–6 of the paper ("average
+        training loss").
+        """
+        losses = []
+        for agent in range(self.num_agents):
+            shard = self.shards[agent]
+            if len(shard) > max_samples_per_agent:
+                rng = np.random.default_rng(
+                    (self.config.seed * 1_000_003 + agent) % (2**63 - 1)
+                )
+                shard = shard.sample(max_samples_per_agent, rng)
+            losses.append(
+                self.model.evaluate_loss(shard.inputs, shard.labels, params=self.params[agent])
+            )
+        return float(np.mean(losses))
+
+    def test_accuracy(self, test_data: Dataset, mode: str = "mean_agent") -> float:
+        """Test accuracy of the trained system.
+
+        ``mode="mean_agent"`` averages each agent's own accuracy (the natural
+        decentralized metric); ``mode="average_model"`` evaluates the single
+        network-average model.
+        """
+        if mode == "average_model":
+            return self.model.accuracy(
+                test_data.inputs, test_data.labels, params=self.average_parameters()
+            )
+        if mode == "mean_agent":
+            accuracies = [
+                self.model.accuracy(test_data.inputs, test_data.labels, params=p)
+                for p in self.params
+            ]
+            return float(np.mean(accuracies))
+        raise ValueError("mode must be 'mean_agent' or 'average_model'")
+
+    def privacy_spent(self) -> Tuple[float, float]:
+        """Cumulative (epsilon, delta) recorded by the accountant (advanced composition)."""
+        return self.accountant.total()

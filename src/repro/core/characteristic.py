@@ -1,0 +1,95 @@
+"""The Shapley characteristic function used by PDSL (eqs. 15–17).
+
+After agent ``i`` receives the perturbed cross-gradients ``g_hat_{j,i}`` from
+its neighbours, it forms one candidate model update per neighbour,
+
+    ``x_{i,j} = x_i^{t-1} - gamma * g_hat_{j,i}``            (eq. 15)
+
+and scores a coalition ``M' ⊆ M_i`` by the validation performance of the
+*average* of the corresponding candidate models,
+
+    ``v(M'; Q) = (1/|Q|) * sum_{xi in Q} J(xi; mean_{j in M'} x_{i,j})``  (eqs. 16–17)
+
+where ``J`` is per-sample accuracy.  :func:`make_update_characteristic` builds
+this callable for one agent and one round; it is then handed to the Shapley
+machinery in :mod:`repro.game`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.nn.model import Model
+
+__all__ = ["validation_characteristic", "make_update_characteristic"]
+
+
+def validation_characteristic(
+    model: Model,
+    params: np.ndarray,
+    validation_inputs: np.ndarray,
+    validation_labels: np.ndarray,
+    metric: str = "accuracy",
+) -> float:
+    """Score one parameter vector on the validation data.
+
+    ``metric="accuracy"`` is the paper's choice (eq. 16); ``metric="neg_loss"``
+    returns the negative cross-entropy loss, a smoother signal used by an
+    ablation (it distinguishes candidate models even when they all predict
+    the same labels).
+    """
+    if metric == "accuracy":
+        return model.accuracy(validation_inputs, validation_labels, params=params)
+    if metric == "neg_loss":
+        return -model.evaluate_loss(validation_inputs, validation_labels, params=params)
+    raise ValueError("metric must be 'accuracy' or 'neg_loss'")
+
+
+def make_update_characteristic(
+    model: Model,
+    candidate_updates: Mapping[Hashable, np.ndarray],
+    validation: Dataset,
+    metric: str = "accuracy",
+    validation_batch_size: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Callable[[Tuple[Hashable, ...]], float]:
+    """Build the characteristic function ``v(M'; Q)`` for one agent and round.
+
+    Parameters
+    ----------
+    candidate_updates:
+        ``{j: x_{i,j}}`` — the per-neighbour candidate models of eq. 15.
+    validation:
+        The shared validation dataset ``Q``.
+    validation_batch_size:
+        If given, a single uniform subsample of ``Q`` of this size is drawn
+        once (so all coalition evaluations see the same data, keeping the
+        game well defined) and used for every evaluation.
+    """
+    if len(candidate_updates) == 0:
+        raise ValueError("candidate_updates must contain at least one neighbour")
+    if len(validation) == 0:
+        raise ValueError("validation dataset must be non-empty")
+    if validation_batch_size is not None and validation_batch_size < len(validation):
+        if rng is None:
+            raise ValueError("rng is required when subsampling the validation set")
+        subsample = validation.sample(validation_batch_size, rng)
+        inputs, labels = subsample.inputs, subsample.labels
+    else:
+        inputs, labels = validation.inputs, validation.labels
+
+    updates: Dict[Hashable, np.ndarray] = {
+        k: np.asarray(v, dtype=np.float64) for k, v in candidate_updates.items()
+    }
+
+    def characteristic(coalition: Tuple[Hashable, ...]) -> float:
+        members = [m for m in coalition if m in updates]
+        if not members:
+            return 0.0
+        averaged = np.mean(np.stack([updates[m] for m in members], axis=0), axis=0)
+        return validation_characteristic(model, averaged, inputs, labels, metric=metric)
+
+    return characteristic

@@ -1,0 +1,125 @@
+"""A minimal immutable dataset container used throughout the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dataset", "train_val_test_split"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A supervised dataset of ``(inputs, labels)``.
+
+    ``inputs`` has shape ``(N, ...)`` and ``labels`` shape ``(N,)`` with
+    integer class indices.  Instances are immutable; all "mutating"
+    operations return new :class:`Dataset` objects viewing or copying the
+    underlying arrays.
+    """
+
+    inputs: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        inputs = np.asarray(self.inputs)
+        labels = np.asarray(self.labels)
+        if inputs.shape[0] != labels.shape[0]:
+            raise ValueError(
+                f"inputs ({inputs.shape[0]}) and labels ({labels.shape[0]}) "
+                "must have the same number of rows"
+            )
+        if labels.ndim != 1:
+            raise ValueError("labels must be a 1-D array of class indices")
+        object.__setattr__(self, "inputs", inputs)
+        object.__setattr__(self, "labels", labels.astype(np.int64))
+
+    def __len__(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes, inferred as ``max(label) + 1`` (0 if empty)."""
+        if len(self) == 0:
+            return 0
+        return int(self.labels.max()) + 1
+
+    @property
+    def input_shape(self) -> Tuple[int, ...]:
+        """Shape of a single example (excluding the batch dimension)."""
+        return tuple(self.inputs.shape[1:])
+
+    def subset(self, indices: Sequence[int] | np.ndarray) -> "Dataset":
+        """Dataset restricted to the given row indices."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.inputs[indices], self.labels[indices])
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        """A row-permuted copy of this dataset."""
+        perm = rng.permutation(len(self))
+        return self.subset(perm)
+
+    def sample(self, size: int, rng: np.random.Generator, replace: bool = False) -> "Dataset":
+        """Uniformly sample ``size`` rows (without replacement by default)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if not replace and size > len(self):
+            raise ValueError("cannot sample more rows than the dataset holds without replacement")
+        idx = rng.choice(len(self), size=size, replace=replace)
+        return self.subset(idx)
+
+    def batches(
+        self, batch_size: int, rng: np.random.Generator | None = None
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Iterate over mini-batches, optionally shuffling first."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        order = np.arange(len(self))
+        if rng is not None:
+            order = rng.permutation(len(self))
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield self.inputs[idx], self.labels[idx]
+
+    def class_counts(self, num_classes: int | None = None) -> np.ndarray:
+        """Per-class example counts as an integer vector."""
+        k = num_classes if num_classes is not None else self.num_classes
+        return np.bincount(self.labels, minlength=k).astype(np.int64)
+
+    def concat(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets row-wise."""
+        if self.input_shape != other.input_shape:
+            raise ValueError("datasets must have matching input shapes to concatenate")
+        return Dataset(
+            np.concatenate([self.inputs, other.inputs], axis=0),
+            np.concatenate([self.labels, other.labels], axis=0),
+        )
+
+
+def train_val_test_split(
+    dataset: Dataset,
+    val_fraction: float,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[Dataset, Dataset, Dataset]:
+    """Shuffle and split a dataset into train/validation/test partitions.
+
+    The paper carves the global validation set ``Q`` (20% of the original test
+    set) out of held-out data; this helper performs the analogous split for
+    synthetic datasets.
+    """
+    if not 0.0 <= val_fraction < 1.0 or not 0.0 <= test_fraction < 1.0:
+        raise ValueError("fractions must lie in [0, 1)")
+    if val_fraction + test_fraction >= 1.0:
+        raise ValueError("val_fraction + test_fraction must be < 1")
+    shuffled = dataset.shuffled(rng)
+    n = len(shuffled)
+    n_val = int(round(n * val_fraction))
+    n_test = int(round(n * test_fraction))
+    n_train = n - n_val - n_test
+    train = shuffled.subset(np.arange(0, n_train))
+    val = shuffled.subset(np.arange(n_train, n_train + n_val))
+    test = shuffled.subset(np.arange(n_train + n_val, n))
+    return train, val, test

@@ -1,0 +1,77 @@
+"""Mini-batch sampling utilities.
+
+Algorithm 1 draws, at every round ``t``, a stochastic sample ``xi_{i,t}``
+uniformly from agent ``i``'s local dataset and uses the *same* sample for the
+local gradient (eq. 9) and every cross-gradient (eq. 12).  The
+:class:`BatchSampler` below provides exactly that behaviour: one call per
+round returning a mini-batch that the caller can reuse for all gradient
+evaluations within the round.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["BatchSampler", "batch_iterator"]
+
+
+class BatchSampler:
+    """Draws uniform mini-batches (with replacement across rounds) from a dataset."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        rng: np.random.Generator,
+        replace_within_batch: bool = False,
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValueError("cannot sample from an empty dataset")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        # A batch never exceeds the dataset size unless sampling with replacement.
+        self.batch_size = min(int(batch_size), len(dataset)) if not replace_within_batch else int(batch_size)
+        self.rng = rng
+        self.replace_within_batch = bool(replace_within_batch)
+        self._draws = 0
+
+    @property
+    def num_draws(self) -> int:
+        """Number of batches drawn so far (equals the number of rounds for one agent)."""
+        return self._draws
+
+    def next_batch(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(inputs, labels)`` for one uniformly sampled mini-batch."""
+        idx = self.rng.choice(
+            len(self.dataset), size=self.batch_size, replace=self.replace_within_batch
+        )
+        self._draws += 1
+        return self.dataset.inputs[idx], self.dataset.labels[idx]
+
+
+def batch_iterator(
+    dataset: Dataset,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+    drop_last: bool = False,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """One epoch of (optionally shuffled) mini-batches.
+
+    Used by the DP-NET-FLEET baseline, which performs multiple local update
+    steps between communication rounds, and by the examples.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = np.arange(len(dataset))
+    if rng is not None:
+        order = rng.permutation(len(dataset))
+    for start in range(0, len(dataset), batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and idx.size < batch_size:
+            return
+        yield dataset.inputs[idx], dataset.labels[idx]

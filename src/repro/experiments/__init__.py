@@ -1,0 +1,50 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. VI).
+
+* :mod:`repro.experiments.specs` — declarative experiment specifications and
+  the paper presets (Figures 1–6, Tables I–II) plus scaled-down "fast"
+  variants used by the benchmark suite;
+* :mod:`repro.experiments.harness` — building algorithm instances and running
+  head-to-head comparisons;
+* :mod:`repro.experiments.report` — formatting loss curves and accuracy
+  tables in the same layout the paper uses.
+"""
+
+from repro.experiments.specs import (
+    ALGORITHM_NAMES,
+    ExperimentSpec,
+    cifar_like_spec,
+    fast_spec,
+    mnist_like_spec,
+    paper_figure_spec,
+    paper_table_spec,
+)
+from repro.experiments.harness import (
+    build_algorithm,
+    build_experiment_components,
+    run_comparison,
+    run_single,
+)
+from repro.experiments.report import (
+    accuracy_table_rows,
+    format_accuracy_table,
+    format_loss_curves,
+    loss_curve_series,
+)
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "ExperimentSpec",
+    "fast_spec",
+    "mnist_like_spec",
+    "cifar_like_spec",
+    "paper_figure_spec",
+    "paper_table_spec",
+    "build_algorithm",
+    "build_experiment_components",
+    "run_comparison",
+    "run_single",
+    "loss_curve_series",
+    "format_loss_curves",
+    "accuracy_table_rows",
+    "format_accuracy_table",
+]

@@ -1,0 +1,84 @@
+"""Saving and loading experiment results.
+
+Long experiment grids (the full Table I/II sweeps) are expensive; this module
+persists :class:`~repro.simulation.metrics.TrainingHistory` objects and whole
+comparison grids as JSON so results can be archived, diffed across code
+versions, and re-rendered into the paper-style tables without re-running the
+training.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+from repro.simulation.metrics import RoundRecord, TrainingHistory
+
+__all__ = [
+    "history_to_dict",
+    "history_from_dict",
+    "save_histories",
+    "load_histories",
+]
+
+PathLike = Union[str, Path]
+
+
+def history_to_dict(history: TrainingHistory) -> Dict[str, object]:
+    """JSON-serialisable representation of a training history (round-trippable)."""
+    return {
+        "algorithm": history.algorithm,
+        "metadata": dict(history.metadata),
+        "final_test_accuracy": history.final_test_accuracy,
+        "records": [
+            {
+                "round": record.round,
+                "average_train_loss": record.average_train_loss,
+                "test_accuracy": record.test_accuracy,
+                "consensus": record.consensus,
+                "extra": dict(record.extra),
+            }
+            for record in history.records
+        ],
+    }
+
+
+def history_from_dict(payload: Mapping[str, object]) -> TrainingHistory:
+    """Inverse of :func:`history_to_dict`."""
+    if "algorithm" not in payload or "records" not in payload:
+        raise ValueError("payload is missing required keys 'algorithm' / 'records'")
+    history = TrainingHistory(
+        algorithm=str(payload["algorithm"]),
+        metadata=dict(payload.get("metadata", {})),
+        final_test_accuracy=payload.get("final_test_accuracy"),
+    )
+    for item in payload["records"]:
+        history.append(
+            RoundRecord(
+                round=int(item["round"]),
+                average_train_loss=float(item["average_train_loss"]),
+                test_accuracy=item.get("test_accuracy"),
+                consensus=item.get("consensus"),
+                extra=dict(item.get("extra", {})),
+            )
+        )
+    return history
+
+
+def save_histories(histories: Mapping[str, TrainingHistory], path: PathLike) -> Path:
+    """Write a ``{name: history}`` mapping (one comparison run) to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {name: history_to_dict(history) for name, history in histories.items()}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_histories(path: PathLike) -> Dict[str, TrainingHistory]:
+    """Read a comparison run previously written by :func:`save_histories`."""
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path} does not contain a JSON object")
+    return {name: history_from_dict(item) for name, item in payload.items()}

@@ -1,0 +1,94 @@
+"""Formatting experiment results in the layout the paper uses.
+
+* Loss curves (Figures 1–6): one series per algorithm, ``round -> average
+  training loss``.
+* Accuracy tables (Tables I–II): rows are algorithms, columns are
+  ``(topology, M)`` cells for a fixed privacy budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.simulation.metrics import TrainingHistory
+
+__all__ = [
+    "loss_curve_series",
+    "format_loss_curves",
+    "accuracy_table_rows",
+    "format_accuracy_table",
+]
+
+
+def loss_curve_series(
+    histories: Mapping[str, TrainingHistory]
+) -> Dict[str, List[Tuple[int, float]]]:
+    """``{algorithm: [(round, average training loss), ...]}`` for plotting/printing."""
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for name, history in histories.items():
+        series[name] = list(zip(history.rounds, history.losses))
+    return series
+
+
+def format_loss_curves(
+    histories: Mapping[str, TrainingHistory],
+    title: str = "Average training loss per round",
+    max_rows: Optional[int] = None,
+) -> str:
+    """A plain-text table with one column per algorithm and one row per round."""
+    names = list(histories.keys())
+    if not names:
+        return f"{title}\n(no results)"
+    rounds = histories[names[0]].rounds
+    lines = [title, "round  " + "  ".join(f"{name:>14s}" for name in names)]
+    rows = list(range(len(rounds)))
+    if max_rows is not None and len(rows) > max_rows:
+        stride = max(1, len(rows) // max_rows)
+        rows = rows[::stride] + ([rows[-1]] if rows[-1] not in rows[::stride] else [])
+    for idx in rows:
+        values = []
+        for name in names:
+            history = histories[name]
+            values.append(f"{history.losses[idx]:>14.4f}" if idx < len(history.losses) else " " * 14)
+        lines.append(f"{rounds[idx]:>5d}  " + "  ".join(values))
+    return "\n".join(lines)
+
+
+def accuracy_table_rows(
+    results: Mapping[Tuple[str, int], Mapping[str, TrainingHistory]],
+    algorithms: Sequence[str],
+) -> Dict[str, Dict[Tuple[str, int], float]]:
+    """Rearrange per-cell comparison results into ``{algorithm: {(topology, M): accuracy}}``.
+
+    ``results`` maps ``(topology, num_agents)`` to the per-algorithm histories
+    for that cell (as produced by :func:`repro.experiments.harness.run_comparison`).
+    """
+    table: Dict[str, Dict[Tuple[str, int], float]] = {name: {} for name in algorithms}
+    for cell, histories in results.items():
+        for name in algorithms:
+            history = histories.get(name)
+            if history is None:
+                continue
+            accuracy = history.final_test_accuracy
+            if accuracy is None:
+                accuracy = history.best_accuracy() or 0.0
+            table[name][cell] = float(accuracy)
+    return table
+
+
+def format_accuracy_table(
+    table: Mapping[str, Mapping[Tuple[str, int], float]],
+    caption: str = "Test accuracy",
+) -> str:
+    """Render the accuracy table as text, one row per algorithm (paper Tables I–II layout)."""
+    cells = sorted({cell for rows in table.values() for cell in rows})
+    header = "method".ljust(14) + "".join(
+        f"{topology[:10]:>12s}/M={agents:<3d}" for topology, agents in cells
+    )
+    lines = [caption, header]
+    for name, row in table.items():
+        rendered = "".join(
+            f"{row.get(cell, float('nan')):>16.3f}" for cell in cells
+        )
+        lines.append(name.ljust(14) + rendered)
+    return "\n".join(lines)

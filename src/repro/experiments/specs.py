@@ -1,0 +1,313 @@
+"""Declarative experiment specifications and the paper presets.
+
+An :class:`ExperimentSpec` fully determines one experimental cell: which
+dataset family to generate, how to partition it, which topology and how many
+agents, the privacy budget, the optimisation hyper-parameters, the number of
+rounds, and which algorithms to compare.  The factory functions encode the
+paper's settings:
+
+* Figures 1–3 — synthetic-MNIST loss curves over fully-connected / bipartite
+  / ring topologies, ``M in {10, 15, 20}``, ``epsilon in {0.08, 0.1, 0.3}``,
+  ``alpha = 0.5``, ``gamma = 0.001`` (paper values);
+* Figures 4–6 — synthetic-CIFAR loss curves over the same topologies,
+  ``epsilon in {0.5, 0.7, 1.0}``, ``alpha = 0.7``, ``gamma = 0.01``;
+* Tables I–II — final test accuracy over every (topology, M, epsilon) cell.
+
+Because the substrate here is a NumPy simulator rather than a GPU cluster,
+each preset also has a ``fast`` variant (smaller synthetic datasets, an MLP
+instead of the CNN, fewer rounds) which the benchmark suite runs by default;
+the full-size settings remain available by passing ``scale="paper"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ALGORITHM_NAMES",
+    "ExperimentSpec",
+    "fast_spec",
+    "mnist_like_spec",
+    "cifar_like_spec",
+    "paper_figure_spec",
+    "paper_table_spec",
+]
+
+#: The algorithms compared in every figure and table of the paper.
+ALGORITHM_NAMES: Tuple[str, ...] = (
+    "DP-DPSGD",
+    "DP-CGA",
+    "MUFFLIATO",
+    "DP-NET-FLEET",
+    "PDSL",
+)
+
+#: Paper hyper-parameters per dataset family (Sec. VI-A).
+_PAPER_HYPERPARAMS: Dict[str, Dict[str, float]] = {
+    "mnist": {"momentum": 0.5, "learning_rate": 0.001, "batch_size": 250},
+    "cifar": {"momentum": 0.7, "learning_rate": 0.01, "batch_size": 250},
+}
+
+#: Paper privacy budgets per dataset family.
+_PAPER_EPSILONS: Dict[str, Tuple[float, ...]] = {
+    "mnist": (0.08, 0.1, 0.3),
+    "cifar": (0.5, 0.7, 1.0),
+}
+
+#: Paper figure index -> (dataset family, topology).
+_PAPER_FIGURES: Dict[int, Tuple[str, str]] = {
+    1: ("mnist", "fully_connected"),
+    2: ("mnist", "bipartite"),
+    3: ("mnist", "ring"),
+    4: ("cifar", "fully_connected"),
+    5: ("cifar", "bipartite"),
+    6: ("cifar", "ring"),
+}
+
+
+@dataclass
+class ExperimentSpec:
+    """Everything needed to run one experimental cell."""
+
+    name: str
+    dataset: str = "classification"  # "classification", "mnist", "cifar"
+    model: str = "mlp"  # "linear", "mlp", "mnist_cnn", "cifar_cnn"
+    num_agents: int = 10
+    topology: str = "fully_connected"  # "fully_connected", "bipartite", "ring", ...
+    dirichlet_alpha: float = 0.25
+    epsilon: float = 0.3
+    delta: float = 1e-5
+    clip_threshold: float = 1.0
+    learning_rate: float = 0.05
+    momentum: float = 0.5
+    batch_size: int = 32
+    num_rounds: int = 20
+    train_samples: int = 1500
+    validation_samples: int = 200
+    test_samples: int = 400
+    num_classes: int = 10
+    num_features: int = 32
+    shapley_permutations: int = 4
+    eval_every: int = 1
+    seed: int = 7
+    algorithms: Sequence[str] = field(default_factory=lambda: list(ALGORITHM_NAMES))
+    scale: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.dataset not in ("classification", "mnist", "cifar"):
+            raise ValueError("dataset must be 'classification', 'mnist' or 'cifar'")
+        if self.model not in ("linear", "mlp", "mnist_cnn", "cifar_cnn"):
+            raise ValueError("unknown model family")
+        if self.num_agents < 2:
+            raise ValueError("need at least two agents")
+        if self.num_rounds <= 0:
+            raise ValueError("num_rounds must be positive")
+        unknown = [a for a in self.algorithms if a not in ALGORITHM_NAMES + ("D-PSGD", "DMSGD")]
+        if unknown:
+            raise ValueError(f"unknown algorithms: {unknown}")
+
+    def with_updates(self, **kwargs) -> "ExperimentSpec":
+        from dataclasses import replace
+
+        return replace(self, **kwargs)
+
+
+def fast_spec(
+    num_agents: int = 6,
+    epsilon: float = 0.3,
+    topology: str = "fully_connected",
+    num_rounds: int = 12,
+    algorithms: Optional[Sequence[str]] = None,
+    seed: int = 7,
+) -> ExperimentSpec:
+    """A small spec (generic Gaussian-cluster data + linear model) for tests and CI."""
+    return ExperimentSpec(
+        name=f"fast_{topology}_M{num_agents}_eps{epsilon}",
+        dataset="classification",
+        model="linear",
+        num_agents=num_agents,
+        topology=topology,
+        epsilon=epsilon,
+        learning_rate=0.05,
+        momentum=0.5,
+        batch_size=100,
+        num_rounds=num_rounds,
+        train_samples=1800,
+        validation_samples=150,
+        test_samples=400,
+        num_classes=6,
+        num_features=24,
+        shapley_permutations=3,
+        algorithms=list(algorithms) if algorithms is not None else list(ALGORITHM_NAMES),
+        seed=seed,
+        scale="fast",
+    )
+
+
+def mnist_like_spec(
+    num_agents: int = 10,
+    epsilon: float = 0.3,
+    topology: str = "fully_connected",
+    scale: str = "fast",
+    algorithms: Optional[Sequence[str]] = None,
+    seed: int = 7,
+) -> ExperimentSpec:
+    """The MNIST experiment family (Figures 1–3, Table I).
+
+    ``scale="fast"`` uses the synthetic-MNIST generator with an MLP and a
+    modest number of rounds so the whole grid runs in minutes;
+    ``scale="paper"`` uses the paper's CNN, batch size 250 and 180 rounds.
+    """
+    hyper = _PAPER_HYPERPARAMS["mnist"]
+    if scale == "paper":
+        return ExperimentSpec(
+            name=f"mnist_{topology}_M{num_agents}_eps{epsilon}",
+            dataset="mnist",
+            model="mnist_cnn",
+            num_agents=num_agents,
+            topology=topology,
+            epsilon=epsilon,
+            learning_rate=hyper["learning_rate"],
+            momentum=hyper["momentum"],
+            batch_size=int(hyper["batch_size"]),
+            num_rounds=180,
+            train_samples=60_000,
+            validation_samples=2_000,
+            test_samples=8_000,
+            num_classes=10,
+            shapley_permutations=4,
+            eval_every=5,
+            algorithms=list(algorithms) if algorithms is not None else list(ALGORITHM_NAMES),
+            seed=seed,
+            scale="paper",
+        )
+    return ExperimentSpec(
+        name=f"mnist_fast_{topology}_M{num_agents}_eps{epsilon}",
+        dataset="classification",
+        model="linear",
+        num_agents=num_agents,
+        topology=topology,
+        epsilon=epsilon,
+        learning_rate=0.05,
+        momentum=hyper["momentum"],
+        batch_size=100,
+        num_rounds=20,
+        train_samples=2400,
+        validation_samples=150,
+        test_samples=400,
+        num_classes=10,
+        num_features=32,
+        shapley_permutations=3,
+        algorithms=list(algorithms) if algorithms is not None else list(ALGORITHM_NAMES),
+        seed=seed,
+        scale="fast",
+    )
+
+
+def cifar_like_spec(
+    num_agents: int = 10,
+    epsilon: float = 1.0,
+    topology: str = "fully_connected",
+    scale: str = "fast",
+    algorithms: Optional[Sequence[str]] = None,
+    seed: int = 11,
+) -> ExperimentSpec:
+    """The CIFAR-10 experiment family (Figures 4–6, Table II)."""
+    hyper = _PAPER_HYPERPARAMS["cifar"]
+    if scale == "paper":
+        return ExperimentSpec(
+            name=f"cifar_{topology}_M{num_agents}_eps{epsilon}",
+            dataset="cifar",
+            model="cifar_cnn",
+            num_agents=num_agents,
+            topology=topology,
+            epsilon=epsilon,
+            learning_rate=hyper["learning_rate"],
+            momentum=hyper["momentum"],
+            batch_size=int(hyper["batch_size"]),
+            num_rounds=200,
+            train_samples=50_000,
+            validation_samples=2_000,
+            test_samples=8_000,
+            num_classes=10,
+            shapley_permutations=4,
+            eval_every=5,
+            algorithms=list(algorithms) if algorithms is not None else list(ALGORITHM_NAMES),
+            seed=seed,
+            scale="paper",
+        )
+    return ExperimentSpec(
+        name=f"cifar_fast_{topology}_M{num_agents}_eps{epsilon}",
+        dataset="classification",
+        model="linear",
+        num_agents=num_agents,
+        topology=topology,
+        epsilon=epsilon,
+        learning_rate=0.05,
+        momentum=hyper["momentum"],
+        batch_size=100,
+        num_rounds=20,
+        train_samples=2400,
+        validation_samples=150,
+        test_samples=400,
+        num_classes=10,
+        num_features=48,
+        shapley_permutations=3,
+        algorithms=list(algorithms) if algorithms is not None else list(ALGORITHM_NAMES),
+        seed=seed,
+        scale="fast",
+    )
+
+
+def paper_figure_spec(
+    figure: int,
+    num_agents: int = 10,
+    epsilon: Optional[float] = None,
+    scale: str = "fast",
+    algorithms: Optional[Sequence[str]] = None,
+) -> ExperimentSpec:
+    """Spec for one panel of a paper figure (Figure 1–6).
+
+    ``epsilon`` defaults to the largest budget of that figure's sweep (the
+    panel the paper discusses most).
+    """
+    if figure not in _PAPER_FIGURES:
+        raise ValueError(f"figure must be one of {sorted(_PAPER_FIGURES)}")
+    family, topology = _PAPER_FIGURES[figure]
+    epsilons = _PAPER_EPSILONS[family]
+    chosen_epsilon = epsilon if epsilon is not None else epsilons[-1]
+    if chosen_epsilon not in epsilons and epsilon is not None:
+        # allow off-grid epsilons but keep the paper's defaults discoverable
+        pass
+    maker = mnist_like_spec if family == "mnist" else cifar_like_spec
+    spec = maker(
+        num_agents=num_agents,
+        epsilon=chosen_epsilon,
+        topology=topology,
+        scale=scale,
+        algorithms=algorithms,
+    )
+    return spec.with_updates(name=f"figure{figure}_M{num_agents}_eps{chosen_epsilon}")
+
+
+def paper_table_spec(
+    table: int,
+    topology: str,
+    num_agents: int,
+    epsilon: float,
+    scale: str = "fast",
+    algorithms: Optional[Sequence[str]] = None,
+) -> ExperimentSpec:
+    """Spec for one cell of Table I (``table=1``, MNIST) or Table II (``table=2``, CIFAR)."""
+    if table == 1:
+        spec = mnist_like_spec(
+            num_agents=num_agents, epsilon=epsilon, topology=topology, scale=scale, algorithms=algorithms
+        )
+    elif table == 2:
+        spec = cifar_like_spec(
+            num_agents=num_agents, epsilon=epsilon, topology=topology, scale=scale, algorithms=algorithms
+        )
+    else:
+        raise ValueError("table must be 1 (MNIST) or 2 (CIFAR)")
+    return spec.with_updates(name=f"table{table}_{topology}_M{num_agents}_eps{epsilon}")

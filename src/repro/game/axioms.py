@@ -1,0 +1,93 @@
+"""Shapley-axiom checkers used in property-based tests.
+
+The Shapley value is the unique allocation satisfying balance (efficiency),
+symmetry, additivity and the zero-element/dummy property (Sec. III-C).  These
+helpers verify each property numerically for a concrete game and allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Mapping, Tuple
+
+from repro.game.cooperative import CooperativeGame
+from repro.game.shapley import exact_shapley
+
+__all__ = [
+    "check_efficiency",
+    "check_symmetry",
+    "check_dummy_player",
+    "check_additivity",
+]
+
+Player = Hashable
+
+
+def check_efficiency(
+    game: CooperativeGame, allocation: Mapping[Player, float], tol: float = 1e-8
+) -> bool:
+    """Balance axiom: allocations sum to the grand-coalition payoff ``v(Z)``."""
+    total = sum(float(allocation[p]) for p in game.players)
+    return abs(total - game.grand_coalition_value()) <= tol
+
+
+def check_symmetry(
+    game: CooperativeGame,
+    player_a: Player,
+    player_b: Player,
+    allocation: Mapping[Player, float],
+    tol: float = 1e-8,
+) -> bool:
+    """Symmetry axiom for a pair of players known to be interchangeable.
+
+    If ``v(S ∪ {a}) = v(S ∪ {b})`` for every coalition ``S`` avoiding both,
+    the two players must receive the same allocation.  The helper first
+    verifies the interchangeability premise; if the premise fails the check
+    is vacuously true.
+    """
+    import itertools
+
+    others = [p for p in game.players if p not in (player_a, player_b)]
+    for size in range(len(others) + 1):
+        for subset in itertools.combinations(others, size):
+            va = game.value(set(subset) | {player_a})
+            vb = game.value(set(subset) | {player_b})
+            if abs(va - vb) > tol:
+                return True  # premise violated: nothing to check
+    return abs(float(allocation[player_a]) - float(allocation[player_b])) <= max(tol, 1e-8)
+
+
+def check_dummy_player(
+    game: CooperativeGame, player: Player, allocation: Mapping[Player, float], tol: float = 1e-8
+) -> bool:
+    """Zero-element axiom: a player contributing nothing to every coalition gets zero.
+
+    As with symmetry, the premise (the player is a dummy) is verified first;
+    if the player is not a dummy the check passes vacuously.
+    """
+    import itertools
+
+    others = [p for p in game.players if p != player]
+    for size in range(len(others) + 1):
+        for subset in itertools.combinations(others, size):
+            marginal = game.value(set(subset) | {player}) - game.value(subset)
+            if abs(marginal) > tol:
+                return True  # not a dummy: nothing to check
+    return abs(float(allocation[player])) <= max(tol, 1e-8)
+
+
+def check_additivity(
+    players: Tuple[Player, ...],
+    v1: Callable[[Tuple[Player, ...]], float],
+    v2: Callable[[Tuple[Player, ...]], float],
+    tol: float = 1e-8,
+) -> bool:
+    """Additivity axiom: ``phi(v1 + v2) = phi(v1) + phi(v2)`` player-wise."""
+    game1 = CooperativeGame(players, v1)
+    game2 = CooperativeGame(players, v2)
+    game_sum = CooperativeGame(players, lambda c: v1(c) + v2(c))
+    phi1 = exact_shapley(game1)
+    phi2 = exact_shapley(game2)
+    phi_sum = exact_shapley(game_sum)
+    return all(
+        abs(phi_sum[p] - (phi1[p] + phi2[p])) <= tol for p in players
+    )

@@ -1,0 +1,88 @@
+"""Cooperative game abstraction (Definition 3)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
+
+__all__ = ["CooperativeGame", "coalition_key"]
+
+Player = Hashable
+
+
+def coalition_key(coalition: Iterable[Player]) -> FrozenSet[Player]:
+    """Canonical hashable representation of a coalition (an unordered player set)."""
+    return frozenset(coalition)
+
+
+class CooperativeGame:
+    """A cooperative game ``(Z, v)`` with memoised characteristic-function evaluations.
+
+    Parameters
+    ----------
+    players:
+        The player set ``Z``.  Order is preserved for reporting but has no
+        semantic meaning.
+    characteristic:
+        A callable mapping a tuple of players (a coalition) to a real payoff.
+        ``v(emptyset)`` is forced to 0 as Definition 3 requires; the callable
+        is never invoked on the empty coalition.
+    cache:
+        Whether to memoise evaluations.  The PDSL characteristic function
+        (validation accuracy of an averaged model, eq. 16) is expensive, and
+        both the exact and Monte-Carlo Shapley computations re-query many
+        coalitions, so caching is on by default.
+    """
+
+    def __init__(
+        self,
+        players: Sequence[Player],
+        characteristic: Callable[[Tuple[Player, ...]], float],
+        cache: bool = True,
+    ) -> None:
+        players = list(players)
+        if len(players) == 0:
+            raise ValueError("a cooperative game needs at least one player")
+        if len(set(players)) != len(players):
+            raise ValueError("players must be distinct")
+        self.players: List[Player] = players
+        self._characteristic = characteristic
+        self._cache_enabled = bool(cache)
+        self._cache: Dict[FrozenSet[Player], float] = {}
+        self._evaluations = 0
+
+    @property
+    def num_players(self) -> int:
+        return len(self.players)
+
+    @property
+    def num_evaluations(self) -> int:
+        """How many times the underlying characteristic function was actually called."""
+        return self._evaluations
+
+    def value(self, coalition: Iterable[Player]) -> float:
+        """Evaluate ``v(coalition)`` with memoisation; ``v(emptyset) = 0``."""
+        members = tuple(sorted(set(coalition), key=self.players.index))
+        unknown = [p for p in members if p not in self.players]
+        if unknown:
+            raise ValueError(f"unknown players in coalition: {unknown}")
+        if not members:
+            return 0.0
+        key = coalition_key(members)
+        if self._cache_enabled and key in self._cache:
+            return self._cache[key]
+        payoff = float(self._characteristic(members))
+        self._evaluations += 1
+        if self._cache_enabled:
+            self._cache[key] = payoff
+        return payoff
+
+    def marginal_contribution(self, player: Player, coalition: Iterable[Player]) -> float:
+        """``v(coalition ∪ {player}) - v(coalition)`` for ``player`` not in ``coalition``."""
+        coalition = set(coalition)
+        if player in coalition:
+            raise ValueError("player already belongs to the coalition")
+        return self.value(coalition | {player}) - self.value(coalition)
+
+    def grand_coalition_value(self) -> float:
+        """``v(Z)``, the payoff of the full player set."""
+        return self.value(self.players)

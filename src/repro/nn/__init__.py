@@ -1,0 +1,74 @@
+"""Neural-network substrate used by the decentralized learning algorithms.
+
+The paper trains small CNNs with PyTorch; this environment has no deep
+learning framework installed, so ``repro.nn`` provides a from-scratch NumPy
+implementation of the layer types the paper's models need (dense, 2-D
+convolution, max pooling, ReLU/Tanh activations, dropout, flatten) together
+with a :class:`Sequential` container, a softmax cross-entropy loss, parameter
+initialisers and a numerical gradient checker.
+
+The decentralized algorithms only ever see models through the *flat parameter
+vector* interface (:meth:`Model.get_flat_params` / :meth:`Model.set_flat_params`
+and :meth:`Model.get_flat_grads`), mirroring how the paper treats the model as
+a point ``x`` in ``R^d``.
+"""
+
+from repro.nn.initializers import (
+    glorot_uniform,
+    he_normal,
+    normal_init,
+    zeros_init,
+)
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.nn.losses import (
+    l2_regularization,
+    mean_squared_error,
+    softmax_cross_entropy,
+)
+from repro.nn.model import Model, Sequential
+from repro.nn.gradcheck import numerical_gradient, check_gradients
+from repro.nn.zoo import (
+    make_cifar_cnn,
+    make_linear_classifier,
+    make_mlp,
+    make_mnist_cnn,
+)
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "Dropout",
+    "Flatten",
+    "Model",
+    "Sequential",
+    "softmax_cross_entropy",
+    "mean_squared_error",
+    "l2_regularization",
+    "glorot_uniform",
+    "he_normal",
+    "normal_init",
+    "zeros_init",
+    "numerical_gradient",
+    "check_gradients",
+    "make_mlp",
+    "make_linear_classifier",
+    "make_mnist_cnn",
+    "make_cifar_cnn",
+]

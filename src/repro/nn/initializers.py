@@ -1,0 +1,72 @@
+"""Weight initialisation schemes for the NumPy neural-network substrate.
+
+Every initialiser takes an explicit ``numpy.random.Generator`` so that model
+construction is fully deterministic given a seed.  This matters for the
+decentralized experiments: all agents must start from the *same* initial model
+``x^[0]`` (Algorithm 1 input), which the trainers achieve by constructing one
+model and broadcasting its flat parameter vector.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "glorot_uniform",
+    "he_normal",
+    "normal_init",
+    "zeros_init",
+    "fan_in_and_fan_out",
+]
+
+
+def fan_in_and_fan_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a weight tensor of the given shape.
+
+    For a dense weight of shape ``(in, out)`` this is simply ``(in, out)``.
+    For a convolution kernel of shape ``(out_channels, in_channels, kh, kw)``
+    the receptive-field size multiplies both fans, matching the convention
+    used by common deep-learning frameworks.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 0:
+        return 1, 1
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = 1
+    for s in shape[2:]:
+        receptive *= s
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def glorot_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation ``U(-a, a)``, ``a = sqrt(6/(fan_in+fan_out))``."""
+    fan_in, fan_out = fan_in_and_fan_out(shape)
+    limit = math.sqrt(6.0 / float(fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=tuple(shape)).astype(np.float64)
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialisation ``N(0, 2/fan_in)``, suited to ReLU layers."""
+    fan_in, _ = fan_in_and_fan_out(shape)
+    std = math.sqrt(2.0 / float(max(fan_in, 1)))
+    return rng.normal(0.0, std, size=tuple(shape)).astype(np.float64)
+
+
+def normal_init(
+    shape: Sequence[int], rng: np.random.Generator, std: float = 0.01
+) -> np.ndarray:
+    """Plain Gaussian initialisation with a fixed standard deviation."""
+    return rng.normal(0.0, std, size=tuple(shape)).astype(np.float64)
+
+
+def zeros_init(shape: Sequence[int], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros initialisation (used for biases)."""
+    return np.zeros(tuple(shape), dtype=np.float64)

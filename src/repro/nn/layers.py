@@ -1,0 +1,445 @@
+"""Layer implementations with exact analytic forward/backward passes.
+
+Layers follow a small, explicit protocol:
+
+* ``forward(x, training)`` consumes a batch and caches whatever the backward
+  pass needs.
+* ``backward(grad_output)`` consumes the gradient of the loss with respect to
+  the layer output, accumulates parameter gradients in ``Parameter.grad`` and
+  returns the gradient with respect to the layer input.
+* ``parameters()`` yields the layer's :class:`Parameter` objects (possibly
+  none).
+
+All arrays are ``float64``; batches are laid out as ``(N, ...)`` with channels
+first for image tensors, i.e. ``(N, C, H, W)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform, he_normal, zeros_init
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "Dropout",
+    "Flatten",
+]
+
+
+class Parameter:
+    """A trainable tensor together with its accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> Iterable[Parameter]:
+        return ()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output dimensionality.
+    rng:
+        Generator used to initialise the weights (Glorot uniform).
+    use_bias:
+        Whether to include an additive bias term.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        use_bias: bool = True,
+        name: str = "dense",
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.use_bias = bool(use_bias)
+        self.weight = Parameter(
+            glorot_uniform((self.in_features, self.out_features), rng),
+            name=f"{name}.weight",
+        )
+        self.bias = (
+            Parameter(zeros_init((self.out_features,)), name=f"{name}.bias")
+            if use_bias
+            else None
+        )
+        self._cache_input: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense expected input of shape (N, {self.in_features}), got {x.shape}"
+            )
+        self._cache_input = x
+        out = x @ self.weight.value
+        if self.bias is not None:
+            out = out + self.bias.value
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_input is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache_input
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        self.weight.grad += x.T @ grad_output
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def parameters(self) -> Iterable[Parameter]:
+        if self.bias is not None:
+            return (self.weight, self.bias)
+        return (self.weight,)
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Rearrange image patches into columns for convolution.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N, C * kh * kw, out_h * out_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if padding > 0:
+        x = np.pad(
+            x,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+    # Strided view of all (kh, kw) patches.
+    shape = (n, c, kh, kw, out_h, out_w)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2],
+        x.strides[3],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`_im2col`, accumulating overlapping patches."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=np.float64)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if padding > 0:
+        return padded[:, :, padding : padding + h, padding : padding + w]
+    return padded
+
+
+class Conv2D(Layer):
+    """2-D convolution over ``(N, C, H, W)`` inputs, implemented via im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+        stride: int = 1,
+        padding: int = 0,
+        use_bias: bool = True,
+        name: str = "conv2d",
+    ) -> None:
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.use_bias = bool(use_bias)
+        self.weight = Parameter(
+            he_normal(
+                (self.out_channels, self.in_channels, self.kernel_size, self.kernel_size),
+                rng,
+            ),
+            name=f"{name}.weight",
+        )
+        self.bias = (
+            Parameter(zeros_init((self.out_channels,)), name=f"{name}.bias")
+            if use_bias
+            else None
+        )
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int], int, int]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expected input (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        cols, out_h, out_w = _im2col(
+            x, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        w_mat = self.weight.value.reshape(self.out_channels, -1)
+        out = np.einsum("oc,ncl->nol", w_mat, cols)
+        if self.bias is not None:
+            out = out + self.bias.value[None, :, None]
+        self._cache = (cols, x.shape, out_h, out_w)
+        return out.reshape(x.shape[0], self.out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, x_shape, out_h, out_w = self._cache
+        n = x_shape[0]
+        grad_output = np.asarray(grad_output, dtype=np.float64).reshape(
+            n, self.out_channels, out_h * out_w
+        )
+        w_mat = self.weight.value.reshape(self.out_channels, -1)
+        grad_w = np.einsum("nol,ncl->oc", grad_output, cols)
+        self.weight.grad += grad_w.reshape(self.weight.value.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=(0, 2))
+        grad_cols = np.einsum("oc,nol->ncl", w_mat, grad_output)
+        return _col2im(
+            grad_cols, x_shape, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+
+    def parameters(self) -> Iterable[Parameter]:
+        if self.bias is not None:
+            return (self.weight, self.bias)
+        return (self.weight,)
+
+
+class MaxPool2D(Layer):
+    """Max pooling over non-overlapping windows (kernel == stride by default)."""
+
+    def __init__(self, kernel_size: int = 2, stride: Optional[int] = None) -> None:
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride) if stride is not None else int(kernel_size)
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray, Tuple[int, ...]]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        out_h = (h - k) // s + 1
+        out_w = (w - k) // s + 1
+        shape = (n, c, out_h, out_w, k, k)
+        strides = (
+            x.strides[0],
+            x.strides[1],
+            x.strides[2] * s,
+            x.strides[3] * s,
+            x.strides[2],
+            x.strides[3],
+        )
+        windows = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+        windows = windows.reshape(n, c, out_h, out_w, k * k)
+        argmax = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+        self._cache = (argmax, x, (n, c, out_h, out_w))
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        argmax, x, (n, c, out_h, out_w) = self._cache
+        k, s = self.kernel_size, self.stride
+        grad_input = np.zeros_like(x)
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        rows_in_window, cols_in_window = np.divmod(argmax, k)
+        oh_idx, ow_idx = np.meshgrid(np.arange(out_h), np.arange(out_w), indexing="ij")
+        row_idx = oh_idx[None, None] * s + rows_in_window
+        col_idx = ow_idx[None, None] * s + cols_in_window
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        np.add.at(grad_input, (n_idx, c_idx, row_idx, col_idx), grad_output)
+        return grad_input
+
+
+class ReLU(Layer):
+    """Rectified linear unit activation."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = np.tanh(np.asarray(x, dtype=np.float64))
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._out = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * self._out * (1.0 - self._out)
+
+
+class Softmax(Layer):
+    """Softmax over the last axis.
+
+    Normally the loss fuses softmax with cross-entropy for numerical
+    stability (:func:`repro.nn.losses.softmax_cross_entropy`); this layer is
+    provided for models that need explicit probability outputs.
+    """
+
+    def __init__(self) -> None:
+        self._out: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        self._out = exp / exp.sum(axis=-1, keepdims=True)
+        return self._out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._out is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        dot = (grad_output * self._out).sum(axis=-1, keepdims=True)
+        return self._out * (grad_output - dot)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity when not training."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self.rng = rng
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class Flatten(Layer):
+    """Flatten all dimensions after the batch axis."""
+
+    def __init__(self) -> None:
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64).reshape(self._shape)

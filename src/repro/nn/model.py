@@ -1,0 +1,202 @@
+"""Model containers and the flat-parameter-vector interface.
+
+Decentralized algorithms treat a model as a point ``x`` in ``R^d``; the
+:class:`Model` base class therefore exposes ``get_flat_params`` /
+``set_flat_params`` / ``get_flat_grads`` which pack and unpack every
+:class:`~repro.nn.layers.Parameter` into a single contiguous ``float64``
+vector in a stable order.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+from repro.nn.losses import softmax_cross_entropy
+
+__all__ = ["Model", "Sequential"]
+
+
+class Model:
+    """Base class providing parameter-vector packing and loss/gradient helpers."""
+
+    def parameters(self) -> List[Parameter]:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Flat-vector interface
+    # ------------------------------------------------------------------
+    @property
+    def num_params(self) -> int:
+        """Total number of scalar parameters ``d``."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def get_flat_params(self) -> np.ndarray:
+        """Return a copy of all parameters concatenated into one vector."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([p.value.ravel() for p in params]).astype(np.float64)
+
+    def set_flat_params(self, flat: np.ndarray) -> None:
+        """Load parameters from a flat vector produced by :meth:`get_flat_params`."""
+        flat = np.asarray(flat, dtype=np.float64)
+        expected = self.num_params
+        if flat.ndim != 1 or flat.size != expected:
+            raise ValueError(
+                f"flat parameter vector must have shape ({expected},), got {flat.shape}"
+            )
+        offset = 0
+        for p in self.parameters():
+            chunk = flat[offset : offset + p.size]
+            p.value = chunk.reshape(p.value.shape).copy()
+            offset += p.size
+
+    def get_flat_grads(self) -> np.ndarray:
+        """Return all accumulated gradients concatenated into one vector."""
+        params = self.parameters()
+        if not params:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([p.grad.ravel() for p in params]).astype(np.float64)
+
+    def set_flat_grads(self, flat: np.ndarray) -> None:
+        """Load gradients from a flat vector (mainly useful for testing)."""
+        flat = np.asarray(flat, dtype=np.float64)
+        expected = self.num_params
+        if flat.ndim != 1 or flat.size != expected:
+            raise ValueError(
+                f"flat gradient vector must have shape ({expected},), got {flat.shape}"
+            )
+        offset = 0
+        for p in self.parameters():
+            chunk = flat[offset : offset + p.size]
+            p.grad = chunk.reshape(p.grad.shape).copy()
+            offset += p.size
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    # Convenience training helpers
+    # ------------------------------------------------------------------
+    def loss_and_gradient(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        loss_fn: Callable[[np.ndarray, np.ndarray], Tuple[float, np.ndarray]] = softmax_cross_entropy,
+        params: Optional[np.ndarray] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Compute ``(loss, flat_gradient)`` on a batch.
+
+        If ``params`` is given, the model is temporarily evaluated at that
+        parameter vector (the caller's current parameters are restored
+        afterwards).  This is how agents compute *cross-gradients*: the
+        derivative of a **neighbour's** model parameters with respect to the
+        agent's **own** data (eq. 12 in the paper).
+        """
+        restore: Optional[np.ndarray] = None
+        if params is not None:
+            restore = self.get_flat_params()
+            self.set_flat_params(params)
+        try:
+            self.zero_grad()
+            logits = self.forward(inputs, training=True)
+            loss, grad_logits = loss_fn(logits, labels)
+            self.backward(grad_logits)
+            flat_grad = self.get_flat_grads()
+        finally:
+            if restore is not None:
+                self.set_flat_params(restore)
+        return loss, flat_grad
+
+    def evaluate_loss(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        loss_fn: Callable[[np.ndarray, np.ndarray], Tuple[float, np.ndarray]] = softmax_cross_entropy,
+        params: Optional[np.ndarray] = None,
+    ) -> float:
+        """Loss on a batch without touching gradients (used for reporting)."""
+        restore: Optional[np.ndarray] = None
+        if params is not None:
+            restore = self.get_flat_params()
+            self.set_flat_params(params)
+        try:
+            logits = self.forward(inputs, training=False)
+            loss, _ = loss_fn(logits, labels)
+        finally:
+            if restore is not None:
+                self.set_flat_params(restore)
+        return float(loss)
+
+    def predict(self, inputs: np.ndarray, params: Optional[np.ndarray] = None) -> np.ndarray:
+        """Return the argmax class prediction for each input row."""
+        restore: Optional[np.ndarray] = None
+        if params is not None:
+            restore = self.get_flat_params()
+            self.set_flat_params(params)
+        try:
+            logits = self.forward(inputs, training=False)
+        finally:
+            if restore is not None:
+                self.set_flat_params(restore)
+        return np.argmax(logits, axis=-1)
+
+    def accuracy(
+        self, inputs: np.ndarray, labels: np.ndarray, params: Optional[np.ndarray] = None
+    ) -> float:
+        """Classification accuracy on a batch, optionally at the given parameters."""
+        preds = self.predict(inputs, params=params)
+        labels = np.asarray(labels, dtype=np.int64)
+        if preds.shape[0] != labels.shape[0]:
+            raise ValueError("inputs and labels must have the same batch size")
+        if labels.size == 0:
+            return 0.0
+        return float(np.mean(preds == labels))
+
+    def clone(self) -> "Model":
+        """Deep copy of the model (used to give each simulated agent its own model)."""
+        return copy.deepcopy(self)
+
+
+class Sequential(Model):
+    """A model composed of a linear chain of layers."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers: List[Layer] = list(layers)
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterable[Layer]:
+        return iter(self.layers)

@@ -1,0 +1,114 @@
+"""Model factories matching the architectures used in the paper's evaluation.
+
+The paper (Sec. VI-A) uses:
+
+* **MNIST model** — two 3x3 conv layers, each followed by 2x2 max pooling,
+  then one fully connected layer, with ReLU activations.
+* **CIFAR-10 model** — two 5x5 conv layers, each followed by 2x2 max pooling,
+  then two fully connected layers, with ReLU activations.
+
+:func:`make_mnist_cnn` and :func:`make_cifar_cnn` build exactly those shapes
+(channel widths are configurable so benchmarks can run scaled-down variants).
+:func:`make_mlp` and :func:`make_linear_classifier` provide cheaper models for
+tests and fast experiments; the decentralized algorithms are agnostic to which
+is used because they only see flat parameter vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.model import Sequential
+
+__all__ = ["make_mlp", "make_linear_classifier", "make_mnist_cnn", "make_cifar_cnn"]
+
+
+def _rng(seed_or_rng: Optional[int | np.random.Generator]) -> np.random.Generator:
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def make_linear_classifier(
+    input_dim: int, num_classes: int, seed: Optional[int | np.random.Generator] = 0
+) -> Sequential:
+    """A single dense layer (multinomial logistic regression)."""
+    rng = _rng(seed)
+    return Sequential([Dense(input_dim, num_classes, rng, name="linear")])
+
+
+def make_mlp(
+    input_dim: int,
+    num_classes: int,
+    hidden_sizes: Sequence[int] = (32,),
+    seed: Optional[int | np.random.Generator] = 0,
+) -> Sequential:
+    """A multilayer perceptron with ReLU activations."""
+    rng = _rng(seed)
+    layers = []
+    prev = int(input_dim)
+    for idx, width in enumerate(hidden_sizes):
+        layers.append(Dense(prev, int(width), rng, name=f"fc{idx}"))
+        layers.append(ReLU())
+        prev = int(width)
+    layers.append(Dense(prev, int(num_classes), rng, name="head"))
+    return Sequential(layers)
+
+
+def make_mnist_cnn(
+    num_classes: int = 10,
+    channels: Sequence[int] = (8, 16),
+    image_size: int = 28,
+    in_channels: int = 1,
+    seed: Optional[int | np.random.Generator] = 0,
+) -> Sequential:
+    """The paper's MNIST CNN: two 3x3 convs, each + 2x2 max-pool, then one FC layer."""
+    rng = _rng(seed)
+    c1, c2 = int(channels[0]), int(channels[1])
+    # 3x3 conv with padding 1 keeps spatial size; each pool halves it.
+    size_after = image_size // 2 // 2
+    layers = [
+        Conv2D(in_channels, c1, kernel_size=3, rng=rng, padding=1, name="conv1"),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(c1, c2, kernel_size=3, rng=rng, padding=1, name="conv2"),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(c2 * size_after * size_after, num_classes, rng, name="head"),
+    ]
+    return Sequential(layers)
+
+
+def make_cifar_cnn(
+    num_classes: int = 10,
+    channels: Sequence[int] = (6, 16),
+    hidden: int = 64,
+    image_size: int = 32,
+    in_channels: int = 3,
+    seed: Optional[int | np.random.Generator] = 0,
+) -> Sequential:
+    """The paper's CIFAR-10 CNN: two 5x5 convs, each + 2x2 max-pool, then two FC layers."""
+    rng = _rng(seed)
+    c1, c2 = int(channels[0]), int(channels[1])
+    # 5x5 conv without padding shrinks by 4; pooling halves.
+    s1 = (image_size - 4) // 2
+    s2 = (s1 - 4) // 2
+    if s2 <= 0:
+        raise ValueError("image_size too small for the CIFAR CNN architecture")
+    layers = [
+        Conv2D(in_channels, c1, kernel_size=5, rng=rng, name="conv1"),
+        ReLU(),
+        MaxPool2D(2),
+        Conv2D(c1, c2, kernel_size=5, rng=rng, name="conv2"),
+        ReLU(),
+        MaxPool2D(2),
+        Flatten(),
+        Dense(c2 * s2 * s2, hidden, rng, name="fc1"),
+        ReLU(),
+        Dense(hidden, num_classes, rng, name="head"),
+    ]
+    return Sequential(layers)

@@ -1,0 +1,37 @@
+"""Differential-privacy substrate.
+
+Implements the pieces of Sec. III-B and Theorem 1:
+
+* L2 gradient clipping (eq. 10/13) and the Gaussian mechanism (eq. 4/11/14);
+* sensitivity helpers (Definition 2);
+* noise calibration — both the classic Gaussian-mechanism bound
+  ``sigma >= sqrt(2 ln(1.25/delta)) * sensitivity / epsilon`` and the
+  PDSL-specific per-round bound of Theorem 1 (eq. 27);
+* a :class:`PrivacyAccountant` tracking cumulative privacy loss over rounds
+  via basic and advanced composition.
+"""
+
+from repro.privacy.mechanisms import (
+    GaussianMechanism,
+    clip_by_l2_norm,
+    clipped_sensitivity,
+)
+from repro.privacy.calibration import (
+    gaussian_sigma,
+    epsilon_for_sigma,
+    pdsl_sigma_lower_bound,
+    pdsl_sigma_for_topology,
+)
+from repro.privacy.accountant import PrivacyAccountant, CompositionMethod
+
+__all__ = [
+    "GaussianMechanism",
+    "clip_by_l2_norm",
+    "clipped_sensitivity",
+    "gaussian_sigma",
+    "epsilon_for_sigma",
+    "pdsl_sigma_lower_bound",
+    "pdsl_sigma_for_topology",
+    "PrivacyAccountant",
+    "CompositionMethod",
+]

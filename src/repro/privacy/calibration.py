@@ -1,0 +1,136 @@
+"""Noise calibration: classic Gaussian-mechanism bound and Theorem 1.
+
+Two calibration routes are provided:
+
+* :func:`gaussian_sigma` — the textbook bound (Dwork & Roth, Thm. 3.22):
+  ``sigma >= sqrt(2 ln(1.25/delta)) * Delta_2 / epsilon`` for a query with L2
+  sensitivity ``Delta_2``.
+* :func:`pdsl_sigma_lower_bound` / :func:`pdsl_sigma_for_topology` — the
+  PDSL-specific per-round bound of Theorem 1 (eq. 27), which accounts for the
+  Shapley-weighted aggregation of the neighbours' perturbed gradients:
+
+  ``sigma >= max_i  2C (1/omega_min + sum_{j in M_i} 1/omega_{ij})
+             sqrt(2 ln(1.25/delta))
+             / ( phi_min * epsilon * sqrt(sum_{j in M_i} omega_{ij}^{-2}) )``
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.topology.graphs import Topology
+
+__all__ = [
+    "gaussian_sigma",
+    "epsilon_for_sigma",
+    "pdsl_sigma_lower_bound",
+    "pdsl_sigma_for_topology",
+]
+
+
+def _validate_budget(epsilon: float, delta: float) -> None:
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")
+
+
+def gaussian_sigma(epsilon: float, delta: float, sensitivity: float) -> float:
+    """Classic Gaussian-mechanism noise scale for (epsilon, delta)-DP."""
+    _validate_budget(epsilon, delta)
+    if sensitivity < 0:
+        raise ValueError("sensitivity must be non-negative")
+    return math.sqrt(2.0 * math.log(1.25 / delta)) * sensitivity / epsilon
+
+
+def epsilon_for_sigma(sigma: float, delta: float, sensitivity: float) -> float:
+    """Invert :func:`gaussian_sigma`: the epsilon achieved by a given sigma."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")
+    if sensitivity < 0:
+        raise ValueError("sensitivity must be non-negative")
+    return math.sqrt(2.0 * math.log(1.25 / delta)) * sensitivity / sigma
+
+
+def pdsl_sigma_lower_bound(
+    epsilon: float,
+    delta: float,
+    clip_threshold: float,
+    neighbor_weights: Sequence[float],
+    omega_min: float,
+    phi_min: float,
+) -> float:
+    """Per-agent sigma lower bound of Theorem 1 (the inner expression of eq. 27).
+
+    Parameters
+    ----------
+    neighbor_weights:
+        The mixing weights ``{omega_{ij}}_{j in M_i}`` of one agent's closed
+        neighbourhood (all strictly positive).
+    omega_min:
+        The global minimum positive mixing weight ``omega_min``.
+    phi_min:
+        ``phi_hat_min`` — the smallest normalised Shapley share
+        ``phi_hat_{ij} / sum_k phi_hat_{ik}`` observed (or assumed) over all
+        neighbours and rounds; must lie in (0, 1].
+    """
+    _validate_budget(epsilon, delta)
+    if clip_threshold <= 0:
+        raise ValueError("clip_threshold must be positive")
+    weights = np.asarray(list(neighbor_weights), dtype=np.float64)
+    if weights.size == 0 or (weights <= 0).any():
+        raise ValueError("neighbor_weights must be non-empty and strictly positive")
+    if omega_min <= 0:
+        raise ValueError("omega_min must be positive")
+    if not 0.0 < phi_min <= 1.0:
+        raise ValueError("phi_min must lie in (0, 1]")
+    numerator = (
+        2.0
+        * clip_threshold
+        * (1.0 / omega_min + float(np.sum(1.0 / weights)))
+        * math.sqrt(2.0 * math.log(1.25 / delta))
+    )
+    denominator = phi_min * epsilon * math.sqrt(float(np.sum(weights ** -2.0)))
+    return numerator / denominator
+
+
+def pdsl_sigma_for_topology(
+    topology: "Topology",
+    epsilon: float,
+    delta: float,
+    clip_threshold: float,
+    phi_min: Optional[float] = None,
+) -> float:
+    """The full Theorem 1 bound: maximum of the per-agent bounds over all agents.
+
+    ``phi_min`` defaults to ``1 / max_i |M_i|`` — the value attained when all
+    normalised Shapley values in a neighbourhood are equal, which is the
+    natural a-priori choice before any Shapley values have been observed.
+    """
+    omega_min = topology.min_weight()
+    if phi_min is None:
+        largest_neighborhood = max(
+            len(topology.neighbors(i, include_self=True)) for i in range(topology.num_agents)
+        )
+        phi_min = 1.0 / float(largest_neighborhood)
+    bounds = []
+    for agent in range(topology.num_agents):
+        neighbors = topology.neighbors(agent, include_self=True)
+        weights = [topology.weight(agent, j) for j in neighbors]
+        bounds.append(
+            pdsl_sigma_lower_bound(
+                epsilon=epsilon,
+                delta=delta,
+                clip_threshold=clip_threshold,
+                neighbor_weights=weights,
+                omega_min=omega_min,
+                phi_min=phi_min,
+            )
+        )
+    return float(max(bounds))

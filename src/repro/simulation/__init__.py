@@ -1,0 +1,27 @@
+"""Decentralized-learning simulation engine.
+
+The paper evaluates PDSL by simulating ``M`` agents exchanging models and
+gradients over a communication graph.  This package provides that substrate:
+
+* :class:`Network` — per-round mailbox message passing between agents, with
+  optional message-drop fault injection and traffic accounting;
+* :class:`Metrics` containers (:class:`RoundRecord`, :class:`TrainingHistory`)
+  recording the quantities the paper plots (average training loss per round,
+  test accuracy, consensus distance);
+* :func:`run_decentralized` — the round loop: step the algorithm, evaluate,
+  record.
+"""
+
+from repro.simulation.network import Message, Network
+from repro.simulation.metrics import RoundRecord, TrainingHistory, consensus_distance
+from repro.simulation.runner import EvaluationConfig, run_decentralized
+
+__all__ = [
+    "Message",
+    "Network",
+    "RoundRecord",
+    "TrainingHistory",
+    "consensus_distance",
+    "EvaluationConfig",
+    "run_decentralized",
+]

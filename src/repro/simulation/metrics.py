@@ -1,0 +1,106 @@
+"""Metric containers for decentralized training runs.
+
+The paper reports two quantities: the **average training loss** across the
+agents at each round (Figs. 1–6) and the final **test accuracy** (Tables I
+and II).  :class:`TrainingHistory` records both, plus the consensus distance
+(how far apart the agents' models are), which is a useful diagnostic for the
+gossip component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RoundRecord", "TrainingHistory", "consensus_distance"]
+
+
+def consensus_distance(parameter_vectors: Sequence[np.ndarray]) -> float:
+    """Average squared distance of agent parameters from their mean.
+
+    ``(1/M) * sum_i || x_i - x_bar ||^2`` — the quantity bounded by Lemma 6.
+    """
+    if len(parameter_vectors) == 0:
+        return 0.0
+    stacked = np.stack([np.asarray(v, dtype=np.float64) for v in parameter_vectors], axis=0)
+    mean = stacked.mean(axis=0, keepdims=True)
+    return float(np.mean(np.sum((stacked - mean) ** 2, axis=1)))
+
+
+@dataclass
+class RoundRecord:
+    """Metrics collected after one communication round."""
+
+    round: int
+    average_train_loss: float
+    test_accuracy: Optional[float] = None
+    consensus: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """The full trajectory of a decentralized training run."""
+
+    algorithm: str
+    records: List[RoundRecord] = field(default_factory=list)
+    final_test_accuracy: Optional[float] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def rounds(self) -> List[int]:
+        return [r.round for r in self.records]
+
+    @property
+    def losses(self) -> List[float]:
+        return [r.average_train_loss for r in self.records]
+
+    @property
+    def accuracies(self) -> List[Optional[float]]:
+        return [r.test_accuracy for r in self.records]
+
+    def final_loss(self) -> float:
+        """Training loss at the last recorded round."""
+        if not self.records:
+            raise ValueError("history is empty")
+        return self.records[-1].average_train_loss
+
+    def best_accuracy(self) -> Optional[float]:
+        """Best test accuracy observed at any evaluation point."""
+        observed = [a for a in self.accuracies if a is not None]
+        if self.final_test_accuracy is not None:
+            observed.append(self.final_test_accuracy)
+        return max(observed) if observed else None
+
+    def rounds_to_loss(self, threshold: float) -> Optional[int]:
+        """First round at which the average training loss drops to ``threshold`` or below."""
+        for record in self.records:
+            if record.average_train_loss <= threshold:
+                return record.round
+        return None
+
+    def loss_auc(self) -> float:
+        """Area under the loss curve (lower is better); a scalar convergence summary."""
+        if not self.records:
+            return 0.0
+        return float(np.trapezoid(self.losses, self.rounds))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for serialisation in experiment reports."""
+        return {
+            "algorithm": self.algorithm,
+            "metadata": dict(self.metadata),
+            "final_test_accuracy": self.final_test_accuracy,
+            "rounds": self.rounds,
+            "losses": self.losses,
+            "accuracies": self.accuracies,
+            "consensus": [r.consensus for r in self.records],
+        }

@@ -1,0 +1,168 @@
+"""Message-passing network between simulated agents.
+
+Agents in the decentralized algorithms never read each other's state
+directly: every exchange — broadcasting the current model to the neighbours
+(Algorithm 1, line 5), returning perturbed cross-gradients (line 11), sharing
+momentum buffers and models for the gossip step (line 21) — goes through a
+:class:`Network` mailbox.  This keeps the information flow identical to a
+real deployment and lets tests assert on exactly what was transmitted.
+
+Message payloads are kept as opaque objects (typically NumPy arrays); the
+network records per-tag traffic statistics (message counts and float counts)
+so experiments can report communication cost.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Message", "Network"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single directed message."""
+
+    sender: int
+    recipient: int
+    tag: str
+    payload: Any
+    round: int
+
+
+class Network:
+    """Mailbox-based point-to-point communication between ``num_agents`` agents.
+
+    Parameters
+    ----------
+    num_agents:
+        Number of participating agents, identified by integers ``0..M-1``.
+    drop_probability:
+        Probability that any individual message is silently dropped
+        (fault-injection hook used by robustness tests); 0 disables drops.
+    rng:
+        Randomness source for drops; required when ``drop_probability > 0``.
+    """
+
+    def __init__(
+        self,
+        num_agents: int,
+        drop_probability: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if num_agents <= 0:
+            raise ValueError("num_agents must be positive")
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError("drop_probability must lie in [0, 1)")
+        if drop_probability > 0.0 and rng is None:
+            raise ValueError("an rng is required when drop_probability > 0")
+        self.num_agents = int(num_agents)
+        self.drop_probability = float(drop_probability)
+        self.rng = rng
+        self._round = 0
+        # mailboxes[recipient][tag] -> list of messages
+        self._mailboxes: Dict[int, Dict[str, List[Message]]] = {
+            agent: defaultdict(list) for agent in range(num_agents)
+        }
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.floats_sent = 0
+        self.traffic_by_tag: Dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Round bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def current_round(self) -> int:
+        return self._round
+
+    def advance_round(self) -> None:
+        """Mark the start of a new communication round (purely for labelling)."""
+        self._round += 1
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _validate_agent(self, agent: int) -> None:
+        if not 0 <= agent < self.num_agents:
+            raise ValueError(f"agent id {agent} out of range [0, {self.num_agents})")
+
+    def send(self, sender: int, recipient: int, tag: str, payload: Any) -> bool:
+        """Send ``payload`` from ``sender`` to ``recipient`` under ``tag``.
+
+        Returns ``True`` if the message was delivered, ``False`` if it was
+        dropped by fault injection.
+        """
+        self._validate_agent(sender)
+        self._validate_agent(recipient)
+        if not tag:
+            raise ValueError("tag must be a non-empty string")
+        self.messages_sent += 1
+        payload_size = int(np.asarray(payload).size) if isinstance(payload, (np.ndarray, list, tuple)) else 1
+        self.floats_sent += payload_size
+        self.traffic_by_tag[tag] += payload_size
+        if self.drop_probability > 0.0 and self.rng is not None:
+            if self.rng.random() < self.drop_probability:
+                self.messages_dropped += 1
+                return False
+        message = Message(sender=sender, recipient=recipient, tag=tag, payload=payload, round=self._round)
+        self._mailboxes[recipient][tag].append(message)
+        return True
+
+    def broadcast(self, sender: int, recipients: List[int], tag: str, payload: Any) -> int:
+        """Send the same payload to every recipient; returns the number delivered."""
+        delivered = 0
+        for recipient in recipients:
+            if recipient == sender:
+                continue
+            if self.send(sender, recipient, tag, payload):
+                delivered += 1
+        return delivered
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def receive(self, recipient: int, tag: str) -> List[Message]:
+        """Drain and return all pending messages for ``recipient`` under ``tag``."""
+        self._validate_agent(recipient)
+        box = self._mailboxes[recipient]
+        messages = box.pop(tag, [])
+        return list(messages)
+
+    def receive_by_sender(self, recipient: int, tag: str) -> Dict[int, Any]:
+        """Drain pending messages and return ``{sender: payload}``.
+
+        If a sender delivered several messages under the same tag only the
+        most recent payload is kept, matching "the latest value wins"
+        semantics of the synchronous algorithms here.
+        """
+        payloads: Dict[int, Any] = {}
+        for message in self.receive(recipient, tag):
+            payloads[message.sender] = message.payload
+        return payloads
+
+    def pending(self, recipient: int, tag: Optional[str] = None) -> int:
+        """Number of undelivered messages waiting for an agent (optionally per tag)."""
+        self._validate_agent(recipient)
+        box = self._mailboxes[recipient]
+        if tag is not None:
+            return len(box.get(tag, []))
+        return sum(len(v) for v in box.values())
+
+    def clear(self) -> None:
+        """Drop all pending messages (used between independent experiments)."""
+        for agent in range(self.num_agents):
+            self._mailboxes[agent] = defaultdict(list)
+
+    def traffic_summary(self) -> Dict[str, Any]:
+        """Totals for reporting communication cost."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "floats_sent": self.floats_sent,
+            "traffic_by_tag": dict(self.traffic_by_tag),
+        }

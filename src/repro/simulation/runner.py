@@ -1,0 +1,126 @@
+"""The round loop: step an algorithm, evaluate, record.
+
+Keeps evaluation policy (how often to compute test accuracy, how many
+training samples to use for the loss estimate) separate from the algorithms
+themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.data.dataset import Dataset
+from repro.simulation.metrics import RoundRecord, TrainingHistory
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.core.base import DecentralizedAlgorithm
+
+__all__ = ["EvaluationConfig", "run_decentralized"]
+
+
+@dataclass
+class EvaluationConfig:
+    """How and how often to evaluate during a run.
+
+    Attributes
+    ----------
+    eval_every:
+        Record metrics every ``eval_every`` rounds (round 1 and the final
+        round are always recorded).
+    test_data:
+        Held-out test dataset; when ``None`` no accuracy is computed.
+    accuracy_mode:
+        ``"mean_agent"`` or ``"average_model"`` (see
+        :meth:`DecentralizedAlgorithm.test_accuracy`).
+    loss_samples_per_agent:
+        Cap on the number of local examples used for the training-loss
+        estimate (keeps evaluation cheap for large shards).
+    track_consensus:
+        Whether to record the consensus distance each evaluation.
+    """
+
+    eval_every: int = 1
+    test_data: Optional[Dataset] = None
+    accuracy_mode: str = "mean_agent"
+    loss_samples_per_agent: int = 256
+    track_consensus: bool = True
+
+    def __post_init__(self) -> None:
+        if self.eval_every <= 0:
+            raise ValueError("eval_every must be positive")
+        if self.loss_samples_per_agent <= 0:
+            raise ValueError("loss_samples_per_agent must be positive")
+        if self.accuracy_mode not in ("mean_agent", "average_model"):
+            raise ValueError("accuracy_mode must be 'mean_agent' or 'average_model'")
+
+
+def run_decentralized(
+    algorithm: "DecentralizedAlgorithm",
+    num_rounds: int,
+    evaluation: Optional[EvaluationConfig] = None,
+    progress_callback: Optional[Callable[[int, RoundRecord], None]] = None,
+) -> TrainingHistory:
+    """Run ``num_rounds`` communication rounds and return the training history.
+
+    Parameters
+    ----------
+    algorithm:
+        Any :class:`DecentralizedAlgorithm` (PDSL or a baseline), already
+        constructed with its model, topology, shards and config.
+    num_rounds:
+        Number of communication rounds ``T``.
+    evaluation:
+        Evaluation policy; defaults to evaluating the loss every round with
+        no test accuracy.
+    progress_callback:
+        Optional hook called with ``(round_index, record)`` after every
+        evaluation — used by the example scripts to print progress.
+    """
+    if num_rounds <= 0:
+        raise ValueError("num_rounds must be positive")
+    evaluation = evaluation or EvaluationConfig()
+
+    history = TrainingHistory(
+        algorithm=algorithm.name,
+        metadata={
+            "num_agents": algorithm.num_agents,
+            "topology": algorithm.topology.name,
+            "sigma": algorithm.sigma,
+            "epsilon": algorithm.config.epsilon,
+            "learning_rate": algorithm.config.learning_rate,
+            "momentum": algorithm.config.momentum,
+            "rounds": num_rounds,
+        },
+    )
+
+    for round_index in range(1, num_rounds + 1):
+        algorithm.run_round()
+        should_eval = (
+            round_index == 1
+            or round_index == num_rounds
+            or round_index % evaluation.eval_every == 0
+        )
+        if not should_eval:
+            continue
+        record = RoundRecord(
+            round=round_index,
+            average_train_loss=algorithm.average_train_loss(
+                max_samples_per_agent=evaluation.loss_samples_per_agent
+            ),
+            test_accuracy=(
+                algorithm.test_accuracy(evaluation.test_data, mode=evaluation.accuracy_mode)
+                if evaluation.test_data is not None
+                else None
+            ),
+            consensus=algorithm.consensus() if evaluation.track_consensus else None,
+        )
+        history.append(record)
+        if progress_callback is not None:
+            progress_callback(round_index, record)
+
+    if evaluation.test_data is not None:
+        history.final_test_accuracy = algorithm.test_accuracy(
+            evaluation.test_data, mode=evaluation.accuracy_mode
+        )
+    return history

@@ -1,0 +1,51 @@
+"""Communication-topology substrate.
+
+Decentralized learning algorithms in this library communicate over an
+undirected graph ``G = (M, W)`` whose weighted adjacency matrix ``W`` is
+symmetric and doubly stochastic (Sec. III-A).  This package provides:
+
+* graph constructors for the topologies used in the paper's evaluation
+  (fully connected, ring, bipartite) plus extra topologies useful for
+  ablations (star, 2-D torus/grid, Erdős–Rényi);
+* mixing-matrix builders (Metropolis–Hastings weights, uniform-neighbour
+  averaging) that turn a graph into a symmetric doubly stochastic ``W``;
+* spectral diagnostics: the second-largest eigenvalue magnitude
+  ``sqrt(rho)`` from Assumption 3 and the spectral gap, which drive the
+  convergence bound of Theorem 2.
+"""
+
+from repro.topology.graphs import (
+    Topology,
+    bipartite_graph,
+    erdos_renyi_graph,
+    fully_connected_graph,
+    grid_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.topology.mixing import (
+    metropolis_hastings_weights,
+    uniform_neighbor_weights,
+    is_doubly_stochastic,
+    is_symmetric,
+    spectral_gap,
+    second_largest_eigenvalue,
+    validate_mixing_matrix,
+)
+
+__all__ = [
+    "Topology",
+    "fully_connected_graph",
+    "ring_graph",
+    "bipartite_graph",
+    "star_graph",
+    "grid_graph",
+    "erdos_renyi_graph",
+    "metropolis_hastings_weights",
+    "uniform_neighbor_weights",
+    "is_doubly_stochastic",
+    "is_symmetric",
+    "spectral_gap",
+    "second_largest_eigenvalue",
+    "validate_mixing_matrix",
+]

@@ -1,0 +1,193 @@
+"""Graph topologies for decentralized learning.
+
+A :class:`Topology` wraps an undirected connected ``networkx`` graph together
+with its symmetric doubly stochastic mixing matrix ``W`` and convenience
+accessors used by the agents (neighbour sets ``M_i`` *including self*, edge
+weights ``w_{ij}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.topology.mixing import (
+    metropolis_hastings_weights,
+    validate_mixing_matrix,
+    second_largest_eigenvalue,
+    spectral_gap,
+)
+
+__all__ = [
+    "Topology",
+    "fully_connected_graph",
+    "ring_graph",
+    "bipartite_graph",
+    "star_graph",
+    "grid_graph",
+    "erdos_renyi_graph",
+]
+
+
+@dataclass
+class Topology:
+    """A communication graph plus its doubly stochastic mixing matrix.
+
+    Attributes
+    ----------
+    graph:
+        The underlying undirected ``networkx`` graph on nodes ``0..M-1``.
+    mixing_matrix:
+        Symmetric doubly stochastic ``(M, M)`` matrix ``W`` with
+        ``w_{ij} > 0`` only for edges (and the diagonal).
+    name:
+        Human-readable topology name used in experiment reports.
+    """
+
+    graph: nx.Graph
+    mixing_matrix: np.ndarray
+    name: str = "topology"
+    _neighbor_cache: Dict[int, List[int]] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        w = np.asarray(self.mixing_matrix, dtype=np.float64)
+        validate_mixing_matrix(w)
+        if w.shape[0] != self.graph.number_of_nodes():
+            raise ValueError("mixing matrix size does not match the number of nodes")
+        if not nx.is_connected(self.graph):
+            raise ValueError("communication graph must be connected")
+        self.mixing_matrix = w
+
+    @property
+    def num_agents(self) -> int:
+        return int(self.graph.number_of_nodes())
+
+    def neighbors(self, agent: int, include_self: bool = True) -> List[int]:
+        """The neighbour set ``M_i`` of an agent (including the agent itself by default).
+
+        Neighbourhood membership follows the mixing matrix: ``j in M_i`` iff
+        ``w_{ij} > 0``, matching the paper's definition.
+        """
+        if agent not in self._neighbor_cache:
+            row = self.mixing_matrix[agent]
+            members = [int(j) for j in np.flatnonzero(row > 0.0)]
+            self._neighbor_cache[agent] = members
+        members = list(self._neighbor_cache[agent])
+        if not include_self:
+            members = [j for j in members if j != agent]
+        elif agent not in members:
+            members.append(agent)
+        return sorted(members)
+
+    def weight(self, i: int, j: int) -> float:
+        """Mixing weight ``w_{ij}``."""
+        return float(self.mixing_matrix[i, j])
+
+    def degree(self, agent: int) -> int:
+        """Graph degree (number of neighbours excluding self)."""
+        return int(self.graph.degree[agent])
+
+    @property
+    def rho(self) -> float:
+        """``rho`` from Assumption 3: ``max(|lambda_2|, |lambda_M|)^2 <= rho < 1``."""
+        return float(second_largest_eigenvalue(self.mixing_matrix) ** 2)
+
+    @property
+    def spectral_gap(self) -> float:
+        """``1 - sqrt(rho)``, the quantity appearing in the convergence bound."""
+        return float(spectral_gap(self.mixing_matrix))
+
+    def min_weight(self) -> float:
+        """``omega_min``: the smallest positive mixing weight (Theorem 1)."""
+        w = self.mixing_matrix
+        positive = w[w > 0.0]
+        return float(positive.min()) if positive.size else 0.0
+
+    def edges(self) -> List[Tuple[int, int]]:
+        return [(int(u), int(v)) for u, v in self.graph.edges()]
+
+
+def _build(graph: nx.Graph, name: str, mixing: Optional[np.ndarray] = None) -> Topology:
+    graph = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+    if mixing is None:
+        mixing = metropolis_hastings_weights(graph)
+    return Topology(graph=graph, mixing_matrix=mixing, name=name)
+
+
+def fully_connected_graph(num_agents: int) -> Topology:
+    """Complete graph: every pair of agents communicates (dense topology).
+
+    The mixing matrix is the uniform averaging matrix ``W = 11^T / M``, which
+    is the natural doubly stochastic choice for a complete graph and has
+    spectral gap 1.
+    """
+    if num_agents < 2:
+        raise ValueError("need at least 2 agents")
+    graph = nx.complete_graph(num_agents)
+    mixing = np.full((num_agents, num_agents), 1.0 / num_agents, dtype=np.float64)
+    return _build(graph, "fully_connected", mixing)
+
+
+def ring_graph(num_agents: int) -> Topology:
+    """Cycle topology: each agent talks to exactly two neighbours (sparse)."""
+    if num_agents < 3:
+        raise ValueError("a ring needs at least 3 agents")
+    graph = nx.cycle_graph(num_agents)
+    return _build(graph, "ring")
+
+
+def bipartite_graph(num_agents: int) -> Topology:
+    """Complete bipartite topology splitting the agents into two halves.
+
+    Agents ``0 .. ceil(M/2)-1`` form one side and the rest the other side;
+    every cross-side pair is connected.  This is the "bipartite" sparser
+    topology of the paper's evaluation.
+    """
+    if num_agents < 2:
+        raise ValueError("need at least 2 agents")
+    left = num_agents // 2 + num_agents % 2
+    right = num_agents - left
+    if right == 0:
+        raise ValueError("need at least 2 agents to form two sides")
+    graph = nx.complete_bipartite_graph(left, right)
+    return _build(graph, "bipartite")
+
+
+def star_graph(num_agents: int) -> Topology:
+    """Star topology: agent 0 is the hub (useful as a quasi-centralised ablation)."""
+    if num_agents < 2:
+        raise ValueError("need at least 2 agents")
+    graph = nx.star_graph(num_agents - 1)
+    return _build(graph, "star")
+
+
+def grid_graph(rows: int, cols: int, periodic: bool = True) -> Topology:
+    """2-D grid / torus topology with ``rows * cols`` agents."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid must contain at least 2 agents")
+    if periodic and (rows < 3 or cols < 3):
+        # networkx requires >=3 per periodic dimension; fall back to a plain grid.
+        periodic = False
+    graph = nx.grid_2d_graph(rows, cols, periodic=periodic)
+    return _build(graph, "torus" if periodic else "grid")
+
+
+def erdos_renyi_graph(
+    num_agents: int, edge_probability: float, seed: Optional[int] = 0, max_tries: int = 100
+) -> Topology:
+    """Random G(n, p) topology, re-sampled until connected."""
+    if num_agents < 2:
+        raise ValueError("need at least 2 agents")
+    if not 0.0 < edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    for _ in range(max_tries):
+        graph = nx.erdos_renyi_graph(num_agents, edge_probability, seed=int(rng.integers(2**31)))
+        if nx.is_connected(graph):
+            return _build(graph, "erdos_renyi")
+    raise RuntimeError(
+        "failed to sample a connected Erdos-Renyi graph; increase edge_probability"
+    )

@@ -1,0 +1,134 @@
+"""Doubly stochastic mixing matrices and their spectral diagnostics.
+
+Assumption 3 of the paper requires ``W`` to be symmetric doubly stochastic
+with ``lambda_1(W) = 1`` and ``max(|lambda_2|, |lambda_M|) <= sqrt(rho) < 1``.
+Metropolis–Hastings weights satisfy these conditions for any connected
+undirected graph, which is why they are the default here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+import numpy as np
+
+__all__ = [
+    "metropolis_hastings_weights",
+    "uniform_neighbor_weights",
+    "is_symmetric",
+    "is_doubly_stochastic",
+    "second_largest_eigenvalue",
+    "spectral_gap",
+    "validate_mixing_matrix",
+]
+
+_TOLERANCE = 1e-9
+
+
+def metropolis_hastings_weights(graph: nx.Graph) -> np.ndarray:
+    """Metropolis–Hastings mixing matrix for an undirected graph.
+
+    ``w_{ij} = 1 / (1 + max(deg_i, deg_j))`` for each edge ``(i, j)``, zero for
+    non-edges, and ``w_{ii} = 1 - sum_j w_{ij}``.  The result is symmetric,
+    doubly stochastic and has strictly positive diagonal, so every agent's
+    neighbourhood ``M_i`` includes itself as the paper assumes.
+    """
+    nodes = sorted(graph.nodes())
+    index = {node: k for k, node in enumerate(nodes)}
+    m = len(nodes)
+    w = np.zeros((m, m), dtype=np.float64)
+    degrees = {node: graph.degree[node] for node in nodes}
+    for u, v in graph.edges():
+        if u == v:
+            continue
+        weight = 1.0 / (1.0 + max(degrees[u], degrees[v]))
+        w[index[u], index[v]] = weight
+        w[index[v], index[u]] = weight
+    np.fill_diagonal(w, 1.0 - w.sum(axis=1))
+    return w
+
+
+def uniform_neighbor_weights(graph: nx.Graph) -> np.ndarray:
+    """Uniform averaging over the *regular* closed neighbourhood.
+
+    ``w_{ij} = 1 / (d_max + 1)`` for each edge where ``d_max`` is the maximum
+    degree, and the remaining mass goes to the diagonal.  Like
+    Metropolis–Hastings this is symmetric and doubly stochastic for any
+    graph; on regular graphs (rings, complete graphs) it equals uniform
+    neighbourhood averaging.
+    """
+    nodes = sorted(graph.nodes())
+    index = {node: k for k, node in enumerate(nodes)}
+    m = len(nodes)
+    if m == 0:
+        return np.zeros((0, 0), dtype=np.float64)
+    d_max = max((graph.degree[n] for n in nodes), default=0)
+    share = 1.0 / (d_max + 1.0)
+    w = np.zeros((m, m), dtype=np.float64)
+    for u, v in graph.edges():
+        if u == v:
+            continue
+        w[index[u], index[v]] = share
+        w[index[v], index[u]] = share
+    np.fill_diagonal(w, 1.0 - w.sum(axis=1))
+    return w
+
+
+def is_symmetric(matrix: np.ndarray, tol: float = _TOLERANCE) -> bool:
+    """True if the matrix equals its transpose within tolerance."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    return bool(np.allclose(matrix, matrix.T, atol=tol))
+
+
+def is_doubly_stochastic(matrix: np.ndarray, tol: float = 1e-8) -> bool:
+    """True if all entries are non-negative and all rows and columns sum to 1."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    if (matrix < -tol).any():
+        return False
+    ones = np.ones(matrix.shape[0])
+    return bool(
+        np.allclose(matrix.sum(axis=0), ones, atol=tol)
+        and np.allclose(matrix.sum(axis=1), ones, atol=tol)
+    )
+
+
+def second_largest_eigenvalue(matrix: np.ndarray) -> float:
+    """``max(|lambda_2|, |lambda_M|)`` for a symmetric stochastic matrix.
+
+    For the mixing matrices used here this equals ``sqrt(rho)`` in
+    Assumption 3.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    eigenvalues = np.linalg.eigvalsh(matrix)
+    # eigvalsh returns ascending order; the largest should be ~1.
+    sorted_by_magnitude = np.sort(np.abs(eigenvalues))[::-1]
+    if sorted_by_magnitude.size < 2:
+        return 0.0
+    return float(sorted_by_magnitude[1])
+
+
+def spectral_gap(matrix: np.ndarray) -> float:
+    """``1 - max(|lambda_2|, |lambda_M|)``; larger gap means faster consensus."""
+    return float(1.0 - second_largest_eigenvalue(matrix))
+
+
+def validate_mixing_matrix(matrix: np.ndarray, require_contraction: bool = False) -> None:
+    """Raise ``ValueError`` unless the matrix satisfies Assumption 3's structure.
+
+    ``require_contraction`` additionally demands ``sqrt(rho) < 1`` (strict),
+    which holds for every connected graph with positive self-weights but can
+    be violated by, e.g., a disconnected graph or a bipartite graph with zero
+    diagonal.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("mixing matrix must be square")
+    if not is_symmetric(matrix):
+        raise ValueError("mixing matrix must be symmetric")
+    if not is_doubly_stochastic(matrix):
+        raise ValueError("mixing matrix must be doubly stochastic with non-negative entries")
+    if require_contraction and second_largest_eigenvalue(matrix) >= 1.0 - 1e-12:
+        raise ValueError("mixing matrix must have spectral gap > 0 (connected topology)")

@@ -1,0 +1,42 @@
+"""Tests for the Theorem 1 analysis wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.privacy_bounds import theorem1_sigma_bound
+from repro.topology.graphs import bipartite_graph, fully_connected_graph, ring_graph
+
+
+class TestTheorem1Analysis:
+    def test_scalar_output_by_default(self):
+        bound = theorem1_sigma_bound(fully_connected_graph(6), 0.3, 1e-5, 1.0)
+        assert isinstance(bound, float)
+        assert bound > 0
+
+    def test_per_agent_output(self):
+        topo = ring_graph(6)
+        bounds = theorem1_sigma_bound(topo, 0.3, 1e-5, 1.0, per_agent=True)
+        assert isinstance(bounds, dict)
+        assert set(bounds) == set(range(6))
+        assert all(v > 0 for v in bounds.values())
+
+    def test_ring_agents_symmetric(self):
+        bounds = theorem1_sigma_bound(ring_graph(8), 0.3, 1e-5, 1.0, per_agent=True)
+        values = list(bounds.values())
+        np.testing.assert_allclose(values, values[0])
+
+    def test_smaller_epsilon_larger_bound(self):
+        topo = bipartite_graph(8)
+        assert theorem1_sigma_bound(topo, 0.08, 1e-5, 1.0) > theorem1_sigma_bound(topo, 0.3, 1e-5, 1.0)
+
+    def test_clip_threshold_scales_linearly(self):
+        topo = fully_connected_graph(5)
+        b1 = theorem1_sigma_bound(topo, 0.3, 1e-5, 1.0)
+        b2 = theorem1_sigma_bound(topo, 0.3, 1e-5, 2.0)
+        np.testing.assert_allclose(b2, 2 * b1)
+
+    def test_explicit_phi_min(self):
+        topo = fully_connected_graph(5)
+        pessimistic = theorem1_sigma_bound(topo, 0.3, 1e-5, 1.0, phi_min=0.01)
+        optimistic = theorem1_sigma_bound(topo, 0.3, 1e-5, 1.0, phi_min=1.0)
+        assert pessimistic > optimistic

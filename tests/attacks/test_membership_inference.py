@@ -1,0 +1,77 @@
+"""Tests for the loss-threshold membership-inference attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.membership_inference import membership_inference_attack
+from repro.data.synthetic import make_classification_dataset
+from repro.nn.zoo import make_linear_classifier
+
+
+def train_overfit_model(members, epochs=300, lr=0.5):
+    """Deliberately overfit a linear model on the member set."""
+    model = make_linear_classifier(members.input_shape[0], members.num_classes, seed=0)
+    params = model.get_flat_params()
+    for _ in range(epochs):
+        _, grad = model.loss_and_gradient(members.inputs, members.labels, params=params)
+        params = params - lr * grad
+    return model, params
+
+
+@pytest.fixture
+def populations():
+    data = make_classification_dataset(
+        400, num_features=10, num_classes=4, cluster_std=1.6, label_noise=0.1, seed=0
+    )
+    members = data.subset(np.arange(0, 60))
+    non_members = data.subset(np.arange(200, 260))
+    return members, non_members
+
+
+class TestMembershipInference:
+    def test_overfit_model_leaks_membership(self, populations):
+        members, non_members = populations
+        model, params = train_overfit_model(members)
+        result = membership_inference_attack(
+            model, params, members, non_members, rng=np.random.default_rng(0)
+        )
+        assert result.advantage > 0.15
+        assert result.accuracy > 0.55
+
+    def test_untrained_model_leaks_little(self, populations):
+        members, non_members = populations
+        model = make_linear_classifier(10, 4, seed=0)
+        result = membership_inference_attack(
+            model, model.get_flat_params(), members, non_members, rng=np.random.default_rng(0)
+        )
+        assert result.advantage < 0.25
+
+    def test_rates_are_probabilities(self, populations):
+        members, non_members = populations
+        model, params = train_overfit_model(members, epochs=50)
+        result = membership_inference_attack(
+            model, params, members, non_members, rng=np.random.default_rng(1)
+        )
+        assert 0.0 <= result.true_positive_rate <= 1.0
+        assert 0.0 <= result.false_positive_rate <= 1.0
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_advantage_definition(self, populations):
+        members, non_members = populations
+        model, params = train_overfit_model(members, epochs=50)
+        result = membership_inference_attack(
+            model, params, members, non_members, rng=np.random.default_rng(2)
+        )
+        assert result.advantage == pytest.approx(
+            result.true_positive_rate - result.false_positive_rate
+        )
+
+    def test_requires_minimum_population_sizes(self, populations):
+        members, non_members = populations
+        model, params = train_overfit_model(members, epochs=10)
+        with pytest.raises(ValueError):
+            membership_inference_attack(model, params, members.subset([0, 1]), non_members)
+        with pytest.raises(ValueError):
+            membership_inference_attack(
+                model, params, members, non_members, calibration_fraction=1.0
+            )

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import make_classification_dataset
+from repro.nn.zoo import make_linear_classifier, make_mlp
+from repro.topology.graphs import fully_connected_graph, ring_graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dataset() -> Dataset:
+    """A small, easy Gaussian-cluster classification dataset (4 classes, 12 features)."""
+    return make_classification_dataset(
+        num_samples=240,
+        num_features=12,
+        num_classes=4,
+        cluster_std=0.8,
+        class_separation=4.0,
+        seed=3,
+    )
+
+
+@pytest.fixture
+def tiny_dataset() -> Dataset:
+    """An even smaller dataset for expensive (per-round) algorithm tests."""
+    return make_classification_dataset(
+        num_samples=120,
+        num_features=8,
+        num_classes=3,
+        cluster_std=0.7,
+        class_separation=4.0,
+        seed=5,
+    )
+
+
+@pytest.fixture
+def linear_model(small_dataset: Dataset):
+    """A linear classifier matched to ``small_dataset``."""
+    return make_linear_classifier(small_dataset.input_shape[0], small_dataset.num_classes, seed=0)
+
+
+@pytest.fixture
+def tiny_model(tiny_dataset: Dataset):
+    """A linear classifier matched to ``tiny_dataset``."""
+    return make_linear_classifier(tiny_dataset.input_shape[0], tiny_dataset.num_classes, seed=0)
+
+
+@pytest.fixture
+def mlp_model(small_dataset: Dataset):
+    """A small MLP matched to ``small_dataset``."""
+    return make_mlp(small_dataset.input_shape[0], small_dataset.num_classes, hidden_sizes=(16,), seed=0)
+
+
+@pytest.fixture
+def full_topology_4():
+    """Fully connected topology on 4 agents."""
+    return fully_connected_graph(4)
+
+
+@pytest.fixture
+def ring_topology_5():
+    """Ring topology on 5 agents."""
+    return ring_graph(5)

@@ -1,0 +1,182 @@
+"""Tests for the shared DecentralizedAlgorithm infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import DecentralizedAlgorithm
+from repro.core.config import AlgorithmConfig
+from repro.data.partition import partition_iid
+from repro.data.synthetic import make_classification_dataset
+from repro.nn.zoo import make_linear_classifier
+from repro.topology.graphs import fully_connected_graph, ring_graph
+
+
+class NoOpAlgorithm(DecentralizedAlgorithm):
+    """An algorithm that does nothing per round (for testing shared machinery)."""
+
+    name = "noop"
+
+    def step(self, round_index: int) -> None:  # pragma: no cover - trivially empty
+        pass
+
+
+@pytest.fixture
+def components():
+    data = make_classification_dataset(200, num_features=6, num_classes=4, seed=0)
+    topology = fully_connected_graph(4)
+    shards = partition_iid(data, 4, np.random.default_rng(0)).shards
+    model = make_linear_classifier(6, 4, seed=0)
+    config = AlgorithmConfig(learning_rate=0.1, sigma=0.5, clip_threshold=1.0, batch_size=16, seed=3)
+    return model, topology, shards, config, data
+
+
+class TestConstruction:
+    def test_all_agents_start_from_same_model(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        for params in algorithm.params[1:]:
+            np.testing.assert_array_equal(params, algorithm.params[0])
+
+    def test_momenta_start_at_zero(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        for momentum in algorithm.momenta:
+            assert np.all(momentum == 0.0)
+
+    def test_shard_count_mismatch_rejected(self, components):
+        model, topology, shards, config, _ = components
+        with pytest.raises(ValueError):
+            NoOpAlgorithm(model, topology, shards[:-1], config)
+
+    def test_empty_shard_rejected(self, components):
+        from repro.data.dataset import Dataset
+
+        model, topology, shards, config, _ = components
+        bad = list(shards)
+        bad[2] = Dataset(np.zeros((0, 6)), np.zeros(0))
+        with pytest.raises(ValueError):
+            NoOpAlgorithm(model, topology, bad, config)
+
+    def test_sigma_resolved_from_config(self, components):
+        model, topology, shards, _, _ = components
+        config = AlgorithmConfig(epsilon=0.5, batch_size=16)
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        np.testing.assert_allclose(algorithm.sigma, config.resolve_sigma())
+
+
+class TestGradientHelpers:
+    def test_local_gradient_matches_model(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        batch = (shards[0].inputs[:8], shards[0].labels[:8])
+        grad = algorithm.local_gradient(0, algorithm.params[0], batch)
+        _, expected = model.loss_and_gradient(batch[0], batch[1], params=algorithm.params[0])
+        np.testing.assert_allclose(grad, expected)
+
+    def test_privatize_clips_norm_without_noise(self, components):
+        model, topology, shards, _, _ = components
+        config = AlgorithmConfig(sigma=0.0, clip_threshold=0.5, batch_size=16)
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        big = np.full(algorithm.dimension, 10.0)
+        out = algorithm.privatize(0, big)
+        np.testing.assert_allclose(np.linalg.norm(out), 0.5)
+
+    def test_privatize_adds_noise(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        v = np.zeros(algorithm.dimension)
+        assert not np.allclose(algorithm.privatize(0, v), 0.0)
+
+    def test_different_agents_have_independent_noise(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        v = np.zeros(algorithm.dimension)
+        assert not np.allclose(algorithm.privatize(0, v), algorithm.privatize(1, v))
+
+    def test_draw_batches_one_per_agent(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        batches = algorithm.draw_batches()
+        assert len(batches) == 4
+        for x, y in batches:
+            assert x.shape[0] == y.shape[0] <= 16
+
+
+class TestGossipAndEvaluation:
+    def test_gossip_average_preserves_mean(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        rng = np.random.default_rng(0)
+        vectors = [rng.normal(size=algorithm.dimension) for _ in range(4)]
+        mixed = algorithm.gossip_average(vectors)
+        np.testing.assert_allclose(
+            np.mean(mixed, axis=0), np.mean(vectors, axis=0), atol=1e-12
+        )
+
+    def test_gossip_average_reduces_consensus_distance(self, components):
+        from repro.simulation.metrics import consensus_distance
+
+        model, _, shards, config, _ = components
+        topology = ring_graph(4)
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        rng = np.random.default_rng(1)
+        vectors = [rng.normal(size=algorithm.dimension) for _ in range(4)]
+        mixed = algorithm.gossip_average(vectors)
+        assert consensus_distance(mixed) < consensus_distance(vectors)
+
+    def test_average_parameters_is_mean(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        algorithm.params = [np.full(algorithm.dimension, float(i)) for i in range(4)]
+        np.testing.assert_allclose(algorithm.average_parameters(), 1.5)
+
+    def test_consensus_zero_initially(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        assert algorithm.consensus() == 0.0
+
+    def test_train_loss_and_accuracy_bounds(self, components):
+        model, topology, shards, config, data = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        loss = algorithm.average_train_loss()
+        assert loss > 0.0
+        acc_mean = algorithm.test_accuracy(data, mode="mean_agent")
+        acc_avg = algorithm.test_accuracy(data, mode="average_model")
+        assert 0.0 <= acc_mean <= 1.0
+        assert 0.0 <= acc_avg <= 1.0
+        with pytest.raises(ValueError):
+            algorithm.test_accuracy(data, mode="best")
+
+    def test_accuracy_modes_agree_when_params_identical(self, components):
+        model, topology, shards, config, data = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        assert algorithm.test_accuracy(data, "mean_agent") == pytest.approx(
+            algorithm.test_accuracy(data, "average_model")
+        )
+
+
+class TestPrivacyAccounting:
+    def test_accountant_records_rounds_with_epsilon(self, components):
+        model, topology, shards, _, _ = components
+        config = AlgorithmConfig(epsilon=0.5, batch_size=16)
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        for _ in range(5):
+            algorithm.run_round()
+        assert algorithm.accountant.num_events == 5
+        eps, delta = algorithm.privacy_spent()
+        assert eps > 0 and delta > 0
+
+    def test_no_accounting_when_sigma_zero(self, components):
+        model, topology, shards, _, _ = components
+        config = AlgorithmConfig(sigma=0.0, batch_size=16)
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        algorithm.run_round()
+        assert algorithm.accountant.num_events == 0
+
+    def test_rounds_completed_counter(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        for _ in range(3):
+            algorithm.run_round()
+        assert algorithm.rounds_completed == 3
+        assert algorithm.network.current_round == 3

@@ -1,0 +1,101 @@
+"""Tests for algorithm configuration dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    AlgorithmConfig,
+    CGAConfig,
+    MuffliatoConfig,
+    NetFleetConfig,
+    PDSLConfig,
+)
+from repro.privacy.calibration import gaussian_sigma
+
+
+class TestAlgorithmConfig:
+    def test_sigma_resolution_from_epsilon(self):
+        config = AlgorithmConfig(epsilon=0.5, delta=1e-5, clip_threshold=1.0, batch_size=50)
+        expected = gaussian_sigma(0.5, 1e-5, 2.0 * 1.0 / 50)
+        np.testing.assert_allclose(config.resolve_sigma(), expected)
+
+    def test_explicit_sigma_takes_precedence(self):
+        config = AlgorithmConfig(sigma=0.7, epsilon=0.5)
+        assert config.resolve_sigma() == 0.7
+
+    def test_zero_sigma_allowed(self):
+        config = AlgorithmConfig(sigma=0.0)
+        assert config.resolve_sigma() == 0.0
+
+    def test_sensitivity_formula(self):
+        config = AlgorithmConfig(sigma=0.0, clip_threshold=2.0, batch_size=100)
+        np.testing.assert_allclose(config.sensitivity, 2.0 * 2.0 / 100)
+
+    def test_requires_sigma_or_epsilon(self):
+        with pytest.raises(ValueError):
+            AlgorithmConfig()
+
+    def test_with_updates(self):
+        config = AlgorithmConfig(sigma=0.0, learning_rate=0.1)
+        updated = config.with_updates(learning_rate=0.5)
+        assert updated.learning_rate == 0.5
+        assert config.learning_rate == 0.1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sigma": 0.0, "learning_rate": 0.0},
+            {"sigma": 0.0, "momentum": 1.0},
+            {"sigma": 0.0, "momentum": -0.1},
+            {"sigma": 0.0, "clip_threshold": 0.0},
+            {"sigma": 0.0, "batch_size": 0},
+            {"sigma": -1.0},
+            {"epsilon": -0.5},
+            {"sigma": 0.0, "delta": 0.0},
+            {"sigma": 0.0, "delta": 1.0},
+        ],
+    )
+    def test_invalid_configurations(self, kwargs):
+        with pytest.raises(ValueError):
+            AlgorithmConfig(**kwargs)
+
+
+class TestPDSLConfig:
+    def test_defaults(self):
+        config = PDSLConfig(sigma=0.1)
+        assert config.momentum == 0.5
+        assert config.shapley_permutations == 4
+        assert config.characteristic_metric == "accuracy"
+
+    def test_exact_shapley_allowed(self):
+        config = PDSLConfig(sigma=0.1, shapley_permutations=0)
+        assert config.shapley_permutations == 0
+
+    def test_invalid_shapley_permutations(self):
+        with pytest.raises(ValueError):
+            PDSLConfig(sigma=0.1, shapley_permutations=-1)
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            PDSLConfig(sigma=0.1, characteristic_metric="f1")
+
+    def test_invalid_validation_batch(self):
+        with pytest.raises(ValueError):
+            PDSLConfig(sigma=0.1, validation_batch_size=0)
+
+
+class TestBaselineConfigs:
+    def test_muffliato_gossip_steps(self):
+        config = MuffliatoConfig(sigma=0.1, gossip_steps=5)
+        assert config.gossip_steps == 5
+        with pytest.raises(ValueError):
+            MuffliatoConfig(sigma=0.1, gossip_steps=0)
+
+    def test_netfleet_local_steps(self):
+        config = NetFleetConfig(sigma=0.1, local_steps=3)
+        assert config.local_steps == 3
+        with pytest.raises(ValueError):
+            NetFleetConfig(sigma=0.1, local_steps=0)
+
+    def test_cga_default_momentum(self):
+        assert CGAConfig(sigma=0.1).momentum == 0.5

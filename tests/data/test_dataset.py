@@ -1,0 +1,130 @@
+"""Tests for the Dataset container and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, train_val_test_split
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(0)
+    return Dataset(rng.normal(size=(50, 4)), rng.integers(0, 3, size=50))
+
+
+class TestDatasetBasics:
+    def test_len(self, dataset):
+        assert len(dataset) == 50
+
+    def test_num_classes(self, dataset):
+        assert dataset.num_classes == 3
+
+    def test_input_shape(self, dataset):
+        assert dataset.input_shape == (4,)
+
+    def test_labels_cast_to_int64(self):
+        data = Dataset(np.zeros((3, 2)), np.array([0.0, 1.0, 2.0]))
+        assert data.labels.dtype == np.int64
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros((3, 1)))
+
+    def test_empty_dataset(self):
+        data = Dataset(np.zeros((0, 4)), np.zeros(0))
+        assert len(data) == 0
+        assert data.num_classes == 0
+
+
+class TestSubsetSampleShuffle:
+    def test_subset_selects_rows(self, dataset):
+        sub = dataset.subset([0, 5, 10])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.inputs[1], dataset.inputs[5])
+
+    def test_shuffled_preserves_pairs(self, dataset):
+        shuffled = dataset.shuffled(np.random.default_rng(1))
+        assert len(shuffled) == len(dataset)
+        # every (input, label) pair of the original must appear in the shuffle
+        original = {(round(float(x[0]), 9), int(y)) for x, y in zip(dataset.inputs, dataset.labels)}
+        after = {(round(float(x[0]), 9), int(y)) for x, y in zip(shuffled.inputs, shuffled.labels)}
+        assert original == after
+
+    def test_sample_without_replacement(self, dataset):
+        sample = dataset.sample(10, np.random.default_rng(2))
+        assert len(sample) == 10
+
+    def test_sample_too_large_without_replacement_raises(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.sample(100, np.random.default_rng(2))
+
+    def test_sample_with_replacement_allows_oversampling(self, dataset):
+        sample = dataset.sample(100, np.random.default_rng(2), replace=True)
+        assert len(sample) == 100
+
+    def test_negative_sample_size_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.sample(-1, np.random.default_rng(0))
+
+
+class TestBatchesAndCounts:
+    def test_batches_cover_everything(self, dataset):
+        seen = 0
+        for x, y in dataset.batches(8):
+            assert x.shape[0] == y.shape[0]
+            seen += x.shape[0]
+        assert seen == len(dataset)
+
+    def test_batches_shuffled_with_rng(self, dataset):
+        batches1 = [y for _, y in dataset.batches(10, rng=np.random.default_rng(0))]
+        batches2 = [y for _, y in dataset.batches(10, rng=np.random.default_rng(1))]
+        assert not all(np.array_equal(a, b) for a, b in zip(batches1, batches2))
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            list(dataset.batches(0))
+
+    def test_class_counts(self, dataset):
+        counts = dataset.class_counts()
+        assert counts.sum() == len(dataset)
+        assert counts.shape == (3,)
+
+    def test_class_counts_with_explicit_k(self, dataset):
+        counts = dataset.class_counts(num_classes=5)
+        assert counts.shape == (5,)
+        assert counts[3:].sum() == 0
+
+    def test_concat(self, dataset):
+        merged = dataset.concat(dataset)
+        assert len(merged) == 2 * len(dataset)
+
+    def test_concat_shape_mismatch(self, dataset):
+        other = Dataset(np.zeros((3, 7)), np.zeros(3))
+        with pytest.raises(ValueError):
+            dataset.concat(other)
+
+
+class TestTrainValTestSplit:
+    def test_sizes(self, dataset):
+        train, val, test = train_val_test_split(dataset, 0.2, 0.2, np.random.default_rng(0))
+        assert len(train) + len(val) + len(test) == len(dataset)
+        assert len(val) == 10
+        assert len(test) == 10
+
+    def test_no_overlap(self, dataset):
+        # give every row a unique marker value to track membership
+        inputs = np.arange(50, dtype=np.float64).reshape(50, 1)
+        data = Dataset(inputs, np.zeros(50))
+        train, val, test = train_val_test_split(data, 0.3, 0.3, np.random.default_rng(1))
+        all_markers = np.concatenate([train.inputs, val.inputs, test.inputs]).ravel()
+        assert len(set(all_markers.tolist())) == 50
+
+    def test_invalid_fractions(self, dataset):
+        with pytest.raises(ValueError):
+            train_val_test_split(dataset, 0.6, 0.6, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            train_val_test_split(dataset, -0.1, 0.2, np.random.default_rng(0))

@@ -1,0 +1,84 @@
+"""Tests for mini-batch samplers and epoch iterators."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.loaders import BatchSampler, batch_iterator
+from repro.data.synthetic import make_classification_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_classification_dataset(80, num_features=4, num_classes=3, seed=0)
+
+
+class TestBatchSampler:
+    def test_batch_shapes(self, dataset):
+        sampler = BatchSampler(dataset, 16, np.random.default_rng(0))
+        x, y = sampler.next_batch()
+        assert x.shape == (16, 4)
+        assert y.shape == (16,)
+
+    def test_batch_capped_at_dataset_size(self, dataset):
+        sampler = BatchSampler(dataset, 500, np.random.default_rng(0))
+        x, _ = sampler.next_batch()
+        assert x.shape[0] == len(dataset)
+
+    def test_with_replacement_allows_larger_batches(self, dataset):
+        sampler = BatchSampler(dataset, 200, np.random.default_rng(0), replace_within_batch=True)
+        x, _ = sampler.next_batch()
+        assert x.shape[0] == 200
+
+    def test_draw_counter(self, dataset):
+        sampler = BatchSampler(dataset, 8, np.random.default_rng(0))
+        for _ in range(5):
+            sampler.next_batch()
+        assert sampler.num_draws == 5
+
+    def test_different_batches_across_draws(self, dataset):
+        sampler = BatchSampler(dataset, 16, np.random.default_rng(0))
+        _, y1 = sampler.next_batch()
+        _, y2 = sampler.next_batch()
+        assert not np.array_equal(y1, y2)
+
+    def test_deterministic_given_seed(self, dataset):
+        s1 = BatchSampler(dataset, 8, np.random.default_rng(5))
+        s2 = BatchSampler(dataset, 8, np.random.default_rng(5))
+        x1, y1 = s1.next_batch()
+        x2, y2 = s2.next_batch()
+        np.testing.assert_array_equal(x1, x2)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_empty_dataset_rejected(self):
+        empty = Dataset(np.zeros((0, 4)), np.zeros(0))
+        with pytest.raises(ValueError):
+            BatchSampler(empty, 4, np.random.default_rng(0))
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            BatchSampler(dataset, 0, np.random.default_rng(0))
+
+
+class TestBatchIterator:
+    def test_covers_all_examples(self, dataset):
+        total = sum(x.shape[0] for x, _ in batch_iterator(dataset, 16))
+        assert total == len(dataset)
+
+    def test_drop_last(self, dataset):
+        batches = list(batch_iterator(dataset, 32, drop_last=True))
+        assert all(x.shape[0] == 32 for x, _ in batches)
+        assert len(batches) == len(dataset) // 32
+
+    def test_shuffling_changes_order(self, dataset):
+        order1 = np.concatenate([y for _, y in batch_iterator(dataset, 16, rng=np.random.default_rng(0))])
+        order2 = np.concatenate([y for _, y in batch_iterator(dataset, 16, rng=np.random.default_rng(3))])
+        assert not np.array_equal(order1, order2)
+
+    def test_no_rng_preserves_order(self, dataset):
+        labels = np.concatenate([y for _, y in batch_iterator(dataset, 16)])
+        np.testing.assert_array_equal(labels, dataset.labels)
+
+    def test_invalid_batch_size(self, dataset):
+        with pytest.raises(ValueError):
+            list(batch_iterator(dataset, -1))

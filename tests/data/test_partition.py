@@ -1,0 +1,135 @@
+"""Tests for the IID / Dirichlet / shard partitioners and heterogeneity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.partition import (
+    heterogeneity_degree,
+    label_distribution,
+    partition_by_shards,
+    partition_dirichlet,
+    partition_iid,
+)
+from repro.data.synthetic import make_classification_dataset
+
+
+@pytest.fixture
+def dataset():
+    return make_classification_dataset(600, num_features=5, num_classes=6, seed=0)
+
+
+class TestIIDPartition:
+    def test_covers_all_examples_exactly_once(self, dataset):
+        result = partition_iid(dataset, 5, np.random.default_rng(0))
+        assert sum(result.sizes()) == len(dataset)
+        all_indices = np.concatenate(result.indices)
+        assert len(set(all_indices.tolist())) == len(dataset)
+
+    def test_near_equal_sizes(self, dataset):
+        result = partition_iid(dataset, 7, np.random.default_rng(0))
+        sizes = result.sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_low_heterogeneity(self, dataset):
+        result = partition_iid(dataset, 5, np.random.default_rng(0))
+        assert heterogeneity_degree(result) < 0.15
+
+    def test_too_many_agents_rejected(self):
+        small = make_classification_dataset(5, num_classes=2, seed=0)
+        with pytest.raises(ValueError):
+            partition_iid(small, 10, np.random.default_rng(0))
+
+    def test_zero_agents_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            partition_iid(dataset, 0, np.random.default_rng(0))
+
+
+class TestDirichletPartition:
+    def test_covers_all_examples_exactly_once(self, dataset):
+        result = partition_dirichlet(dataset, 6, alpha=0.25, rng=np.random.default_rng(0))
+        assert sum(result.sizes()) == len(dataset)
+        all_indices = np.concatenate(result.indices)
+        assert len(set(all_indices.tolist())) == len(dataset)
+
+    def test_min_samples_respected(self, dataset):
+        result = partition_dirichlet(
+            dataset, 6, alpha=0.25, rng=np.random.default_rng(0), min_samples_per_agent=10
+        )
+        assert min(result.sizes()) >= 10
+
+    def test_smaller_alpha_more_heterogeneous(self, dataset):
+        rng = np.random.default_rng(1)
+        skewed = partition_dirichlet(dataset, 8, alpha=0.05, rng=np.random.default_rng(1))
+        uniform = partition_dirichlet(dataset, 8, alpha=100.0, rng=np.random.default_rng(1))
+        assert heterogeneity_degree(skewed) > heterogeneity_degree(uniform)
+
+    def test_records_method_and_params(self, dataset):
+        result = partition_dirichlet(dataset, 4, alpha=0.5, rng=np.random.default_rng(0))
+        assert result.method == "dirichlet"
+        assert result.params["alpha"] == 0.5
+
+    def test_invalid_alpha(self, dataset):
+        with pytest.raises(ValueError):
+            partition_dirichlet(dataset, 4, alpha=0.0, rng=np.random.default_rng(0))
+
+    def test_impossible_minimum_raises(self):
+        tiny = make_classification_dataset(20, num_classes=2, seed=0)
+        with pytest.raises(RuntimeError):
+            partition_dirichlet(
+                tiny, 10, alpha=0.05, rng=np.random.default_rng(0),
+                min_samples_per_agent=10, max_retries=3,
+            )
+
+    def test_deterministic_given_rng_seed(self, dataset):
+        a = partition_dirichlet(dataset, 5, alpha=0.25, rng=np.random.default_rng(7))
+        b = partition_dirichlet(dataset, 5, alpha=0.25, rng=np.random.default_rng(7))
+        assert a.sizes() == b.sizes()
+        for ia, ib in zip(a.indices, b.indices):
+            np.testing.assert_array_equal(ia, ib)
+
+
+class TestShardPartition:
+    def test_covers_all_examples(self, dataset):
+        result = partition_by_shards(dataset, 5, shards_per_agent=2, rng=np.random.default_rng(0))
+        assert sum(result.sizes()) == len(dataset)
+
+    def test_pathological_skew(self, dataset):
+        sharded = partition_by_shards(dataset, 6, shards_per_agent=1, rng=np.random.default_rng(0))
+        iid = partition_iid(dataset, 6, np.random.default_rng(0))
+        assert heterogeneity_degree(sharded) > heterogeneity_degree(iid)
+
+    def test_each_agent_has_few_classes(self, dataset):
+        result = partition_by_shards(dataset, 6, shards_per_agent=1, rng=np.random.default_rng(0))
+        for shard in result.shards:
+            present = np.unique(shard.labels)
+            assert len(present) <= 3
+
+    def test_too_many_shards_rejected(self):
+        tiny = make_classification_dataset(10, num_classes=2, seed=0)
+        with pytest.raises(ValueError):
+            partition_by_shards(tiny, 5, shards_per_agent=10, rng=np.random.default_rng(0))
+
+
+class TestHeterogeneityMetrics:
+    def test_label_distribution_normalised(self, dataset):
+        result = partition_dirichlet(dataset, 4, alpha=0.25, rng=np.random.default_rng(0))
+        dist = label_distribution(result.shards[0], dataset.num_classes)
+        np.testing.assert_allclose(dist.sum(), 1.0)
+        assert np.all(dist >= 0)
+
+    def test_label_distribution_empty_shard_uniform(self):
+        empty = Dataset(np.zeros((0, 3)), np.zeros(0))
+        dist = label_distribution(empty, 4)
+        np.testing.assert_allclose(dist, 0.25)
+
+    def test_heterogeneity_bounds(self, dataset):
+        result = partition_dirichlet(dataset, 4, alpha=0.25, rng=np.random.default_rng(0))
+        degree = heterogeneity_degree(result)
+        assert 0.0 <= degree <= 1.0
+
+    def test_label_matrix_shape(self, dataset):
+        result = partition_iid(dataset, 4, np.random.default_rng(0))
+        matrix = result.label_matrix(dataset.num_classes)
+        assert matrix.shape == (4, dataset.num_classes)
+        assert matrix.sum() == len(dataset)

@@ -1,0 +1,106 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    make_classification_dataset,
+    make_synthetic_cifar,
+    make_synthetic_mnist,
+)
+from repro.nn.zoo import make_linear_classifier
+
+
+class TestClassificationDataset:
+    def test_shapes(self):
+        data = make_classification_dataset(100, num_features=8, num_classes=5, seed=0)
+        assert data.inputs.shape == (100, 8)
+        assert data.labels.shape == (100,)
+        assert data.num_classes <= 5
+
+    def test_deterministic(self):
+        a = make_classification_dataset(50, seed=3)
+        b = make_classification_dataset(50, seed=3)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_classification_dataset(50, seed=1)
+        b = make_classification_dataset(50, seed=2)
+        assert not np.allclose(a.inputs, b.inputs)
+
+    def test_separable_when_low_noise(self):
+        data = make_classification_dataset(
+            400, num_features=10, num_classes=4, cluster_std=0.3, class_separation=5.0, seed=0
+        )
+        model = make_linear_classifier(10, 4, seed=0)
+        params = model.get_flat_params()
+        for _ in range(80):
+            _, grad = model.loss_and_gradient(data.inputs, data.labels, params=params)
+            params -= 0.5 * grad
+        assert model.accuracy(data.inputs, data.labels, params=params) > 0.95
+
+    def test_label_noise_reduces_purity(self):
+        clean = make_classification_dataset(500, cluster_std=0.2, label_noise=0.0, seed=0)
+        noisy = make_classification_dataset(500, cluster_std=0.2, label_noise=0.4, seed=0)
+        # With 40% flips, the noisy labels must differ from the clean ones on many rows.
+        assert np.mean(clean.labels != noisy.labels) > 0.2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            make_classification_dataset(0)
+        with pytest.raises(ValueError):
+            make_classification_dataset(10, num_classes=1)
+        with pytest.raises(ValueError):
+            make_classification_dataset(10, label_noise=1.0)
+
+
+class TestSyntheticMnist:
+    def test_shapes_and_range(self):
+        data = make_synthetic_mnist(num_samples=64, seed=0)
+        assert data.inputs.shape == (64, 1, 28, 28)
+        assert data.inputs.min() >= 0.0 and data.inputs.max() <= 1.0
+        assert data.labels.min() >= 0 and data.labels.max() <= 9
+
+    def test_custom_image_size(self):
+        data = make_synthetic_mnist(num_samples=10, image_size=14, seed=0)
+        assert data.inputs.shape == (10, 1, 14, 14)
+
+    def test_deterministic(self):
+        a = make_synthetic_mnist(num_samples=20, seed=9)
+        b = make_synthetic_mnist(num_samples=20, seed=9)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_class_structure_learnable(self):
+        data = make_synthetic_mnist(num_samples=300, num_classes=4, noise_std=0.1, image_size=10, seed=0)
+        flat = data.inputs.reshape(len(data), -1)
+        model = make_linear_classifier(flat.shape[1], 4, seed=0)
+        params = model.get_flat_params()
+        for _ in range(60):
+            _, grad = model.loss_and_gradient(flat, data.labels, params=params)
+            params -= 0.5 * grad
+        assert model.accuracy(flat, data.labels, params=params) > 0.9
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            make_synthetic_mnist(num_samples=0)
+
+
+class TestSyntheticCifar:
+    def test_shapes_and_range(self):
+        data = make_synthetic_cifar(num_samples=32, seed=0)
+        assert data.inputs.shape == (32, 3, 32, 32)
+        assert data.inputs.min() >= 0.0 and data.inputs.max() <= 1.0
+
+    def test_harder_than_mnist_by_default(self):
+        # the CIFAR stand-in uses a larger default noise level
+        from repro.data import synthetic
+
+        mnist = make_synthetic_mnist(num_samples=10, seed=0)
+        cifar = make_synthetic_cifar(num_samples=10, seed=0)
+        assert cifar.inputs.shape[1] == 3
+        assert mnist.inputs.shape[1] == 1
+
+    def test_num_classes_respected(self):
+        data = make_synthetic_cifar(num_samples=50, num_classes=7, seed=0)
+        assert data.labels.max() < 7

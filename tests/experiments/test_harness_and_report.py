@@ -1,0 +1,152 @@
+"""Tests for the experiment harness and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.core.pdsl import PDSL
+from repro.experiments.harness import (
+    build_algorithm,
+    build_experiment_components,
+    run_comparison,
+    run_single,
+)
+from repro.experiments.report import (
+    accuracy_table_rows,
+    format_accuracy_table,
+    format_loss_curves,
+    loss_curve_series,
+)
+from repro.experiments.specs import fast_spec
+from repro.simulation.metrics import RoundRecord, TrainingHistory
+
+
+@pytest.fixture(scope="module")
+def components():
+    spec = fast_spec(num_agents=4, epsilon=0.3, num_rounds=3)
+    return build_experiment_components(spec)
+
+
+class TestComponentConstruction:
+    def test_partition_matches_agent_count(self, components):
+        assert components.partition.num_agents == 4
+        assert components.topology.num_agents == 4
+
+    def test_splits_disjoint_sizes(self, components):
+        spec = components.spec
+        total = len(components.train) + len(components.validation) + len(components.test)
+        assert total == spec.train_samples + spec.validation_samples + spec.test_samples
+        assert len(components.validation) == spec.validation_samples
+        assert len(components.test) == spec.test_samples
+
+    def test_model_factory_produces_identical_models(self, components):
+        a = components.model_factory()
+        b = components.model_factory()
+        np.testing.assert_array_equal(a.get_flat_params(), b.get_flat_params())
+
+    def test_every_topology_name_supported(self):
+        for topology in ("fully_connected", "ring", "bipartite", "star", "grid", "erdos_renyi"):
+            spec = fast_spec(num_agents=6, num_rounds=2).with_updates(topology=topology)
+            comps = build_experiment_components(spec)
+            assert comps.topology.num_agents == 6
+
+    def test_unknown_topology_rejected(self):
+        spec = fast_spec(num_agents=4).with_updates(topology="hypercube")
+        with pytest.raises(ValueError):
+            build_experiment_components(spec)
+
+    def test_image_dataset_flattened_for_dense_models(self):
+        spec = fast_spec(num_agents=4, num_rounds=2).with_updates(
+            dataset="mnist", train_samples=150, validation_samples=30, test_samples=40, num_classes=4
+        )
+        comps = build_experiment_components(spec)
+        assert len(comps.train.input_shape) == 1
+
+
+class TestBuildAlgorithm:
+    def test_pdsl_gets_validation_set(self, components):
+        algorithm = build_algorithm("PDSL", components)
+        assert isinstance(algorithm, PDSL)
+        assert algorithm.validation is not None
+
+    @pytest.mark.parametrize(
+        "name", ["PDSL", "DP-DPSGD", "MUFFLIATO", "DP-CGA", "DP-NET-FLEET", "DMSGD", "D-PSGD"]
+    )
+    def test_all_algorithms_constructible(self, components, name):
+        algorithm = build_algorithm(name, components)
+        assert algorithm.num_agents == 4
+
+    def test_unknown_algorithm_rejected(self, components):
+        with pytest.raises(ValueError):
+            build_algorithm("FedAvg", components)
+
+    def test_sigma_override(self, components):
+        algorithm = build_algorithm("DP-DPSGD", components, sigma=0.0)
+        assert algorithm.sigma == 0.0
+
+    def test_non_private_reference_has_zero_sigma(self, components):
+        algorithm = build_algorithm("D-PSGD", components)
+        assert algorithm.sigma == 0.0
+
+
+class TestRunSingleAndComparison:
+    def test_run_single_history_length(self, components):
+        history = run_single("DP-DPSGD", components)
+        assert len(history) == components.spec.num_rounds
+        assert history.final_test_accuracy is not None
+
+    def test_run_comparison_returns_all_algorithms(self):
+        spec = fast_spec(num_agents=4, num_rounds=2, algorithms=["PDSL", "DP-DPSGD"])
+        results = run_comparison(spec)
+        assert set(results) == {"PDSL", "DP-DPSGD"}
+        for history in results.values():
+            assert len(history) == 2
+
+    def test_run_comparison_algorithm_override(self):
+        spec = fast_spec(num_agents=4, num_rounds=2)
+        results = run_comparison(spec, algorithms=["DP-DPSGD"])
+        assert set(results) == {"DP-DPSGD"}
+
+
+class TestReporting:
+    def make_histories(self):
+        histories = {}
+        for name, losses in [("A", [2.0, 1.0]), ("B", [2.0, 1.5])]:
+            history = TrainingHistory(algorithm=name)
+            for t, loss in enumerate(losses, start=1):
+                history.append(RoundRecord(round=t, average_train_loss=loss))
+            history.final_test_accuracy = 0.5
+            histories[name] = history
+        return histories
+
+    def test_loss_curve_series(self):
+        series = loss_curve_series(self.make_histories())
+        assert series["A"] == [(1, 2.0), (2, 1.0)]
+
+    def test_format_loss_curves_contains_all_algorithms(self):
+        text = format_loss_curves(self.make_histories(), title="demo")
+        assert "demo" in text
+        assert "A" in text and "B" in text
+        assert "2.0000" in text
+
+    def test_format_loss_curves_empty(self):
+        assert "(no results)" in format_loss_curves({})
+
+    def test_format_loss_curves_max_rows(self):
+        histories = self.make_histories()
+        text = format_loss_curves(histories, max_rows=1)
+        assert len(text.splitlines()) <= 5
+
+    def test_accuracy_table_rows_and_formatting(self):
+        histories = self.make_histories()
+        results = {("ring", 10): histories, ("ring", 20): histories}
+        table = accuracy_table_rows(results, algorithms=["A", "B"])
+        assert table["A"][("ring", 10)] == 0.5
+        text = format_accuracy_table(table, caption="Table demo")
+        assert "Table demo" in text
+        assert "ring" in text
+        assert "0.500" in text
+
+    def test_accuracy_table_missing_algorithm_skipped(self):
+        histories = self.make_histories()
+        table = accuracy_table_rows({("ring", 10): histories}, algorithms=["A", "C"])
+        assert table["C"] == {}

@@ -1,0 +1,71 @@
+"""Tests for experiment-result serialisation."""
+
+import json
+
+import pytest
+
+from repro.experiments.io import (
+    history_from_dict,
+    history_to_dict,
+    load_histories,
+    save_histories,
+)
+from repro.simulation.metrics import RoundRecord, TrainingHistory
+
+
+def make_history(name="PDSL"):
+    history = TrainingHistory(algorithm=name, metadata={"topology": "ring", "num_agents": 5})
+    history.append(RoundRecord(round=1, average_train_loss=2.0, test_accuracy=0.2, consensus=0.5))
+    history.append(RoundRecord(round=2, average_train_loss=1.5, test_accuracy=0.4, consensus=0.3,
+                               extra={"sigma": 0.1}))
+    history.final_test_accuracy = 0.45
+    return history
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        history = make_history()
+        restored = history_from_dict(history_to_dict(history))
+        assert restored.algorithm == history.algorithm
+        assert restored.metadata == history.metadata
+        assert restored.final_test_accuracy == history.final_test_accuracy
+        assert restored.rounds == history.rounds
+        assert restored.losses == history.losses
+        assert [r.consensus for r in restored.records] == [r.consensus for r in history.records]
+        assert restored.records[1].extra == {"sigma": 0.1}
+
+    def test_payload_is_json_serialisable(self):
+        payload = history_to_dict(make_history())
+        text = json.dumps(payload)
+        assert "PDSL" in text
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError):
+            history_from_dict({"algorithm": "X"})
+
+    def test_none_accuracy_preserved(self):
+        history = TrainingHistory(algorithm="X")
+        history.append(RoundRecord(round=1, average_train_loss=1.0))
+        restored = history_from_dict(history_to_dict(history))
+        assert restored.final_test_accuracy is None
+        assert restored.records[0].test_accuracy is None
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        histories = {"PDSL": make_history("PDSL"), "DP-DPSGD": make_history("DP-DPSGD")}
+        path = save_histories(histories, tmp_path / "results" / "run.json")
+        assert path.exists()
+        restored = load_histories(path)
+        assert set(restored) == {"PDSL", "DP-DPSGD"}
+        assert restored["PDSL"].losses == histories["PDSL"].losses
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_histories({"X": make_history("X")}, tmp_path / "a" / "b" / "c.json")
+        assert path.exists()
+
+    def test_load_rejects_non_object_payload(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            load_histories(path)

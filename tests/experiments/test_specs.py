@@ -1,0 +1,104 @@
+"""Tests for the experiment specification factories."""
+
+import pytest
+
+from repro.experiments.specs import (
+    ALGORITHM_NAMES,
+    ExperimentSpec,
+    cifar_like_spec,
+    fast_spec,
+    mnist_like_spec,
+    paper_figure_spec,
+    paper_table_spec,
+)
+
+
+class TestExperimentSpecValidation:
+    def test_defaults_are_valid(self):
+        spec = ExperimentSpec(name="x")
+        assert spec.num_agents == 10
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", dataset="imagenet")
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", model="transformer")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", algorithms=["PDSL", "FedAvg"])
+
+    def test_too_few_agents_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", num_agents=1)
+
+    def test_with_updates_returns_new_spec(self):
+        spec = ExperimentSpec(name="x")
+        updated = spec.with_updates(epsilon=0.9)
+        assert updated.epsilon == 0.9
+        assert spec.epsilon != 0.9
+
+
+class TestFactories:
+    def test_fast_spec_includes_all_paper_algorithms(self):
+        spec = fast_spec()
+        assert list(spec.algorithms) == list(ALGORITHM_NAMES)
+
+    def test_mnist_fast_uses_paper_momentum(self):
+        spec = mnist_like_spec()
+        assert spec.momentum == 0.5
+
+    def test_cifar_fast_uses_paper_momentum(self):
+        spec = cifar_like_spec()
+        assert spec.momentum == 0.7
+
+    def test_mnist_paper_scale_uses_cnn_and_paper_hyperparams(self):
+        spec = mnist_like_spec(scale="paper")
+        assert spec.model == "mnist_cnn"
+        assert spec.learning_rate == 0.001
+        assert spec.batch_size == 250
+        assert spec.num_rounds == 180
+
+    def test_cifar_paper_scale_uses_cnn_and_paper_hyperparams(self):
+        spec = cifar_like_spec(scale="paper")
+        assert spec.model == "cifar_cnn"
+        assert spec.learning_rate == 0.01
+        assert spec.num_rounds == 200
+
+    @pytest.mark.parametrize(
+        "figure,expected_topology,expected_family",
+        [
+            (1, "fully_connected", "mnist"),
+            (2, "bipartite", "mnist"),
+            (3, "ring", "mnist"),
+            (4, "fully_connected", "cifar"),
+            (5, "bipartite", "cifar"),
+            (6, "ring", "cifar"),
+        ],
+    )
+    def test_paper_figure_specs(self, figure, expected_topology, expected_family):
+        spec = paper_figure_spec(figure)
+        assert spec.topology == expected_topology
+        assert f"figure{figure}" in spec.name
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            paper_figure_spec(7)
+
+    def test_figure_default_epsilon_is_largest_of_sweep(self):
+        assert paper_figure_spec(1).epsilon == 0.3
+        assert paper_figure_spec(4).epsilon == 1.0
+
+    def test_paper_table_specs(self):
+        spec1 = paper_table_spec(1, "ring", 10, 0.1)
+        spec2 = paper_table_spec(2, "bipartite", 15, 0.7)
+        assert spec1.topology == "ring" and spec1.num_agents == 10
+        assert spec2.topology == "bipartite" and spec2.num_agents == 15
+        with pytest.raises(ValueError):
+            paper_table_spec(3, "ring", 10, 0.1)
+
+    def test_custom_algorithm_subset(self):
+        spec = fast_spec(algorithms=["PDSL", "DP-DPSGD"])
+        assert list(spec.algorithms) == ["PDSL", "DP-DPSGD"]

@@ -1,0 +1,123 @@
+"""Property-based tests for the Shapley machinery (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.game.axioms import (
+    check_additivity,
+    check_dummy_player,
+    check_efficiency,
+    check_symmetry,
+)
+from repro.game.cooperative import CooperativeGame
+from repro.game.shapley import exact_shapley, monte_carlo_shapley, normalize_shapley
+
+
+def random_game_from_weights(weights, interaction):
+    """A small superadditive-ish game: additive part + pairwise interaction term."""
+    players = list(range(len(weights)))
+
+    def value(coalition):
+        base = sum(weights[p] for p in coalition)
+        pairs = len(coalition) * (len(coalition) - 1) / 2
+        return float(base + interaction * pairs)
+
+    return CooperativeGame(players, value)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    weights=st.lists(st.floats(-5, 5, allow_nan=False), min_size=2, max_size=5),
+    interaction=st.floats(-1, 1, allow_nan=False),
+)
+def test_exact_shapley_is_efficient(weights, interaction):
+    game = random_game_from_weights(weights, interaction)
+    phi = exact_shapley(game)
+    assert check_efficiency(game, phi, tol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    weights=st.lists(st.floats(-3, 3, allow_nan=False), min_size=2, max_size=5),
+    interaction=st.floats(-1, 1, allow_nan=False),
+    seed=st.integers(0, 10_000),
+    permutations=st.integers(1, 20),
+)
+def test_monte_carlo_shapley_is_efficient_for_any_sample_count(weights, interaction, seed, permutations):
+    game = random_game_from_weights(weights, interaction)
+    phi = monte_carlo_shapley(game, permutations, np.random.default_rng(seed))
+    assert check_efficiency(game, phi, tol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(weights=st.lists(st.floats(-5, 5, allow_nan=False), min_size=3, max_size=5))
+def test_dummy_player_axiom(weights):
+    # force player 0 to be a dummy by giving it zero weight in an additive game
+    weights = [0.0] + list(weights[1:])
+    game = random_game_from_weights(weights, 0.0)
+    phi = exact_shapley(game)
+    assert check_dummy_player(game, 0, phi, tol=1e-7)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    shared=st.floats(-3, 3, allow_nan=False),
+    others=st.lists(st.floats(-3, 3, allow_nan=False), min_size=1, max_size=3),
+)
+def test_symmetry_axiom(shared, others):
+    # players 0 and 1 share the same additive weight, hence are interchangeable
+    weights = [shared, shared] + list(others)
+    game = random_game_from_weights(weights, 0.0)
+    phi = exact_shapley(game)
+    assert check_symmetry(game, 0, 1, phi, tol=1e-7)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    w1=st.lists(st.floats(-2, 2, allow_nan=False), min_size=2, max_size=4),
+    w2=st.lists(st.floats(-2, 2, allow_nan=False), min_size=2, max_size=4),
+)
+def test_additivity_axiom(w1, w2):
+    size = min(len(w1), len(w2))
+    w1, w2 = w1[:size], w2[:size]
+    players = tuple(range(size))
+
+    def v1(coalition):
+        return float(sum(w1[p] for p in coalition))
+
+    def v2(coalition):
+        return float(sum(w2[p] ** 2 for p in coalition))
+
+    assert check_additivity(players, v1, v2, tol=1e-7)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.dictionaries(
+        keys=st.integers(0, 10),
+        values=st.floats(-100, 100, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_normalization_always_in_unit_interval(values):
+    normalized = normalize_shapley(values)
+    assert set(normalized.keys()) == set(values.keys())
+    for v in normalized.values():
+        assert -1e-12 <= v <= 1.0 + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.floats(-10, 10, allow_nan=False), min_size=2, max_size=6),
+    shift=st.floats(-50, 50, allow_nan=False),
+    scale=st.floats(0.1, 10, allow_nan=False),
+)
+def test_normalization_invariant_to_affine_transform(values, shift, scale):
+    raw = {i: v for i, v in enumerate(values)}
+    transformed = {i: scale * v + shift for i, v in enumerate(values)}
+    np.testing.assert_allclose(
+        [normalize_shapley(raw)[i] for i in raw],
+        [normalize_shapley(transformed)[i] for i in raw],
+        atol=1e-6,
+    )

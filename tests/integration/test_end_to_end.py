@@ -1,0 +1,93 @@
+"""End-to-end integration tests reproducing the paper's qualitative claims at small scale.
+
+These are the repository's "headline shape" checks:
+
+* PDSL reaches a lower training loss and higher test accuracy than the
+  heterogeneity-oblivious DP baselines under the same privacy budget;
+* a larger privacy budget (less noise) gives PDSL equal-or-better accuracy;
+* the non-private reference outperforms (or matches) its DP counterpart;
+* the whole experiment harness runs for every paper topology.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import build_experiment_components, run_comparison, run_single
+from repro.experiments.specs import fast_spec
+
+
+@pytest.fixture(scope="module")
+def headline_results():
+    spec = fast_spec(
+        num_agents=6,
+        epsilon=0.3,
+        num_rounds=15,
+        algorithms=["PDSL", "DP-DPSGD", "MUFFLIATO"],
+        seed=7,
+    )
+    return run_comparison(spec)
+
+
+class TestHeadlineClaim:
+    def test_pdsl_has_lowest_final_loss(self, headline_results):
+        losses = {name: h.final_loss() for name, h in headline_results.items()}
+        assert losses["PDSL"] == min(losses.values())
+
+    def test_pdsl_has_highest_accuracy(self, headline_results):
+        accs = {name: h.final_test_accuracy for name, h in headline_results.items()}
+        assert accs["PDSL"] == max(accs.values())
+
+    def test_pdsl_improves_over_initial_loss(self, headline_results):
+        history = headline_results["PDSL"]
+        assert history.final_loss() < history.losses[0]
+
+    def test_pdsl_beats_baselines_by_a_margin(self, headline_results):
+        accs = {name: h.final_test_accuracy for name, h in headline_results.items()}
+        others = [v for k, v in accs.items() if k != "PDSL"]
+        assert accs["PDSL"] > max(others) + 0.05
+
+
+class TestPrivacyUtilityTradeoff:
+    def test_larger_epsilon_not_worse_for_pdsl(self):
+        accuracies = {}
+        for epsilon in (0.08, 1.0):
+            spec = fast_spec(num_agents=5, epsilon=epsilon, num_rounds=12, algorithms=["PDSL"], seed=3)
+            accuracies[epsilon] = run_comparison(spec)["PDSL"].final_test_accuracy
+        assert accuracies[1.0] >= accuracies[0.08] - 0.05
+
+    def test_non_private_reference_at_least_as_good_as_dp(self):
+        spec = fast_spec(num_agents=5, epsilon=0.3, num_rounds=12, algorithms=["DP-DPSGD"], seed=3)
+        components = build_experiment_components(spec)
+        dp = run_single("DP-DPSGD", components)
+        non_private = run_single("D-PSGD", components)
+        assert non_private.final_test_accuracy >= dp.final_test_accuracy - 0.02
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("topology", ["fully_connected", "bipartite", "ring"])
+    def test_paper_topologies_run_end_to_end(self, topology):
+        spec = fast_spec(
+            num_agents=6, epsilon=0.3, topology=topology, num_rounds=5, algorithms=["PDSL"], seed=1
+        )
+        history = run_comparison(spec)["PDSL"]
+        assert len(history) == 5
+        assert history.final_test_accuracy is not None
+
+    def test_denser_topology_not_worse_for_pdsl(self):
+        results = {}
+        for topology in ("fully_connected", "ring"):
+            spec = fast_spec(
+                num_agents=6, epsilon=0.3, topology=topology, num_rounds=15, algorithms=["PDSL"], seed=7
+            )
+            results[topology] = run_comparison(spec)["PDSL"].final_test_accuracy
+        assert results["fully_connected"] >= results["ring"] - 0.05
+
+
+class TestScalingWithAgents:
+    def test_pdsl_stable_as_agents_increase(self):
+        accs = {}
+        for m in (4, 8):
+            spec = fast_spec(num_agents=m, epsilon=0.3, num_rounds=12, algorithms=["PDSL"], seed=11)
+            accs[m] = run_comparison(spec)["PDSL"].final_test_accuracy
+        # The paper's key observation: PDSL's accuracy does not collapse as M grows.
+        assert accs[8] >= accs[4] - 0.15

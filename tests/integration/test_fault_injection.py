@@ -1,0 +1,85 @@
+"""Integration tests under message loss (fault injection).
+
+The paper assumes reliable synchronous communication; these tests document
+how the implementation behaves when that assumption is relaxed, using the
+Network's drop-probability hook.  PDSL and the baselines must stay
+numerically stable (no NaNs, no crashes) and still make progress under
+moderate message loss, because every aggregation step normalises over the
+messages actually received.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AlgorithmConfig, PDSLConfig
+from repro.core.pdsl import PDSL
+from repro.baselines.dp_dpsgd import DPDPSGD
+from repro.data.partition import partition_dirichlet
+from repro.data.synthetic import make_classification_dataset
+from repro.nn.zoo import make_linear_classifier
+from repro.simulation.network import Network
+from repro.topology.graphs import fully_connected_graph
+
+
+def build(algorithm_cls, config, drop_probability, seed=0):
+    data = make_classification_dataset(400, num_features=8, num_classes=4, cluster_std=0.6, seed=seed)
+    topology = fully_connected_graph(5)
+    rng = np.random.default_rng(seed)
+    shards = partition_dirichlet(data, 5, alpha=0.5, rng=rng, min_samples_per_agent=8).shards
+    validation = data.sample(60, rng)
+    model = make_linear_classifier(8, 4, seed=seed)
+    if algorithm_cls is PDSL:
+        algorithm = PDSL(model, topology, shards, config, validation=validation)
+    else:
+        algorithm = algorithm_cls(model, topology, shards, config)
+    # swap in a lossy network
+    algorithm.network = Network(5, drop_probability=drop_probability, rng=np.random.default_rng(seed + 1))
+    return algorithm
+
+
+class TestPDSLUnderMessageLoss:
+    def test_runs_and_stays_finite_with_heavy_loss(self):
+        config = PDSLConfig(learning_rate=0.1, sigma=0.0, batch_size=16, seed=0, shapley_permutations=2)
+        algorithm = build(PDSL, config, drop_probability=0.4)
+        for _ in range(5):
+            algorithm.run_round()
+        assert all(np.isfinite(p).all() for p in algorithm.params)
+        assert algorithm.network.messages_dropped > 0
+
+    def test_still_learns_with_mild_loss(self):
+        config = PDSLConfig(learning_rate=0.1, sigma=0.0, batch_size=16, seed=0, shapley_permutations=2)
+        algorithm = build(PDSL, config, drop_probability=0.1)
+        initial = algorithm.average_train_loss()
+        for _ in range(12):
+            algorithm.run_round()
+        assert algorithm.average_train_loss() < initial
+
+    def test_aggregation_weights_only_cover_received_neighbors(self):
+        config = PDSLConfig(learning_rate=0.1, sigma=0.0, batch_size=16, seed=0, shapley_permutations=2)
+        algorithm = build(PDSL, config, drop_probability=0.5)
+        algorithm.run_round()
+        for agent in range(5):
+            received = set(algorithm.last_weights[agent].keys())
+            neighbors = set(algorithm.topology.neighbors(agent, include_self=True))
+            assert agent in received
+            assert received <= neighbors
+
+
+class TestBaselineUnderMessageLoss:
+    def test_dpsgd_stays_finite(self):
+        config = AlgorithmConfig(learning_rate=0.1, sigma=0.0, batch_size=16, seed=0)
+        algorithm = build(DPDPSGD, config, drop_probability=0.3)
+        for _ in range(8):
+            algorithm.run_round()
+        assert all(np.isfinite(p).all() for p in algorithm.params)
+
+    def test_zero_drop_probability_equivalent_to_reliable_network(self):
+        config = AlgorithmConfig(learning_rate=0.1, sigma=0.0, batch_size=16, seed=0)
+        reliable = build(DPDPSGD, config, drop_probability=0.0, seed=2)
+        config2 = AlgorithmConfig(learning_rate=0.1, sigma=0.0, batch_size=16, seed=0)
+        lossless = build(DPDPSGD, config2, drop_probability=0.0, seed=2)
+        for _ in range(3):
+            reliable.run_round()
+            lossless.run_round()
+        for a, b in zip(reliable.params, lossless.params):
+            np.testing.assert_array_equal(a, b)

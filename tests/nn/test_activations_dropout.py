@@ -1,0 +1,157 @@
+"""Tests for activation layers, Softmax, Dropout and Flatten."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dropout, Flatten, ReLU, Sigmoid, Softmax, Tanh
+
+
+class TestReLU:
+    def test_forward_clamps_negatives(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]])
+        np.testing.assert_allclose(relu.forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_backward_masks_gradient(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 3.0], [2.0, -0.5]])
+        relu.forward(x)
+        grad = relu.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 1)))
+
+    def test_no_parameters(self):
+        assert list(ReLU().parameters()) == []
+
+
+class TestTanh:
+    def test_forward_matches_numpy(self):
+        layer = Tanh()
+        x = np.linspace(-2, 2, 7).reshape(1, -1)
+        np.testing.assert_allclose(layer.forward(x), np.tanh(x))
+
+    def test_backward_derivative(self):
+        layer = Tanh()
+        x = np.array([[0.3, -0.7]])
+        layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, 1 - np.tanh(x) ** 2)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Tanh().backward(np.ones((1, 1)))
+
+
+class TestSigmoid:
+    def test_range(self):
+        layer = Sigmoid()
+        x = np.array([[-100.0, 0.0, 100.0]])
+        out = layer.forward(x)
+        assert np.all(out >= 0) and np.all(out <= 1)
+        np.testing.assert_allclose(out[0, 1], 0.5)
+
+    def test_backward_derivative(self):
+        layer = Sigmoid()
+        x = np.array([[0.5, -1.5]])
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_allclose(grad, out * (1 - out))
+
+    def test_extreme_values_no_overflow(self):
+        layer = Sigmoid()
+        out = layer.forward(np.array([[-1e6, 1e6]]))
+        assert np.isfinite(out).all()
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        layer = Softmax()
+        x = np.random.default_rng(0).normal(size=(5, 7))
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(5))
+
+    def test_invariant_to_shift(self):
+        layer = Softmax()
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        out1 = layer.forward(x)
+        out2 = layer.forward(x + 100.0)
+        np.testing.assert_allclose(out1, out2, atol=1e-12)
+
+    def test_backward_numerical(self):
+        layer = Softmax()
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 4))
+        grad_out = rng.normal(size=(2, 4))
+        layer.forward(x)
+        analytic = layer.backward(grad_out)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for idx in np.ndindex(x.shape):
+            orig = x[idx]
+            x[idx] = orig + eps
+            plus = float((layer.forward(x) * grad_out).sum())
+            x[idx] = orig - eps
+            minus = float((layer.forward(x) * grad_out).sum())
+            x[idx] = orig
+            numeric[idx] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+
+class TestDropout:
+    def test_identity_when_not_training(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(10, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_zero_rate_is_identity(self):
+        layer = Dropout(0.0, np.random.default_rng(0))
+        x = np.ones((4, 4))
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+    def test_drops_roughly_rate_fraction(self):
+        layer = Dropout(0.3, np.random.default_rng(0))
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        dropped_fraction = np.mean(out == 0.0)
+        assert abs(dropped_fraction - 0.3) < 0.02
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        x = np.ones((500, 500))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, np.random.default_rng(0))
+        x = np.ones((20, 20))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            Dropout(-0.1, np.random.default_rng(0))
+
+
+class TestFlatten:
+    def test_flattens_trailing_dims(self):
+        layer = Flatten()
+        x = np.zeros((3, 2, 4, 5))
+        assert layer.forward(x).shape == (3, 40)
+
+    def test_backward_restores_shape(self):
+        layer = Flatten()
+        x = np.random.default_rng(0).normal(size=(3, 2, 4))
+        layer.forward(x)
+        grad = layer.backward(np.ones((3, 8)))
+        assert grad.shape == x.shape
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Flatten().backward(np.ones((1, 4)))

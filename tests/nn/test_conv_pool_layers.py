@@ -1,0 +1,172 @@
+"""Tests for Conv2D and MaxPool2D: shapes, reference implementations, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2D, MaxPool2D
+
+
+def reference_conv2d(x, weight, bias, stride, padding):
+    """Naive direct convolution used as the ground truth."""
+    n, c, h, w = x.shape
+    oc, ic, kh, kw = weight.shape
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out_h = (x.shape[2] - kh) // stride + 1
+    out_w = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, oc, out_h, out_w))
+    for b in range(n):
+        for o in range(oc):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = x[b, :, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[b, o, i, j] = np.sum(patch * weight[o]) + (bias[o] if bias is not None else 0.0)
+    return out
+
+
+class TestConv2DForward:
+    def test_output_shape_no_padding(self):
+        layer = Conv2D(3, 4, kernel_size=3, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).normal(size=(2, 3, 8, 8))
+        assert layer.forward(x).shape == (2, 4, 6, 6)
+
+    def test_output_shape_with_padding(self):
+        layer = Conv2D(1, 2, kernel_size=3, rng=np.random.default_rng(0), padding=1)
+        x = np.random.default_rng(1).normal(size=(2, 1, 7, 7))
+        assert layer.forward(x).shape == (2, 2, 7, 7)
+
+    def test_matches_reference_implementation(self):
+        layer = Conv2D(2, 3, kernel_size=3, rng=np.random.default_rng(0), padding=1)
+        x = np.random.default_rng(1).normal(size=(2, 2, 5, 5))
+        expected = reference_conv2d(x, layer.weight.value, layer.bias.value, 1, 1)
+        np.testing.assert_allclose(layer.forward(x), expected, atol=1e-10)
+
+    def test_matches_reference_with_stride(self):
+        layer = Conv2D(1, 2, kernel_size=3, rng=np.random.default_rng(2), stride=2)
+        x = np.random.default_rng(3).normal(size=(1, 1, 9, 9))
+        expected = reference_conv2d(x, layer.weight.value, layer.bias.value, 2, 0)
+        np.testing.assert_allclose(layer.forward(x), expected, atol=1e-10)
+
+    def test_rejects_wrong_channels(self):
+        layer = Conv2D(3, 4, kernel_size=3, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((1, 2, 8, 8)))
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, kernel_size=0, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, kernel_size=3, rng=np.random.default_rng(0), padding=-1)
+
+
+class TestConv2DBackward:
+    def test_gradient_shapes(self):
+        layer = Conv2D(2, 3, kernel_size=3, rng=np.random.default_rng(0), padding=1)
+        x = np.random.default_rng(1).normal(size=(2, 2, 6, 6))
+        out = layer.forward(x)
+        grad_in = layer.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+        assert layer.weight.grad.shape == layer.weight.value.shape
+        assert layer.bias.grad.shape == layer.bias.value.shape
+
+    def test_weight_gradient_numerical(self):
+        layer = Conv2D(1, 2, kernel_size=2, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 1, 4, 4))
+        grad_out_template = rng.normal(size=(2, 2, 3, 3))
+
+        def objective():
+            return float((layer.forward(x) * grad_out_template).sum())
+
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(grad_out_template)
+        analytic = layer.weight.grad.copy()
+
+        eps = 1e-6
+        flat = layer.weight.value.ravel()
+        numeric = np.zeros_like(flat)
+        for k in range(flat.size):
+            orig = flat[k]
+            flat[k] = orig + eps
+            plus = objective()
+            flat[k] = orig - eps
+            minus = objective()
+            flat[k] = orig
+            numeric[k] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic.ravel(), numeric, atol=1e-5)
+
+    def test_input_gradient_numerical(self):
+        layer = Conv2D(1, 1, kernel_size=2, rng=np.random.default_rng(5), padding=1)
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(1, 1, 3, 3))
+        grad_out_template = rng.normal(size=(1, 1, 4, 4))
+
+        layer.forward(x)
+        analytic = layer.backward(grad_out_template)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for idx in np.ndindex(x.shape):
+            orig = x[idx]
+            x[idx] = orig + eps
+            plus = float((layer.forward(x) * grad_out_template).sum())
+            x[idx] = orig - eps
+            minus = float((layer.forward(x) * grad_out_template).sum())
+            x[idx] = orig
+            numeric[idx] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestMaxPool2D:
+    def test_output_shape(self):
+        pool = MaxPool2D(2)
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        assert pool.forward(x).shape == (2, 3, 4, 4)
+
+    def test_selects_maximum(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        expected = np.array([[[[5.0, 7.0], [13.0, 15.0]]]])
+        np.testing.assert_allclose(out, expected)
+
+    def test_backward_routes_gradient_to_argmax(self):
+        pool = MaxPool2D(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        pool.forward(x)
+        grad_in = pool.backward(np.ones((1, 1, 2, 2)))
+        expected = np.zeros((1, 1, 4, 4))
+        expected[0, 0, 1, 1] = 1.0
+        expected[0, 0, 1, 3] = 1.0
+        expected[0, 0, 3, 1] = 1.0
+        expected[0, 0, 3, 3] = 1.0
+        np.testing.assert_allclose(grad_in, expected)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            MaxPool2D(2).backward(np.zeros((1, 1, 2, 2)))
+
+    def test_gradient_numerical(self):
+        pool = MaxPool2D(2)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 2, 4, 4))
+        grad_out_template = rng.normal(size=(1, 2, 2, 2))
+        pool.forward(x)
+        analytic = pool.backward(grad_out_template)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for idx in np.ndindex(x.shape):
+            orig = x[idx]
+            x[idx] = orig + eps
+            plus = float((pool.forward(x) * grad_out_template).sum())
+            x[idx] = orig - eps
+            minus = float((pool.forward(x) * grad_out_template).sum())
+            x[idx] = orig
+            numeric[idx] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ValueError):
+            MaxPool2D(0)

@@ -1,0 +1,120 @@
+"""Tests for the Dense layer: forward correctness, backward vs. numerical gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, Parameter
+
+
+@pytest.fixture
+def layer():
+    return Dense(5, 3, np.random.default_rng(0), name="test")
+
+
+class TestDenseForward:
+    def test_output_shape(self, layer):
+        x = np.random.default_rng(1).normal(size=(7, 5))
+        assert layer.forward(x).shape == (7, 3)
+
+    def test_matches_manual_matmul(self, layer):
+        x = np.random.default_rng(1).normal(size=(4, 5))
+        expected = x @ layer.weight.value + layer.bias.value
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_no_bias(self):
+        layer = Dense(5, 3, np.random.default_rng(0), use_bias=False)
+        x = np.random.default_rng(1).normal(size=(4, 5))
+        np.testing.assert_allclose(layer.forward(x), x @ layer.weight.value)
+        assert len(list(layer.parameters())) == 1
+
+    def test_rejects_wrong_input_dim(self, layer):
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros((3, 6)))
+
+    def test_rejects_1d_input(self, layer):
+        with pytest.raises(ValueError):
+            layer.forward(np.zeros(5))
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            Dense(0, 3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            Dense(3, -1, np.random.default_rng(0))
+
+
+class TestDenseBackward:
+    def test_backward_before_forward_raises(self, layer):
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((2, 3)))
+
+    def test_input_gradient_shape(self, layer):
+        x = np.random.default_rng(1).normal(size=(6, 5))
+        layer.forward(x)
+        grad_in = layer.backward(np.ones((6, 3)))
+        assert grad_in.shape == (6, 5)
+
+    def test_weight_gradient_numerical(self, layer):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(3, 5))
+        grad_out = rng.normal(size=(3, 3))
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(grad_out)
+        analytic = layer.weight.grad.copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(layer.weight.value)
+        for i in range(5):
+            for j in range(3):
+                orig = layer.weight.value[i, j]
+                layer.weight.value[i, j] = orig + eps
+                plus = float((layer.forward(x) * grad_out).sum())
+                layer.weight.value[i, j] = orig - eps
+                minus = float((layer.forward(x) * grad_out).sum())
+                layer.weight.value[i, j] = orig
+                numeric[i, j] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+    def test_bias_gradient_sums_over_batch(self, layer):
+        x = np.random.default_rng(3).normal(size=(4, 5))
+        grad_out = np.random.default_rng(4).normal(size=(4, 3))
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(grad_out)
+        np.testing.assert_allclose(layer.bias.grad, grad_out.sum(axis=0))
+
+    def test_gradients_accumulate(self, layer):
+        x = np.ones((2, 5))
+        grad_out = np.ones((2, 3))
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(grad_out)
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(grad_out)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+    def test_zero_grad_resets(self, layer):
+        x = np.ones((2, 5))
+        layer.forward(x)
+        layer.backward(np.ones((2, 3)))
+        layer.zero_grad()
+        assert np.all(layer.weight.grad == 0)
+        assert np.all(layer.bias.grad == 0)
+
+
+class TestParameter:
+    def test_size_and_shape(self):
+        p = Parameter(np.zeros((3, 4)), name="w")
+        assert p.size == 12
+        assert p.shape == (3, 4)
+
+    def test_grad_initialised_to_zero(self):
+        p = Parameter(np.ones((2, 2)))
+        assert np.all(p.grad == 0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        assert np.all(p.grad == 0)

@@ -1,0 +1,91 @@
+"""Tests for weight initialisers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    fan_in_and_fan_out,
+    glorot_uniform,
+    he_normal,
+    normal_init,
+    zeros_init,
+)
+
+
+class TestFanInFanOut:
+    def test_dense_shape(self):
+        assert fan_in_and_fan_out((10, 20)) == (10, 20)
+
+    def test_conv_shape(self):
+        # (out_channels, in_channels, kh, kw)
+        fan_in, fan_out = fan_in_and_fan_out((8, 3, 5, 5))
+        assert fan_in == 3 * 25
+        assert fan_out == 8 * 25
+
+    def test_vector_shape(self):
+        assert fan_in_and_fan_out((7,)) == (7, 7)
+
+    def test_empty_shape(self):
+        assert fan_in_and_fan_out(()) == (1, 1)
+
+
+class TestGlorotUniform:
+    def test_shape_and_dtype(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform((6, 9), rng)
+        assert w.shape == (6, 9)
+        assert w.dtype == np.float64
+
+    def test_within_limit(self):
+        rng = np.random.default_rng(0)
+        shape = (50, 80)
+        limit = math.sqrt(6.0 / (50 + 80))
+        w = glorot_uniform(shape, rng)
+        assert np.all(np.abs(w) <= limit + 1e-12)
+
+    def test_deterministic_given_seed(self):
+        w1 = glorot_uniform((4, 4), np.random.default_rng(7))
+        w2 = glorot_uniform((4, 4), np.random.default_rng(7))
+        np.testing.assert_array_equal(w1, w2)
+
+    def test_mean_near_zero(self):
+        rng = np.random.default_rng(1)
+        w = glorot_uniform((200, 200), rng)
+        assert abs(w.mean()) < 0.01
+
+
+class TestHeNormal:
+    def test_shape(self):
+        rng = np.random.default_rng(0)
+        w = he_normal((16, 3, 3, 3), rng)
+        assert w.shape == (16, 3, 3, 3)
+
+    def test_std_matches_fan_in(self):
+        rng = np.random.default_rng(2)
+        fan_in = 3 * 7 * 7
+        w = he_normal((64, 3, 7, 7), rng)
+        expected_std = math.sqrt(2.0 / fan_in)
+        assert abs(w.std() - expected_std) / expected_std < 0.15
+
+    def test_deterministic(self):
+        w1 = he_normal((5, 5), np.random.default_rng(3))
+        w2 = he_normal((5, 5), np.random.default_rng(3))
+        np.testing.assert_array_equal(w1, w2)
+
+
+class TestNormalAndZeros:
+    def test_normal_std(self):
+        rng = np.random.default_rng(4)
+        w = normal_init((500, 20), rng, std=0.05)
+        assert abs(w.std() - 0.05) < 0.01
+
+    def test_zeros(self):
+        z = zeros_init((3, 4))
+        assert z.shape == (3, 4)
+        assert np.all(z == 0.0)
+
+    def test_zeros_ignores_rng(self):
+        z = zeros_init((2,), np.random.default_rng(0))
+        assert np.all(z == 0.0)

@@ -1,0 +1,128 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import l2_regularization, mean_squared_error, softmax_cross_entropy
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_give_log_k(self):
+        logits = np.zeros((4, 10))
+        labels = np.array([0, 3, 5, 9])
+        loss, _ = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(loss, np.log(10), rtol=1e-10)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss, _ = softmax_cross_entropy(logits, np.array([1, 2]))
+        assert loss < 1e-6
+
+    def test_gradient_shape_and_scale(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 4, size=6)
+        _, grad = softmax_cross_entropy(logits, labels)
+        assert grad.shape == logits.shape
+        # gradient rows sum to zero for the mean reduction (softmax minus one-hot)
+        np.testing.assert_allclose(grad.sum(), 0.0, atol=1e-12)
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 5))
+        labels = rng.integers(0, 5, size=3)
+        _, analytic = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for idx in np.ndindex(logits.shape):
+            orig = logits[idx]
+            logits[idx] = orig + eps
+            plus, _ = softmax_cross_entropy(logits, labels)
+            logits[idx] = orig - eps
+            minus, _ = softmax_cross_entropy(logits, labels)
+            logits[idx] = orig
+            numeric[idx] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_sum_reduction(self):
+        logits = np.zeros((4, 2))
+        labels = np.zeros(4, dtype=int)
+        loss_mean, grad_mean = softmax_cross_entropy(logits, labels, reduction="mean")
+        loss_sum, grad_sum = softmax_cross_entropy(logits, labels, reduction="sum")
+        np.testing.assert_allclose(loss_sum, loss_mean * 4)
+        np.testing.assert_allclose(grad_sum, grad_mean * 4)
+
+    def test_numerical_stability_large_logits(self):
+        logits = np.array([[1e4, -1e4], [-1e4, 1e4]])
+        labels = np.array([0, 1])
+        loss, grad = softmax_cross_entropy(logits, labels)
+        assert np.isfinite(loss)
+        assert np.isfinite(grad).all()
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((3, 2, 1)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_rejects_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0, 1]), reduction="avg")
+
+
+class TestMeanSquaredError:
+    def test_zero_for_identical(self):
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        loss, grad = mean_squared_error(x, x.copy())
+        assert loss == 0.0
+        np.testing.assert_allclose(grad, 0.0)
+
+    def test_known_value(self):
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 0.0]])
+        loss, _ = mean_squared_error(pred, target, reduction="sum")
+        np.testing.assert_allclose(loss, 0.5 * (1 + 4))
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        pred = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        _, analytic = mean_squared_error(pred, target)
+        eps = 1e-6
+        numeric = np.zeros_like(pred)
+        for idx in np.ndindex(pred.shape):
+            orig = pred[idx]
+            pred[idx] = orig + eps
+            plus, _ = mean_squared_error(pred, target)
+            pred[idx] = orig - eps
+            minus, _ = mean_squared_error(pred, target)
+            pred[idx] = orig
+            numeric[idx] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            mean_squared_error(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+class TestL2Regularization:
+    def test_value_and_gradient(self):
+        x = np.array([3.0, 4.0])
+        loss, grad = l2_regularization(x, weight_decay=0.1)
+        np.testing.assert_allclose(loss, 0.5 * 0.1 * 25)
+        np.testing.assert_allclose(grad, 0.1 * x)
+
+    def test_zero_decay(self):
+        loss, grad = l2_regularization(np.ones(5), 0.0)
+        assert loss == 0.0
+        np.testing.assert_allclose(grad, 0.0)
+
+    def test_rejects_negative_decay(self):
+        with pytest.raises(ValueError):
+            l2_regularization(np.ones(3), -1.0)

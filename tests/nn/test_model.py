@@ -1,0 +1,152 @@
+"""Tests for the Model/Sequential containers and the flat-parameter interface."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_gradients
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential
+from repro.nn.zoo import make_linear_classifier, make_mlp
+
+
+@pytest.fixture
+def model():
+    rng = np.random.default_rng(0)
+    return Sequential([Dense(6, 8, rng), ReLU(), Dense(8, 3, rng)])
+
+
+class TestFlatParameters:
+    def test_num_params(self, model):
+        expected = 6 * 8 + 8 + 8 * 3 + 3
+        assert model.num_params == expected
+
+    def test_get_set_roundtrip(self, model):
+        flat = model.get_flat_params()
+        assert flat.shape == (model.num_params,)
+        new = np.arange(model.num_params, dtype=np.float64)
+        model.set_flat_params(new)
+        np.testing.assert_array_equal(model.get_flat_params(), new)
+
+    def test_set_rejects_wrong_size(self, model):
+        with pytest.raises(ValueError):
+            model.set_flat_params(np.zeros(model.num_params + 1))
+
+    def test_get_returns_copy(self, model):
+        flat = model.get_flat_params()
+        flat[:] = 999.0
+        assert not np.allclose(model.get_flat_params(), 999.0)
+
+    def test_grad_roundtrip(self, model):
+        grads = np.linspace(0, 1, model.num_params)
+        model.set_flat_grads(grads)
+        np.testing.assert_allclose(model.get_flat_grads(), grads)
+
+    def test_zero_grad(self, model):
+        model.set_flat_grads(np.ones(model.num_params))
+        model.zero_grad()
+        np.testing.assert_allclose(model.get_flat_grads(), 0.0)
+
+    def test_clone_independent(self, model):
+        clone = model.clone()
+        clone.set_flat_params(np.zeros(model.num_params))
+        assert not np.allclose(model.get_flat_params(), 0.0)
+
+
+class TestLossAndGradient:
+    def test_loss_and_gradient_shapes(self, model):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(10, 6))
+        y = rng.integers(0, 3, size=10)
+        loss, grad = model.loss_and_gradient(x, y)
+        assert np.isscalar(loss) or isinstance(loss, float)
+        assert grad.shape == (model.num_params,)
+
+    def test_gradient_at_other_params_restores_state(self, model):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(4, 6))
+        y = rng.integers(0, 3, size=4)
+        original = model.get_flat_params()
+        other = original + 1.0
+        model.loss_and_gradient(x, y, params=other)
+        np.testing.assert_array_equal(model.get_flat_params(), original)
+
+    def test_cross_gradient_differs_from_local(self, model):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(8, 6))
+        y = rng.integers(0, 3, size=8)
+        _, grad_local = model.loss_and_gradient(x, y)
+        _, grad_other = model.loss_and_gradient(x, y, params=model.get_flat_params() + 0.5)
+        assert not np.allclose(grad_local, grad_other)
+
+    def test_analytic_gradient_matches_numerical(self):
+        model = make_mlp(5, 3, hidden_sizes=(4,), seed=0)
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(6, 5))
+        y = rng.integers(0, 3, size=6)
+        max_err, _, _ = check_gradients(model, x, y, eps=1e-5)
+        assert max_err < 1e-5
+
+    def test_evaluate_loss_consistent_with_loss_and_gradient(self, model):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(7, 6))
+        y = rng.integers(0, 3, size=7)
+        loss1, _ = model.loss_and_gradient(x, y)
+        loss2 = model.evaluate_loss(x, y)
+        np.testing.assert_allclose(loss1, loss2)
+
+
+class TestPredictionAndAccuracy:
+    def test_predict_shape(self, model):
+        x = np.random.default_rng(0).normal(size=(9, 6))
+        preds = model.predict(x)
+        assert preds.shape == (9,)
+        assert preds.dtype.kind == "i"
+
+    def test_accuracy_bounds(self, model):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(20, 6))
+        y = rng.integers(0, 3, size=20)
+        acc = model.accuracy(x, y)
+        assert 0.0 <= acc <= 1.0
+
+    def test_accuracy_perfect_when_labels_match_predictions(self, model):
+        x = np.random.default_rng(2).normal(size=(15, 6))
+        preds = model.predict(x)
+        assert model.accuracy(x, preds) == 1.0
+
+    def test_accuracy_at_params(self, model):
+        x = np.random.default_rng(3).normal(size=(10, 6))
+        y = np.random.default_rng(4).integers(0, 3, size=10)
+        original = model.get_flat_params()
+        acc = model.accuracy(x, y, params=np.zeros(model.num_params))
+        np.testing.assert_array_equal(model.get_flat_params(), original)
+        assert 0.0 <= acc <= 1.0
+
+    def test_accuracy_mismatched_batch_raises(self, model):
+        with pytest.raises(ValueError):
+            model.accuracy(np.zeros((3, 6)), np.zeros(4, dtype=int))
+
+
+class TestSequentialValidation:
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_len_and_iter(self, model):
+        assert len(model) == 3
+        assert len(list(iter(model))) == 3
+
+    def test_training_reduces_loss_on_separable_data(self):
+        model = make_linear_classifier(4, 3, seed=0)
+        rng = np.random.default_rng(0)
+        centers = np.eye(3, 4) * 5
+        labels = rng.integers(0, 3, size=200)
+        x = centers[labels] + rng.normal(0, 0.3, size=(200, 4))
+        initial = model.evaluate_loss(x, labels)
+        params = model.get_flat_params()
+        for _ in range(60):
+            _, grad = model.loss_and_gradient(x, labels, params=params)
+            params = params - 0.5 * grad
+        final = model.evaluate_loss(x, labels, params=params)
+        assert final < initial * 0.5
+        assert model.accuracy(x, labels, params=params) > 0.9

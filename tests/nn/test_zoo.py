@@ -1,0 +1,89 @@
+"""Tests for the model factories (architectures from the paper's evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_gradients
+from repro.nn.zoo import make_cifar_cnn, make_linear_classifier, make_mlp, make_mnist_cnn
+
+
+class TestLinearAndMLP:
+    def test_linear_output_shape(self):
+        model = make_linear_classifier(12, 5, seed=0)
+        x = np.random.default_rng(0).normal(size=(3, 12))
+        assert model.forward(x).shape == (3, 5)
+
+    def test_mlp_hidden_sizes(self):
+        model = make_mlp(10, 4, hidden_sizes=(16, 8), seed=0)
+        x = np.random.default_rng(0).normal(size=(2, 10))
+        assert model.forward(x).shape == (2, 4)
+        # Dense(10->16) + Dense(16->8) + Dense(8->4) with biases
+        assert model.num_params == 10 * 16 + 16 + 16 * 8 + 8 + 8 * 4 + 4
+
+    def test_same_seed_same_parameters(self):
+        a = make_mlp(6, 3, seed=42)
+        b = make_mlp(6, 3, seed=42)
+        np.testing.assert_array_equal(a.get_flat_params(), b.get_flat_params())
+
+    def test_different_seed_different_parameters(self):
+        a = make_mlp(6, 3, seed=1)
+        b = make_mlp(6, 3, seed=2)
+        assert not np.allclose(a.get_flat_params(), b.get_flat_params())
+
+
+class TestMnistCNN:
+    def test_output_shape(self):
+        model = make_mnist_cnn(num_classes=10, channels=(2, 4), image_size=28, seed=0)
+        x = np.random.default_rng(0).random((2, 1, 28, 28))
+        assert model.forward(x).shape == (2, 10)
+
+    def test_smaller_image_size(self):
+        model = make_mnist_cnn(num_classes=5, channels=(2, 3), image_size=12, seed=0)
+        x = np.random.default_rng(0).random((1, 1, 12, 12))
+        assert model.forward(x).shape == (1, 5)
+
+    def test_architecture_is_two_conv_two_pool_one_fc(self):
+        from repro.nn.layers import Conv2D, Dense, MaxPool2D
+
+        model = make_mnist_cnn(channels=(2, 4), image_size=28, seed=0)
+        convs = [l for l in model.layers if isinstance(l, Conv2D)]
+        pools = [l for l in model.layers if isinstance(l, MaxPool2D)]
+        denses = [l for l in model.layers if isinstance(l, Dense)]
+        assert len(convs) == 2 and len(pools) == 2 and len(denses) == 1
+        assert all(c.kernel_size == 3 for c in convs)
+
+    def test_gradients_correct(self):
+        model = make_mnist_cnn(num_classes=3, channels=(1, 2), image_size=8, seed=0)
+        rng = np.random.default_rng(1)
+        x = rng.random((2, 1, 8, 8))
+        y = rng.integers(0, 3, size=2)
+        max_err, _, _ = check_gradients(model, x, y, eps=1e-5)
+        assert max_err < 1e-4
+
+
+class TestCifarCNN:
+    def test_output_shape(self):
+        model = make_cifar_cnn(num_classes=10, channels=(2, 3), hidden=8, image_size=32, seed=0)
+        x = np.random.default_rng(0).random((2, 3, 32, 32))
+        assert model.forward(x).shape == (2, 10)
+
+    def test_architecture_is_two_conv_two_fc(self):
+        from repro.nn.layers import Conv2D, Dense
+
+        model = make_cifar_cnn(channels=(2, 3), hidden=8, image_size=32, seed=0)
+        convs = [l for l in model.layers if isinstance(l, Conv2D)]
+        denses = [l for l in model.layers if isinstance(l, Dense)]
+        assert len(convs) == 2 and len(denses) == 2
+        assert all(c.kernel_size == 5 for c in convs)
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ValueError):
+            make_cifar_cnn(image_size=8, seed=0)
+
+    def test_gradients_correct(self):
+        model = make_cifar_cnn(num_classes=2, channels=(1, 1), hidden=4, image_size=16, in_channels=1, seed=0)
+        rng = np.random.default_rng(2)
+        x = rng.random((2, 1, 16, 16))
+        y = rng.integers(0, 2, size=2)
+        max_err, _, _ = check_gradients(model, x, y, eps=1e-5)
+        assert max_err < 1e-4

@@ -1,0 +1,101 @@
+"""Tests for the privacy accountant."""
+
+import pytest
+
+from repro.privacy.accountant import CompositionMethod, PrivacyAccountant
+
+
+class TestBasicComposition:
+    def test_single_event(self):
+        acc = PrivacyAccountant()
+        acc.record(0.5, 1e-5)
+        eps, delta = acc.total_basic()
+        assert eps == 0.5
+        assert delta == 1e-5
+
+    def test_budgets_add_up(self):
+        acc = PrivacyAccountant()
+        acc.record(0.1, 1e-6, count=10)
+        eps, delta = acc.total_basic()
+        assert abs(eps - 1.0) < 1e-12
+        assert abs(delta - 1e-5) < 1e-15
+
+    def test_delta_capped_at_one(self):
+        acc = PrivacyAccountant()
+        acc.record(0.1, 0.4, count=5)
+        _, delta = acc.total_basic()
+        assert delta == 1.0
+
+    def test_empty_accountant(self):
+        acc = PrivacyAccountant()
+        assert acc.total_basic() == (0.0, 0.0)
+        assert acc.total_advanced() == (0.0, 0.0)
+
+    def test_reset(self):
+        acc = PrivacyAccountant()
+        acc.record(1.0, 1e-5)
+        acc.reset()
+        assert acc.num_events == 0
+        assert acc.total_basic() == (0.0, 0.0)
+
+
+class TestAdvancedComposition:
+    def test_beats_basic_for_many_small_events(self):
+        acc = PrivacyAccountant()
+        acc.record(0.01, 1e-7, count=1000)
+        basic_eps, _ = acc.total_basic()
+        adv_eps, _ = acc.total_advanced(delta_slack=1e-5)
+        assert adv_eps < basic_eps
+
+    def test_advanced_delta_includes_slack(self):
+        acc = PrivacyAccountant()
+        acc.record(0.1, 1e-6, count=10)
+        _, delta = acc.total_advanced(delta_slack=1e-4)
+        assert abs(delta - (10 * 1e-6 + 1e-4)) < 1e-12
+
+    def test_heterogeneous_events_fall_back_to_basic(self):
+        acc = PrivacyAccountant()
+        acc.record(0.1, 1e-6)
+        acc.record(0.2, 1e-6)
+        assert acc.total_advanced() == acc.total_basic()
+
+    def test_zero_epsilon_events(self):
+        acc = PrivacyAccountant()
+        acc.record(0.0, 1e-6, count=5)
+        eps, delta = acc.total_advanced()
+        assert eps == 0.0
+        assert abs(delta - 5e-6) < 1e-15
+
+    def test_invalid_slack(self):
+        acc = PrivacyAccountant()
+        acc.record(0.1, 1e-6)
+        with pytest.raises(ValueError):
+            acc.total_advanced(delta_slack=0.0)
+
+
+class TestRecordingAndDispatch:
+    def test_invalid_epsilon_delta(self):
+        acc = PrivacyAccountant()
+        with pytest.raises(ValueError):
+            acc.record(-0.1, 1e-5)
+        with pytest.raises(ValueError):
+            acc.record(0.1, 1.0)
+        with pytest.raises(ValueError):
+            acc.record(0.1, 1e-5, count=0)
+
+    def test_total_dispatch(self):
+        acc = PrivacyAccountant()
+        acc.record(0.2, 1e-6, count=4)
+        assert acc.total(CompositionMethod.BASIC) == acc.total_basic()
+        assert acc.total(CompositionMethod.ADVANCED) == acc.total_advanced()
+
+    def test_total_rejects_unknown_method(self):
+        acc = PrivacyAccountant()
+        with pytest.raises(ValueError):
+            acc.total("renyi")  # type: ignore[arg-type]
+
+    def test_num_events(self):
+        acc = PrivacyAccountant()
+        acc.record(0.1, 1e-6, count=3)
+        acc.record(0.2, 1e-6)
+        assert acc.num_events == 4

@@ -1,0 +1,112 @@
+"""Tests for noise calibration (classic Gaussian mechanism and Theorem 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.calibration import (
+    epsilon_for_sigma,
+    gaussian_sigma,
+    pdsl_sigma_for_topology,
+    pdsl_sigma_lower_bound,
+)
+from repro.topology.graphs import fully_connected_graph, ring_graph
+
+
+class TestGaussianSigma:
+    def test_known_value(self):
+        sigma = gaussian_sigma(epsilon=1.0, delta=1e-5, sensitivity=1.0)
+        expected = math.sqrt(2 * math.log(1.25e5))
+        np.testing.assert_allclose(sigma, expected)
+
+    def test_smaller_epsilon_more_noise(self):
+        assert gaussian_sigma(0.1, 1e-5, 1.0) > gaussian_sigma(1.0, 1e-5, 1.0)
+
+    def test_smaller_delta_more_noise(self):
+        assert gaussian_sigma(1.0, 1e-8, 1.0) > gaussian_sigma(1.0, 1e-3, 1.0)
+
+    def test_scales_linearly_with_sensitivity(self):
+        s1 = gaussian_sigma(0.5, 1e-5, 1.0)
+        s2 = gaussian_sigma(0.5, 1e-5, 2.0)
+        np.testing.assert_allclose(s2, 2 * s1)
+
+    def test_inverse_relationship(self):
+        sigma = gaussian_sigma(0.7, 1e-5, 0.3)
+        eps = epsilon_for_sigma(sigma, 1e-5, 0.3)
+        np.testing.assert_allclose(eps, 0.7)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            gaussian_sigma(0.0, 1e-5, 1.0)
+        with pytest.raises(ValueError):
+            gaussian_sigma(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            gaussian_sigma(1.0, 1.5, 1.0)
+        with pytest.raises(ValueError):
+            gaussian_sigma(1.0, 1e-5, -1.0)
+        with pytest.raises(ValueError):
+            epsilon_for_sigma(0.0, 1e-5, 1.0)
+
+
+class TestTheorem1Bound:
+    def test_positive(self):
+        bound = pdsl_sigma_lower_bound(
+            epsilon=0.3, delta=1e-5, clip_threshold=1.0,
+            neighbor_weights=[0.25, 0.25, 0.25, 0.25], omega_min=0.25, phi_min=0.25,
+        )
+        assert bound > 0
+
+    def test_decreasing_in_epsilon(self):
+        kwargs = dict(delta=1e-5, clip_threshold=1.0, neighbor_weights=[0.5, 0.5], omega_min=0.5, phi_min=0.5)
+        assert pdsl_sigma_lower_bound(epsilon=0.1, **kwargs) > pdsl_sigma_lower_bound(epsilon=1.0, **kwargs)
+
+    def test_increasing_in_clip_threshold(self):
+        kwargs = dict(epsilon=0.3, delta=1e-5, neighbor_weights=[0.5, 0.5], omega_min=0.5, phi_min=0.5)
+        assert pdsl_sigma_lower_bound(clip_threshold=2.0, **kwargs) > pdsl_sigma_lower_bound(clip_threshold=1.0, **kwargs)
+
+    def test_decreasing_in_phi_min(self):
+        kwargs = dict(epsilon=0.3, delta=1e-5, clip_threshold=1.0, neighbor_weights=[0.5, 0.5], omega_min=0.5)
+        assert pdsl_sigma_lower_bound(phi_min=0.1, **kwargs) > pdsl_sigma_lower_bound(phi_min=1.0, **kwargs)
+
+    def test_matches_manual_formula(self):
+        weights = [0.2, 0.3, 0.5]
+        eps, delta, clip, omega_min, phi_min = 0.5, 1e-5, 1.0, 0.2, 0.4
+        expected = (
+            2 * clip * (1 / omega_min + sum(1 / w for w in weights)) * math.sqrt(2 * math.log(1.25 / delta))
+        ) / (phi_min * eps * math.sqrt(sum(w ** -2 for w in weights)))
+        got = pdsl_sigma_lower_bound(eps, delta, clip, weights, omega_min, phi_min)
+        np.testing.assert_allclose(got, expected)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pdsl_sigma_lower_bound(0.3, 1e-5, 1.0, [], 0.5, 0.5)
+        with pytest.raises(ValueError):
+            pdsl_sigma_lower_bound(0.3, 1e-5, 1.0, [0.5, -0.1], 0.5, 0.5)
+        with pytest.raises(ValueError):
+            pdsl_sigma_lower_bound(0.3, 1e-5, 1.0, [0.5], 0.0, 0.5)
+        with pytest.raises(ValueError):
+            pdsl_sigma_lower_bound(0.3, 1e-5, 1.0, [0.5], 0.5, 0.0)
+        with pytest.raises(ValueError):
+            pdsl_sigma_lower_bound(0.3, 1e-5, -1.0, [0.5], 0.5, 0.5)
+
+
+class TestTheorem1ForTopology:
+    def test_positive_for_standard_topologies(self):
+        for topo in (fully_connected_graph(6), ring_graph(6)):
+            bound = pdsl_sigma_for_topology(topo, epsilon=0.3, delta=1e-5, clip_threshold=1.0)
+            assert bound > 0
+
+    def test_default_phi_min_uses_largest_neighborhood(self):
+        topo = fully_connected_graph(5)
+        default = pdsl_sigma_for_topology(topo, 0.3, 1e-5, 1.0)
+        explicit = pdsl_sigma_for_topology(topo, 0.3, 1e-5, 1.0, phi_min=1.0 / 5.0)
+        np.testing.assert_allclose(default, explicit)
+
+    def test_is_max_over_agents(self):
+        from repro.analysis.privacy_bounds import theorem1_sigma_bound
+
+        topo = ring_graph(7)
+        per_agent = theorem1_sigma_bound(topo, 0.3, 1e-5, 1.0, per_agent=True)
+        overall = pdsl_sigma_for_topology(topo, 0.3, 1e-5, 1.0)
+        np.testing.assert_allclose(overall, max(per_agent.values()))

@@ -1,0 +1,89 @@
+"""Property-based tests for the neural-network substrate."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.zoo import make_linear_classifier, make_mlp
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batch=st.integers(1, 16),
+    features=st.integers(1, 20),
+    classes=st.integers(2, 8),
+    seed=st.integers(0, 1000),
+)
+def test_flat_params_roundtrip_is_identity(batch, features, classes, seed):
+    model = make_mlp(features, classes, hidden_sizes=(5,), seed=seed)
+    original = model.get_flat_params()
+    model.set_flat_params(original)
+    np.testing.assert_array_equal(model.get_flat_params(), original)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    features=st.integers(1, 20),
+    classes=st.integers(2, 8),
+    seed=st.integers(0, 1000),
+    scale=st.floats(0.1, 10.0, allow_nan=False),
+)
+def test_set_arbitrary_vector_roundtrip(features, classes, seed, scale):
+    model = make_linear_classifier(features, classes, seed=seed)
+    rng = np.random.default_rng(seed)
+    vector = rng.normal(scale=scale, size=model.num_params)
+    model.set_flat_params(vector)
+    np.testing.assert_allclose(model.get_flat_params(), vector)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batch=st.integers(1, 12),
+    classes=st.integers(2, 10),
+    seed=st.integers(0, 1000),
+    logit_scale=st.floats(0.1, 50.0, allow_nan=False),
+)
+def test_cross_entropy_always_non_negative_and_finite(batch, classes, seed, logit_scale):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(scale=logit_scale, size=(batch, classes))
+    labels = rng.integers(0, classes, size=batch)
+    loss, grad = softmax_cross_entropy(logits, labels)
+    assert loss >= 0.0
+    assert np.isfinite(loss)
+    assert np.isfinite(grad).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batch=st.integers(2, 10),
+    features=st.integers(2, 12),
+    classes=st.integers(2, 6),
+    seed=st.integers(0, 1000),
+)
+def test_gradient_is_zero_only_at_interpolation(batch, features, classes, seed):
+    """A gradient step along the negative gradient never increases the loss (for small steps)."""
+    rng = np.random.default_rng(seed)
+    model = make_linear_classifier(features, classes, seed=seed)
+    x = rng.normal(size=(batch, features))
+    y = rng.integers(0, classes, size=batch)
+    params = model.get_flat_params()
+    loss_before, grad = model.loss_and_gradient(x, y, params=params)
+    step = 1e-3 / max(1.0, np.linalg.norm(grad))
+    loss_after = model.evaluate_loss(x, y, params=params - step * grad)
+    assert loss_after <= loss_before + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    batch=st.integers(1, 10),
+    features=st.integers(2, 12),
+    classes=st.integers(2, 6),
+    seed=st.integers(0, 1000),
+)
+def test_accuracy_always_in_unit_interval(batch, features, classes, seed):
+    rng = np.random.default_rng(seed)
+    model = make_mlp(features, classes, hidden_sizes=(6,), seed=seed)
+    x = rng.normal(size=(batch, features))
+    y = rng.integers(0, classes, size=batch)
+    acc = model.accuracy(x, y)
+    assert 0.0 <= acc <= 1.0

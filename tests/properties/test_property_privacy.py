@@ -1,0 +1,91 @@
+"""Property-based tests for the privacy substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.privacy.calibration import epsilon_for_sigma, gaussian_sigma
+from repro.privacy.mechanisms import GaussianMechanism, clip_by_l2_norm
+
+
+vectors = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 64),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(vector=vectors, threshold=st.floats(0.01, 100.0, allow_nan=False))
+def test_clipping_never_exceeds_threshold(vector, threshold):
+    clipped = clip_by_l2_norm(vector, threshold)
+    assert np.linalg.norm(clipped) <= threshold * (1 + 1e-9)
+
+
+@settings(max_examples=80, deadline=None)
+@given(vector=vectors, threshold=st.floats(0.01, 100.0, allow_nan=False))
+def test_clipping_is_idempotent(vector, threshold):
+    once = clip_by_l2_norm(vector, threshold)
+    twice = clip_by_l2_norm(once, threshold)
+    np.testing.assert_allclose(once, twice, atol=1e-12)
+
+
+@settings(max_examples=80, deadline=None)
+@given(vector=vectors, threshold=st.floats(0.01, 100.0, allow_nan=False))
+def test_clipping_preserves_direction(vector, threshold):
+    norm = np.linalg.norm(vector)
+    clipped = clip_by_l2_norm(vector, threshold)
+    if norm > 1e-9:
+        cosine = np.dot(vector, clipped) / (norm * max(np.linalg.norm(clipped), 1e-300))
+        assert cosine > 1 - 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    vector=vectors,
+    threshold=st.floats(0.01, 10.0, allow_nan=False),
+    scale=st.floats(1.0, 100.0, allow_nan=False),
+)
+def test_clipping_scale_invariance_for_large_vectors(vector, threshold, scale):
+    # once a vector exceeds the threshold, scaling it further cannot change the clipped output
+    big = vector * 1e3 + threshold * 10  # guarantee above threshold
+    np.testing.assert_allclose(
+        clip_by_l2_norm(big, threshold), clip_by_l2_norm(big * scale, threshold), atol=1e-9
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    epsilon=st.floats(0.01, 10.0, allow_nan=False),
+    delta=st.floats(1e-8, 0.1, allow_nan=False),
+    sensitivity=st.floats(0.001, 10.0, allow_nan=False),
+)
+def test_sigma_epsilon_round_trip(epsilon, delta, sensitivity):
+    sigma = gaussian_sigma(epsilon, delta, sensitivity)
+    recovered = epsilon_for_sigma(sigma, delta, sensitivity)
+    np.testing.assert_allclose(recovered, epsilon, rtol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    eps_small=st.floats(0.01, 1.0, allow_nan=False),
+    factor=st.floats(1.01, 100.0, allow_nan=False),
+    delta=st.floats(1e-8, 0.1, allow_nan=False),
+)
+def test_sigma_monotone_decreasing_in_epsilon(eps_small, factor, delta):
+    assert gaussian_sigma(eps_small, delta, 1.0) > gaussian_sigma(eps_small * factor, delta, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    vector=vectors,
+    sigma=st.floats(0.0, 5.0, allow_nan=False),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_mechanism_output_shape_and_determinism(vector, sigma, seed):
+    m1 = GaussianMechanism(sigma, np.random.default_rng(seed), clip_threshold=1.0)
+    m2 = GaussianMechanism(sigma, np.random.default_rng(seed), clip_threshold=1.0)
+    out1 = m1.privatize(vector)
+    out2 = m2.privatize(vector)
+    assert out1.shape == vector.shape
+    np.testing.assert_array_equal(out1, out2)

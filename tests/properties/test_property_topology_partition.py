@@ -1,0 +1,76 @@
+"""Property-based tests for mixing matrices, gossip averaging and partitioning."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data.partition import partition_dirichlet, partition_iid
+from repro.data.synthetic import make_classification_dataset
+from repro.topology.graphs import (
+    bipartite_graph,
+    erdos_renyi_graph,
+    fully_connected_graph,
+    ring_graph,
+)
+from repro.topology.mixing import is_doubly_stochastic, is_symmetric, second_largest_eigenvalue
+
+
+topology_strategy = st.one_of(
+    st.integers(2, 12).map(fully_connected_graph),
+    st.integers(3, 12).map(ring_graph),
+    st.integers(2, 12).map(bipartite_graph),
+    st.tuples(st.integers(4, 12), st.integers(0, 100)).map(
+        lambda args: erdos_renyi_graph(args[0], 0.6, seed=args[1])
+    ),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(topology=topology_strategy)
+def test_mixing_matrix_always_satisfies_assumption3(topology):
+    w = topology.mixing_matrix
+    assert is_symmetric(w)
+    assert is_doubly_stochastic(w)
+    assert second_largest_eigenvalue(w) < 1.0 - 1e-12
+    assert 0.0 <= topology.rho < 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(topology=topology_strategy, seed=st.integers(0, 1000))
+def test_gossip_preserves_average_and_contracts_disagreement(topology, seed):
+    rng = np.random.default_rng(seed)
+    m = topology.num_agents
+    vectors = rng.normal(size=(m, 5))
+    mixed = topology.mixing_matrix @ vectors
+    # average preservation (double stochasticity)
+    np.testing.assert_allclose(mixed.mean(axis=0), vectors.mean(axis=0), atol=1e-10)
+    # non-expansiveness of disagreement
+    before = np.sum((vectors - vectors.mean(axis=0)) ** 2)
+    after = np.sum((mixed - mixed.mean(axis=0)) ** 2)
+    assert after <= before + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_agents=st.integers(2, 10),
+    alpha=st.floats(0.05, 10.0, allow_nan=False),
+    seed=st.integers(0, 1000),
+)
+def test_dirichlet_partition_is_exact_cover(num_agents, alpha, seed):
+    data = make_classification_dataset(400, num_features=4, num_classes=5, seed=seed % 7)
+    result = partition_dirichlet(
+        data, num_agents, alpha=alpha, rng=np.random.default_rng(seed), min_samples_per_agent=1
+    )
+    all_indices = np.concatenate(result.indices)
+    assert len(all_indices) == len(data)
+    assert len(np.unique(all_indices)) == len(data)
+    assert min(result.sizes()) >= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(num_agents=st.integers(2, 10), seed=st.integers(0, 1000))
+def test_iid_partition_is_balanced_cover(num_agents, seed):
+    data = make_classification_dataset(300, num_features=4, num_classes=5, seed=seed % 5)
+    result = partition_iid(data, num_agents, np.random.default_rng(seed))
+    sizes = result.sizes()
+    assert sum(sizes) == len(data)
+    assert max(sizes) - min(sizes) <= 1

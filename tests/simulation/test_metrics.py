@@ -1,0 +1,80 @@
+"""Tests for metric containers and the consensus distance."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.metrics import RoundRecord, TrainingHistory, consensus_distance
+
+
+class TestConsensusDistance:
+    def test_identical_vectors_zero(self):
+        vectors = [np.ones(5)] * 4
+        assert consensus_distance(vectors) == 0.0
+
+    def test_known_value(self):
+        vectors = [np.array([0.0]), np.array([2.0])]
+        # mean is 1.0; each squared distance is 1.0
+        assert consensus_distance(vectors) == 1.0
+
+    def test_empty_list(self):
+        assert consensus_distance([]) == 0.0
+
+    def test_scale_quadratically(self):
+        vectors = [np.array([0.0, 0.0]), np.array([1.0, 1.0])]
+        base = consensus_distance(vectors)
+        scaled = consensus_distance([2 * v for v in vectors])
+        np.testing.assert_allclose(scaled, 4 * base)
+
+
+class TestTrainingHistory:
+    def make_history(self):
+        history = TrainingHistory(algorithm="X")
+        for t, loss in enumerate([2.0, 1.5, 1.0, 0.8], start=1):
+            history.append(RoundRecord(round=t, average_train_loss=loss, test_accuracy=0.1 * t))
+        return history
+
+    def test_basic_accessors(self):
+        history = self.make_history()
+        assert len(history) == 4
+        assert history.rounds == [1, 2, 3, 4]
+        assert history.losses == [2.0, 1.5, 1.0, 0.8]
+        assert history.final_loss() == 0.8
+
+    def test_best_accuracy_uses_records_and_final(self):
+        history = self.make_history()
+        assert history.best_accuracy() == pytest.approx(0.4)
+        history.final_test_accuracy = 0.9
+        assert history.best_accuracy() == 0.9
+
+    def test_rounds_to_loss(self):
+        history = self.make_history()
+        assert history.rounds_to_loss(1.5) == 2
+        assert history.rounds_to_loss(0.1) is None
+
+    def test_loss_auc_monotone_in_losses(self):
+        low = self.make_history()
+        high = TrainingHistory(algorithm="Y")
+        for t, loss in enumerate([3.0, 3.0, 3.0, 3.0], start=1):
+            high.append(RoundRecord(round=t, average_train_loss=loss))
+        assert low.loss_auc() < high.loss_auc()
+
+    def test_final_loss_on_empty_history_raises(self):
+        with pytest.raises(ValueError):
+            TrainingHistory(algorithm="X").final_loss()
+
+    def test_best_accuracy_none_when_never_evaluated(self):
+        history = TrainingHistory(algorithm="X")
+        history.append(RoundRecord(round=1, average_train_loss=1.0))
+        assert history.best_accuracy() is None
+
+    def test_to_dict_round_trip_fields(self):
+        history = self.make_history()
+        history.metadata["topology"] = "ring"
+        payload = history.to_dict()
+        assert payload["algorithm"] == "X"
+        assert payload["rounds"] == [1, 2, 3, 4]
+        assert payload["metadata"]["topology"] == "ring"
+        assert len(payload["accuracies"]) == 4
+
+    def test_empty_history_auc_zero(self):
+        assert TrainingHistory(algorithm="X").loss_auc() == 0.0

@@ -1,0 +1,120 @@
+"""Tests for the message-passing network."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.network import Message, Network
+
+
+class TestSendReceive:
+    def test_point_to_point_delivery(self):
+        net = Network(3)
+        assert net.send(0, 1, "model", np.array([1.0, 2.0]))
+        messages = net.receive(1, "model")
+        assert len(messages) == 1
+        assert messages[0].sender == 0
+        np.testing.assert_array_equal(messages[0].payload, [1.0, 2.0])
+
+    def test_receive_drains_mailbox(self):
+        net = Network(2)
+        net.send(0, 1, "x", 1)
+        net.receive(1, "x")
+        assert net.receive(1, "x") == []
+
+    def test_receive_by_sender_keeps_latest(self):
+        net = Network(2)
+        net.send(0, 1, "x", "old")
+        net.send(0, 1, "x", "new")
+        payloads = net.receive_by_sender(1, "x")
+        assert payloads == {0: "new"}
+
+    def test_tags_are_independent(self):
+        net = Network(2)
+        net.send(0, 1, "a", 1)
+        net.send(0, 1, "b", 2)
+        assert net.receive_by_sender(1, "a") == {0: 1}
+        assert net.receive_by_sender(1, "b") == {0: 2}
+
+    def test_broadcast_excludes_sender(self):
+        net = Network(4)
+        delivered = net.broadcast(0, [0, 1, 2, 3], "m", 42)
+        assert delivered == 3
+        assert net.pending(0) == 0
+        for agent in (1, 2, 3):
+            assert net.receive_by_sender(agent, "m") == {0: 42}
+
+    def test_pending_counts(self):
+        net = Network(2)
+        net.send(0, 1, "a", 1)
+        net.send(0, 1, "a", 2)
+        net.send(0, 1, "b", 3)
+        assert net.pending(1, "a") == 2
+        assert net.pending(1) == 3
+
+    def test_clear(self):
+        net = Network(2)
+        net.send(0, 1, "a", 1)
+        net.clear()
+        assert net.pending(1) == 0
+
+    def test_invalid_agent_ids(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.send(0, 5, "a", 1)
+        with pytest.raises(ValueError):
+            net.send(-1, 1, "a", 1)
+        with pytest.raises(ValueError):
+            net.receive(7, "a")
+
+    def test_empty_tag_rejected(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.send(0, 1, "", 1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Network(0)
+        with pytest.raises(ValueError):
+            Network(2, drop_probability=1.5)
+        with pytest.raises(ValueError):
+            Network(2, drop_probability=0.5)  # rng required
+
+
+class TestFaultInjection:
+    def test_drops_happen_at_configured_rate(self):
+        net = Network(2, drop_probability=0.5, rng=np.random.default_rng(0))
+        delivered = sum(net.send(0, 1, "x", i) for i in range(2000))
+        assert 800 < delivered < 1200
+        assert net.messages_dropped == 2000 - delivered
+
+    def test_no_drops_by_default(self):
+        net = Network(2)
+        for i in range(50):
+            assert net.send(0, 1, "x", i)
+        assert net.messages_dropped == 0
+
+
+class TestAccounting:
+    def test_message_and_float_counters(self):
+        net = Network(2)
+        net.send(0, 1, "grad", np.zeros(10))
+        net.send(1, 0, "grad", np.zeros(7))
+        summary = net.traffic_summary()
+        assert summary["messages_sent"] == 2
+        assert summary["floats_sent"] == 17
+        assert summary["traffic_by_tag"]["grad"] == 17
+
+    def test_round_counter(self):
+        net = Network(2)
+        assert net.current_round == 0
+        net.advance_round()
+        net.advance_round()
+        assert net.current_round == 2
+
+    def test_message_records_round(self):
+        net = Network(2)
+        net.advance_round()
+        net.send(0, 1, "x", 1)
+        [message] = net.receive(1, "x")
+        assert isinstance(message, Message)
+        assert message.round == 1

@@ -1,0 +1,89 @@
+"""Tests for the decentralized round-loop runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AlgorithmConfig
+from repro.baselines.dp_dpsgd import DPDPSGD
+from repro.data.partition import partition_iid
+from repro.simulation.runner import EvaluationConfig, run_decentralized
+
+
+def make_algorithm(tiny_dataset, tiny_model, topology, sigma=0.0):
+    shards = partition_iid(tiny_dataset, topology.num_agents, np.random.default_rng(0)).shards
+    config = AlgorithmConfig(learning_rate=0.1, sigma=sigma, batch_size=16, seed=0)
+    return DPDPSGD(tiny_model, topology, shards, config)
+
+
+class TestRunnerBasics:
+    def test_records_every_round_by_default(self, tiny_dataset, tiny_model, full_topology_4):
+        algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4)
+        history = run_decentralized(algorithm, 5)
+        assert len(history) == 5
+        assert history.rounds == [1, 2, 3, 4, 5]
+
+    def test_eval_every_subsamples_rounds(self, tiny_dataset, tiny_model, full_topology_4):
+        algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4)
+        history = run_decentralized(algorithm, 6, EvaluationConfig(eval_every=3))
+        # rounds 1 (always), 3, 6
+        assert history.rounds == [1, 3, 6]
+
+    def test_test_accuracy_recorded_when_test_data_given(
+        self, tiny_dataset, tiny_model, full_topology_4
+    ):
+        algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4)
+        history = run_decentralized(
+            algorithm, 3, EvaluationConfig(test_data=tiny_dataset)
+        )
+        assert history.final_test_accuracy is not None
+        assert all(r.test_accuracy is not None for r in history.records)
+
+    def test_no_accuracy_without_test_data(self, tiny_dataset, tiny_model, full_topology_4):
+        algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4)
+        history = run_decentralized(algorithm, 2)
+        assert history.final_test_accuracy is None
+        assert all(r.test_accuracy is None for r in history.records)
+
+    def test_metadata_captured(self, tiny_dataset, tiny_model, full_topology_4):
+        algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4)
+        history = run_decentralized(algorithm, 2)
+        assert history.metadata["num_agents"] == 4
+        assert history.metadata["topology"] == "fully_connected"
+        assert history.metadata["rounds"] == 2
+
+    def test_progress_callback_invoked(self, tiny_dataset, tiny_model, full_topology_4):
+        algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4)
+        calls = []
+        run_decentralized(algorithm, 3, progress_callback=lambda r, rec: calls.append(r))
+        assert calls == [1, 2, 3]
+
+    def test_consensus_tracked_by_default(self, tiny_dataset, tiny_model, full_topology_4):
+        algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4)
+        history = run_decentralized(algorithm, 2)
+        assert all(r.consensus is not None for r in history.records)
+
+    def test_invalid_rounds(self, tiny_dataset, tiny_model, full_topology_4):
+        algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4)
+        with pytest.raises(ValueError):
+            run_decentralized(algorithm, 0)
+
+
+class TestEvaluationConfigValidation:
+    def test_invalid_eval_every(self):
+        with pytest.raises(ValueError):
+            EvaluationConfig(eval_every=0)
+
+    def test_invalid_loss_samples(self):
+        with pytest.raises(ValueError):
+            EvaluationConfig(loss_samples_per_agent=0)
+
+    def test_invalid_accuracy_mode(self):
+        with pytest.raises(ValueError):
+            EvaluationConfig(accuracy_mode="median")
+
+
+class TestLearningProgress:
+    def test_non_private_training_reduces_loss(self, tiny_dataset, tiny_model, full_topology_4):
+        algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4, sigma=0.0)
+        history = run_decentralized(algorithm, 25)
+        assert history.losses[-1] < history.losses[0]
