@@ -1,0 +1,117 @@
+"""Micro-benchmark: loop vs vectorized engine at increasing agent counts.
+
+Times one DP-DPSGD communication round under both execution backends on the
+synthetic classification dataset at N in {16, 64, 256} agents (fully
+connected topology, linear model).  The loop backend routes every exchange
+through the mailbox network and steps agents one at a time; the vectorized
+backend batches the fleet into one ``(N, d)`` state matrix, evaluates all
+gradients with one stacked pass and performs gossip as a single ``W @ X``
+multiply.  The speedup is asserted to be at least 5x at 256 agents — the
+scaling headroom the vectorized engine exists to provide.
+
+Environment knobs:
+
+* ``REPRO_BENCH_ENGINE_AGENTS`` — comma-separated agent counts
+  (default "16,64,256");
+* ``REPRO_BENCH_ENGINE_ROUNDS`` — timed rounds per measurement (default 2).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.baselines import DPDPSGD
+from repro.core.config import AlgorithmConfig
+from repro.data.partition import partition_iid
+from repro.data.synthetic import make_classification_dataset
+from repro.nn.zoo import make_linear_classifier
+from repro.topology.graphs import fully_connected_graph
+
+SPEEDUP_FLOOR_AT_256 = 5.0
+
+
+def engine_agent_counts() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_ENGINE_AGENTS", "16,64,256")
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def timed_rounds() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_ENGINE_ROUNDS", 2)))
+
+
+def build(num_agents: int, backend: str) -> DPDPSGD:
+    data = make_classification_dataset(
+        num_samples=max(2048, 8 * num_agents),
+        num_features=16,
+        num_classes=4,
+        cluster_std=1.0,
+        seed=0,
+    )
+    shards = partition_iid(data, num_agents, np.random.default_rng(0)).shards
+    topology = fully_connected_graph(num_agents)
+    model = make_linear_classifier(16, 4, seed=0)
+    config = AlgorithmConfig(
+        learning_rate=0.05,
+        sigma=0.5,
+        clip_threshold=1.0,
+        batch_size=8,
+        seed=0,
+        backend=backend,
+    )
+    return DPDPSGD(model, topology, shards, config)
+
+
+def seconds_per_round(algorithm: DPDPSGD, rounds: int) -> float:
+    algorithm.run_round()  # warm-up: JIT-free but primes caches / allocators
+    start = time.perf_counter()
+    for _ in range(rounds):
+        algorithm.run_round()
+    return (time.perf_counter() - start) / rounds
+
+
+def test_bench_micro_engine_speedup():
+    rounds = timed_rounds()
+    results: Dict[int, Dict[str, float]] = {}
+    for num_agents in engine_agent_counts():
+        loop_time = seconds_per_round(build(num_agents, "loop"), rounds)
+        vec_time = seconds_per_round(build(num_agents, "vectorized"), rounds)
+        results[num_agents] = {
+            "loop": loop_time,
+            "vectorized": vec_time,
+            "speedup": loop_time / vec_time,
+        }
+
+    print()
+    print("=" * 66)
+    print("engine micro-benchmark: seconds per DP-DPSGD round (full topology)")
+    print(f"{'agents':>8s} {'loop':>12s} {'vectorized':>12s} {'speedup':>10s}")
+    for num_agents, row in sorted(results.items()):
+        print(
+            f"{num_agents:>8d} {row['loop']:>12.5f} {row['vectorized']:>12.5f} "
+            f"{row['speedup']:>9.1f}x"
+        )
+
+    # Only the large-N speedup is asserted: at small N the two backends are
+    # within scheduler noise of each other on a loaded machine, and a
+    # wall-clock assertion there would make the suite flaky.
+    largest = max(results)
+    if largest >= 256:
+        assert results[largest]["speedup"] >= SPEEDUP_FLOOR_AT_256, (
+            f"expected >= {SPEEDUP_FLOOR_AT_256}x speedup at {largest} agents, "
+            f"got {results[largest]['speedup']:.1f}x"
+        )
+
+
+def test_bench_micro_engine_backends_agree():
+    """The benchmark is only meaningful if both backends run the same algorithm."""
+    loop_alg = build(16, "loop")
+    vec_alg = build(16, "vectorized")
+    for _ in range(2):
+        loop_alg.run_round()
+        vec_alg.run_round()
+    np.testing.assert_allclose(loop_alg.state, vec_alg.state, rtol=1e-9, atol=1e-12)
+    assert loop_alg.network.messages_sent == vec_alg.network.messages_sent

@@ -23,7 +23,7 @@ class DMSGD(DecentralizedAlgorithm):
 
     name = "DMSGD"
 
-    def step(self, round_index: int) -> None:
+    def _step_loop(self, round_index: int) -> None:
         gamma = self.config.learning_rate
         alpha = self.config.momentum
         batches = self.draw_batches()
@@ -46,3 +46,14 @@ class DMSGD(DecentralizedAlgorithm):
                 acc += self.topology.weight(agent, j) * value
             new_params.append(acc)
         self.params = new_params
+
+    def _step_vectorized(self, round_index: int) -> None:
+        gamma = self.config.learning_rate
+        alpha = self.config.momentum
+        batches = self.draw_batches()
+        gradients = self.fleet_gradients(self.state, batches)
+        perturbed = self.privatize_rows(gradients)
+        self.momentum_state = alpha * self.momentum_state + perturbed
+        provisional = self.state - gamma * self.momentum_state
+        self.record_fleet_exchange("model", self.dimension)
+        self.state = self.mix_rows(provisional)

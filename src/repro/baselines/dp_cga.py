@@ -82,7 +82,7 @@ class DPCGA(DecentralizedAlgorithm):
         super().__init__(model, topology, shards, config, validation=validation)
         self.config: CGAConfig = config
 
-    def step(self, round_index: int) -> None:
+    def _step_loop(self, round_index: int) -> None:
         gamma = self.config.learning_rate
         alpha = self.config.momentum
         batches = self.draw_batches()
@@ -129,3 +129,41 @@ class DPCGA(DecentralizedAlgorithm):
                 acc += self.topology.weight(agent, j) * value
             new_params.append(acc)
         self.params = new_params
+
+    def _step_vectorized(self, round_index: int) -> None:
+        gamma = self.config.learning_rate
+        alpha = self.config.momentum
+        batches = self.draw_batches()
+
+        # Local gradients, privatized in agent order (first draw per agent,
+        # matching the loop backend's per-agent noise streams).
+        own = self.fleet_gradients(self.state, batches)
+        own_perturbed = self.privatize_rows(own)
+        self.record_fleet_exchange("model", self.dimension)
+
+        # Cross-gradients for every directed pair (evaluator i, model owner j):
+        # agent i's data, agent j's model.
+        cross_perturbed, pair_rows = self.fleet_cross_gradients(batches)
+        self.record_fleet_exchange("cross_grad", self.dimension)
+
+        # Min-norm QP per agent over the returned cross-gradients (sorted by
+        # contributor id, self included, as in the loop backend).
+        combined = np.empty_like(self.state)
+        for agent in range(self.num_agents):
+            contributors = self.topology.neighbors(agent, include_self=True)
+            ordered = [
+                own_perturbed[agent]
+                if j == agent
+                else cross_perturbed[pair_rows[(j, agent)]]
+                for j in contributors
+            ]
+            lam = min_norm_combination(ordered)
+            acc = np.zeros(self.dimension, dtype=np.float64)
+            for weight, grad in zip(lam, ordered):
+                acc += weight * grad
+            combined[agent] = acc
+
+        self.momentum_state = alpha * self.momentum_state + combined
+        provisional = self.state - gamma * self.momentum_state
+        self.record_fleet_exchange("mix", self.dimension)
+        self.state = self.mix_rows(provisional)

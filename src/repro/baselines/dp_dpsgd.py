@@ -24,7 +24,7 @@ class DPDPSGD(DecentralizedAlgorithm):
 
     name = "DP-DPSGD"
 
-    def step(self, round_index: int) -> None:
+    def _step_loop(self, round_index: int) -> None:
         gamma = self.config.learning_rate
         batches = self.draw_batches()
 
@@ -47,6 +47,15 @@ class DPDPSGD(DecentralizedAlgorithm):
                 mixed += self.topology.weight(agent, j) * params
             new_params.append(mixed)
         self.params = new_params
+
+    def _step_vectorized(self, round_index: int) -> None:
+        gamma = self.config.learning_rate
+        batches = self.draw_batches()
+        gradients = self.fleet_gradients(self.state, batches)
+        perturbed = self.privatize_rows(gradients)
+        provisional = self.state - gamma * perturbed
+        self.record_fleet_exchange("model", self.dimension)
+        self.state = self.mix_rows(provisional)
 
 
 class DPSGDNonPrivate(DPDPSGD):

@@ -22,8 +22,9 @@ from typing import List
 
 import numpy as np
 
-from repro.core.base import DecentralizedAlgorithm
+from repro.core.base import AgentRows, DecentralizedAlgorithm
 from repro.core.config import NetFleetConfig
+from repro.privacy.mechanisms import clip_rows_by_l2_norm
 
 __all__ = ["DPNetFleet"]
 
@@ -39,14 +40,33 @@ class DPNetFleet(DecentralizedAlgorithm):
         super().__init__(model, topology, shards, config, validation=validation)
         self.config: NetFleetConfig = config
         # Gradient-tracking state: y_i (the corrected gradient estimate) and
-        # the previous local gradient used in the recursive correction.
-        self.tracking: List[np.ndarray] = [
-            np.zeros(self.dimension, dtype=np.float64) for _ in range(self.num_agents)
-        ]
-        self.previous_gradient: List[np.ndarray] = [
-            np.zeros(self.dimension, dtype=np.float64) for _ in range(self.num_agents)
-        ]
+        # the previous local gradient used in the recursive correction, one
+        # row per agent like the base class's parameter state.
+        self.tracking_state: np.ndarray = np.zeros(
+            (self.num_agents, self.dimension), dtype=np.float64
+        )
+        self.previous_gradient_state: np.ndarray = np.zeros(
+            (self.num_agents, self.dimension), dtype=np.float64
+        )
         self._initialized = False
+
+    @property
+    def tracking(self) -> AgentRows:
+        """Per-agent tracking variables as a list-like view."""
+        return AgentRows(self.tracking_state)
+
+    @tracking.setter
+    def tracking(self, value) -> None:
+        self.tracking_state = self._as_state_matrix(value)
+
+    @property
+    def previous_gradient(self) -> AgentRows:
+        """Per-agent previous local gradients as a list-like view."""
+        return AgentRows(self.previous_gradient_state)
+
+    @previous_gradient.setter
+    def previous_gradient(self, value) -> None:
+        self.previous_gradient_state = self._as_state_matrix(value)
 
     def _perturbed_local_gradient(self, agent: int, params: np.ndarray) -> np.ndarray:
         """A fresh clipped + noised local gradient at the given parameters."""
@@ -54,7 +74,16 @@ class DPNetFleet(DecentralizedAlgorithm):
         gradient = self.local_gradient(agent, params, batch)
         return self.privatize(agent, gradient)
 
-    def step(self, round_index: int) -> None:
+    def _fresh_fleet_gradients(self, param_rows: np.ndarray) -> np.ndarray:
+        """One fresh perturbed gradient per agent at the given parameter rows.
+
+        Draws batches and noise in agent order, matching the per-agent
+        sampler and mechanism streams the loop backend consumes.
+        """
+        gradients = self.fleet_gradients(param_rows, self.draw_batches())
+        return self.privatize_rows(gradients)
+
+    def _step_loop(self, round_index: int) -> None:
         gamma = self.config.learning_rate
 
         # Lazy initialisation of the tracking variable with the first gradients.
@@ -114,3 +143,29 @@ class DPNetFleet(DecentralizedAlgorithm):
 
         self.params = new_params
         self.tracking = new_tracking
+
+    def _step_vectorized(self, round_index: int) -> None:
+        gamma = self.config.learning_rate
+
+        if not self._initialized:
+            initial = self._fresh_fleet_gradients(self.state)
+            self.tracking_state = initial
+            self.previous_gradient_state = initial.copy()
+            self._initialized = True
+
+        # 1. Local steps along the re-clipped tracking direction.
+        corrected = clip_rows_by_l2_norm(self.tracking_state, self.config.clip_threshold)
+        local_params = self.state.copy()
+        for _ in range(self.config.local_steps):
+            local_params = local_params - gamma * corrected
+
+        # 2. One (model, tracking) exchange per directed edge.
+        self.record_fleet_exchange("state", 2 * self.dimension)
+
+        # 3. Gossip averaging + recursive gradient correction.
+        mixed_params = self.mix_rows(local_params)
+        mixed_tracking = self.mix_rows(self.tracking_state)
+        fresh = self._fresh_fleet_gradients(mixed_params)
+        self.tracking_state = mixed_tracking + fresh - self.previous_gradient_state
+        self.previous_gradient_state = fresh
+        self.state = mixed_params

@@ -45,7 +45,7 @@ class Muffliato(DecentralizedAlgorithm):
             mixed.append(acc)
         return mixed
 
-    def step(self, round_index: int) -> None:
+    def _step_loop(self, round_index: int) -> None:
         gamma = self.config.learning_rate
         batches = self.draw_batches()
 
@@ -61,3 +61,14 @@ class Muffliato(DecentralizedAlgorithm):
             updated = self._one_gossip_exchange(updated, tag=f"gossip_{gossip_round}")
 
         self.params = updated
+
+    def _step_vectorized(self, round_index: int) -> None:
+        gamma = self.config.learning_rate
+        batches = self.draw_batches()
+        gradients = self.fleet_gradients(self.state, batches)
+        perturbed = self.privatize_rows(gradients)
+        updated = self.state - gamma * perturbed
+        for gossip_round in range(self.config.gossip_steps):
+            self.record_fleet_exchange(f"gossip_{gossip_round}", self.dimension)
+            updated = self.mix_rows(updated)
+        self.state = updated

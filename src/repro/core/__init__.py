@@ -16,7 +16,7 @@ from repro.core.config import (
     NetFleetConfig,
     PDSLConfig,
 )
-from repro.core.base import DecentralizedAlgorithm
+from repro.core.base import AgentRows, DecentralizedAlgorithm
 from repro.core.characteristic import validation_characteristic, make_update_characteristic
 from repro.core.pdsl import PDSL
 
@@ -26,6 +26,7 @@ __all__ = [
     "MuffliatoConfig",
     "CGAConfig",
     "NetFleetConfig",
+    "AgentRows",
     "DecentralizedAlgorithm",
     "validation_characteristic",
     "make_update_characteristic",

@@ -1,37 +1,97 @@
 """Shared infrastructure for decentralized learning algorithms.
 
 :class:`DecentralizedAlgorithm` owns everything PDSL and the baselines have in
-common: one flat parameter vector per agent (all initialised to the same
-point ``x^[0]``), per-agent mini-batch samplers and DP mechanisms, the
-message-passing :class:`~repro.simulation.network.Network`, gossip averaging
-with the topology's mixing matrix, and the evaluation helpers used by the
-experiment runner (average training loss, test accuracy, consensus distance).
+common: the fleet's parameters as one ``(num_agents, dimension)`` state
+matrix (every row initialised to the same point ``x^[0]``), per-agent
+mini-batch samplers and DP mechanisms, the message-passing
+:class:`~repro.simulation.network.Network`, gossip averaging with the
+topology's mixing matrix, and the evaluation helpers used by the experiment
+runner (average training loss, test accuracy, consensus distance).
 
-Subclasses implement :meth:`step`, which executes one communication round for
-all agents.
+Two execution engines share that state (selected by
+``AlgorithmConfig.backend``):
+
+* the **loop** backend steps agents one at a time and routes every exchange
+  through the :class:`Network` mailbox — faithful to a real deployment,
+  message by message, and required for fault injection;
+* the **vectorized** backend performs the same round as whole-fleet tensor
+  operations — the gossip step is a single ``W @ X`` multiply
+  (:meth:`mix_rows`), gradients are evaluated with stacked forward/backward
+  passes where the model allows it (:meth:`fleet_gradients`), and clipping +
+  Gaussian noise are applied row-wise (:meth:`privatize_rows`).  Per-agent
+  random streams are consumed in the same order as the loop backend, so the
+  two engines produce the same trajectory for a fixed seed (up to
+  floating-point associativity).
+
+Subclasses implement :meth:`_step_loop` (and usually
+:meth:`_step_vectorized`), each executing one communication round for all
+agents; :meth:`step` dispatches on the configured backend.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union, overload
 
 import numpy as np
 
 from repro.core.config import AlgorithmConfig
 from repro.data.dataset import Dataset
 from repro.data.loaders import BatchSampler
+from repro.nn.batched import StackedSequential, supports_stacked
+from repro.nn.layers import Dropout
 from repro.nn.model import Model
 from repro.privacy.accountant import PrivacyAccountant
-from repro.privacy.mechanisms import GaussianMechanism, clip_by_l2_norm
+from repro.privacy.mechanisms import GaussianMechanism, clip_by_l2_norm, clip_rows_by_l2_norm
 from repro.simulation.metrics import consensus_distance
 from repro.simulation.network import Network
 from repro.topology.graphs import Topology
+from repro.topology.mixing import validate_mixing_matrix
 
-__all__ = ["DecentralizedAlgorithm"]
+__all__ = ["AgentRows", "DecentralizedAlgorithm"]
+
+Batch = Tuple[np.ndarray, np.ndarray]
 
 
-class DecentralizedAlgorithm(ABC):
+class AgentRows:
+    """List-like view over the rows of an ``(num_agents, dimension)`` fleet matrix.
+
+    The vectorized engine stores all agents' vectors in one contiguous
+    matrix; this adapter preserves the historical per-agent list API
+    (``algorithm.params[i]``, iteration, item assignment) without copying.
+    Reads return row *views* into the underlying matrix; writes
+    (``rows[i] = vector``) store into it.
+    """
+
+    __slots__ = ("_matrix",)
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        self._matrix = matrix
+
+    def __len__(self) -> int:
+        return int(self._matrix.shape[0])
+
+    @overload
+    def __getitem__(self, index: int) -> np.ndarray: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[np.ndarray]: ...
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [self._matrix[i] for i in range(*index.indices(len(self)))]
+        return self._matrix[index]
+
+    def __setitem__(self, index: int, value: np.ndarray) -> None:
+        self._matrix[index] = np.asarray(value, dtype=np.float64)
+
+    def __iter__(self):
+        return iter(self._matrix)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AgentRows(shape={self._matrix.shape})"
+
+
+class DecentralizedAlgorithm:
     """Base class for synchronous round-based decentralized learning algorithms.
 
     Parameters
@@ -42,12 +102,16 @@ class DecentralizedAlgorithm(ABC):
         evaluations (agents are distinguished purely by their parameter
         vectors, exactly as the paper treats them as points in ``R^d``).
     topology:
-        Communication graph with doubly stochastic mixing matrix ``W``.
+        Communication graph with doubly stochastic mixing matrix ``W``.  The
+        matrix is re-validated here (symmetry, double stochasticity) so a
+        topology whose matrix was mutated after construction fails fast with
+        a clear error instead of deep inside the first gossip step.
     shards:
         One local dataset per agent (e.g. from
         :func:`repro.data.partition.partition_dirichlet`).
     config:
-        Optimisation / DP hyper-parameters.
+        Optimisation / DP hyper-parameters, including the execution
+        ``backend`` (``"loop"`` or ``"vectorized"``).
     validation:
         Optional shared validation set ``Q``; required by PDSL, unused by the
         baselines.
@@ -70,6 +134,12 @@ class DecentralizedAlgorithm(ABC):
         for agent, shard in enumerate(shards):
             if len(shard) == 0:
                 raise ValueError(f"agent {agent} received an empty local dataset")
+        try:
+            validate_mixing_matrix(topology.mixing_matrix)
+        except ValueError as error:
+            raise ValueError(
+                f"topology {topology.name!r} has an invalid mixing matrix: {error}"
+            ) from error
         self.model = model
         self.topology = topology
         self.shards = list(shards)
@@ -86,10 +156,25 @@ class DecentralizedAlgorithm(ABC):
         self.accountant = PrivacyAccountant()
 
         initial = model.get_flat_params()
-        self.params: List[np.ndarray] = [initial.copy() for _ in range(self.num_agents)]
-        self.momenta: List[np.ndarray] = [
-            np.zeros_like(initial) for _ in range(self.num_agents)
-        ]
+        # Canonical fleet state: row i is agent i's parameter vector.
+        self.state: np.ndarray = np.tile(initial[None, :], (self.num_agents, 1))
+        self.momentum_state: np.ndarray = np.zeros(
+            (self.num_agents, self.dimension), dtype=np.float64
+        )
+        self._stacked: Optional[StackedSequential] = (
+            StackedSequential(model) if supports_stacked(model) else None
+        )
+        # Models with stochastic layers draw from one RNG stream shared
+        # across every forward pass, so re-grouping gradient evaluations
+        # (as the vectorized engine does for cross-gradients) would change
+        # the draws; such models run on the loop engine to stay reproducible.
+        # Models whose layer structure cannot be inspected are treated as
+        # stochastic — the conservative choice that preserves the documented
+        # backend-equivalence guarantee for arbitrary Model subclasses.
+        layers = getattr(model, "layers", None)
+        self._model_is_stochastic = layers is None or any(
+            isinstance(layer, Dropout) and layer.rate > 0.0 for layer in layers
+        )
         self.samplers: List[BatchSampler] = [
             BatchSampler(
                 shards[i], config.batch_size, np.random.default_rng(int(child_seeds[i]))
@@ -113,11 +198,77 @@ class DecentralizedAlgorithm(ABC):
         self.rounds_completed = 0
 
     # ------------------------------------------------------------------
-    # Core abstract interface
+    # Fleet state accessors (list-compatible views over the state matrix)
     # ------------------------------------------------------------------
-    @abstractmethod
+    def _as_state_matrix(self, value: Sequence[np.ndarray]) -> np.ndarray:
+        matrix = np.array(list(value), dtype=np.float64)
+        if matrix.shape != (self.num_agents, self.dimension):
+            raise ValueError(
+                f"fleet state must have shape ({self.num_agents}, {self.dimension}), "
+                f"got {matrix.shape}"
+            )
+        return matrix
+
+    @property
+    def params(self) -> AgentRows:
+        """Per-agent parameter vectors as a list-like view over the state matrix."""
+        return AgentRows(self.state)
+
+    @params.setter
+    def params(self, value: Sequence[np.ndarray]) -> None:
+        self.state = self._as_state_matrix(value)
+
+    @property
+    def momenta(self) -> AgentRows:
+        """Per-agent momentum buffers as a list-like view over the momentum matrix."""
+        return AgentRows(self.momentum_state)
+
+    @momenta.setter
+    def momenta(self, value: Sequence[np.ndarray]) -> None:
+        self.momentum_state = self._as_state_matrix(value)
+
+    # ------------------------------------------------------------------
+    # Core interface and backend dispatch
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The engine that will execute the next round (after fallbacks)."""
+        return "vectorized" if self._use_vectorized() else "loop"
+
+    def _use_vectorized(self) -> bool:
+        # Message drops are per-message events; they only exist on the loop
+        # path, so a lossy network forces the loop backend.  Stochastic
+        # models (dropout) force it too: their shared forward-pass RNG would
+        # be consumed in a different order by the re-grouped vectorized
+        # gradient evaluations, breaking loop/vectorized trajectory
+        # equivalence.
+        return (
+            getattr(self.config, "backend", "loop") == "vectorized"
+            and self.network.drop_probability == 0.0
+            and not self._model_is_stochastic
+        )
+
     def step(self, round_index: int) -> None:
         """Execute one synchronous communication round for every agent."""
+        if self._use_vectorized():
+            self._step_vectorized(round_index)
+        else:
+            self._step_loop(round_index)
+
+    def _step_loop(self, round_index: int) -> None:
+        """One round via per-agent message passing (must be overridden)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} must implement _step_loop() (and optionally "
+            "_step_vectorized()) or override step() directly"
+        )
+
+    def _step_vectorized(self, round_index: int) -> None:
+        """One round via fleet-level tensor operations.
+
+        Defaults to the loop implementation so algorithms without a
+        vectorized port remain correct under either backend setting.
+        """
+        self._step_loop(round_index)
 
     def run_round(self) -> None:
         """Advance the network round counter and run :meth:`step` once."""
@@ -134,7 +285,7 @@ class DecentralizedAlgorithm(ABC):
         self,
         agent: int,
         params: np.ndarray,
-        batch: Tuple[np.ndarray, np.ndarray],
+        batch: Batch,
     ) -> np.ndarray:
         """Stochastic gradient of the loss at ``params`` on ``agent``'s batch.
 
@@ -146,9 +297,94 @@ class DecentralizedAlgorithm(ABC):
         _, grad = self.model.loss_and_gradient(inputs, labels, params=params)
         return grad
 
+    def fleet_gradients(
+        self, param_rows: np.ndarray, batches: Sequence[Batch]
+    ) -> np.ndarray:
+        """Row ``k``'s gradient at ``param_rows[k]`` evaluated on ``batches[k]``.
+
+        Uses stacked forward/backward passes when the model supports them
+        (linear classifiers and MLPs); rows are grouped by batch shape so
+        ragged batches (agents whose shard is smaller than the configured
+        batch size) only exclude themselves from a stack, not the whole
+        fleet.  Models without stacked support (CNNs) fall back to one
+        :meth:`Model.loss_and_gradient` call per row.  ``param_rows`` may
+        contain arbitrary rows (e.g. the neighbour models of every directed
+        edge for cross-gradients), not just the fleet state.
+        """
+        param_rows = np.asarray(param_rows, dtype=np.float64)
+        if self._stacked is None:
+            return np.stack(
+                [
+                    self.model.loss_and_gradient(inputs, labels, params=param_rows[k])[1]
+                    for k, (inputs, labels) in enumerate(batches)
+                ],
+                axis=0,
+            )
+        groups: Dict[Tuple, List[int]] = {}
+        for k, (inputs, labels) in enumerate(batches):
+            groups.setdefault((inputs.shape, labels.shape), []).append(k)
+        grads = np.empty((len(batches), self.dimension), dtype=np.float64)
+        for rows in groups.values():
+            inputs = np.stack([batches[k][0] for k in rows], axis=0)
+            labels = np.stack([batches[k][1] for k in rows], axis=0)
+            _, group_grads = self._stacked.loss_and_gradients(
+                param_rows[rows], inputs, labels
+            )
+            grads[rows] = group_grads
+        return grads
+
     def privatize(self, agent: int, gradient: np.ndarray) -> np.ndarray:
         """Clip to ``C`` and add ``N(0, sigma^2 I)`` noise (Algorithm 1 lines 3–4, 9–10)."""
         return self.mechanisms[agent].privatize(gradient)
+
+    def privatize_rows(
+        self, rows: np.ndarray, agents: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Row-wise clip + Gaussian noise, drawing from each owner agent's stream.
+
+        Parameters
+        ----------
+        rows:
+            ``(M, dimension)`` stack of gradients to privatize.
+        agents:
+            The agent that owns (and therefore noises) each row; defaults to
+            ``0..num_agents-1`` (one row per agent).  Rows owned by the same
+            agent must appear in the order the loop backend would privatize
+            them, so both backends consume identical noise streams.
+        """
+        clipped = clip_rows_by_l2_norm(rows, self.config.clip_threshold)
+        owners = range(self.num_agents) if agents is None else agents
+        if len(owners) != clipped.shape[0]:
+            raise ValueError(
+                f"got {clipped.shape[0]} gradient rows for {len(owners)} owner agents"
+            )
+        if self.sigma > 0.0:
+            for row, agent in enumerate(owners):
+                clipped[row] = self.mechanisms[agent].add_noise(clipped[row])
+        return clipped
+
+    def fleet_cross_gradients(
+        self, batches: Sequence[Batch]
+    ) -> Tuple[np.ndarray, Dict[Tuple[int, int], int]]:
+        """Perturbed cross-gradients for every directed pair, plus a row index.
+
+        Row ``pair_rows[(i, j)]`` holds the clipped-and-noised gradient of
+        agent ``j``'s model evaluated on agent ``i``'s batch (the
+        cross-gradient ``g_{i,j}`` of eq. 12).  Pairs are grouped by
+        evaluator with owners ascending, so each evaluator's noise draws
+        follow its own-gradient draw in exactly the loop backend's order —
+        callers must privatize local gradients (one row per agent, agent
+        order) *before* calling this.
+        """
+        pairs = self.topology.directed_pairs()
+        evaluators = [i for i, _ in pairs]
+        owners = [j for _, j in pairs]
+        cross = self.fleet_gradients(
+            self.state[owners], [batches[i] for i in evaluators]
+        )
+        cross_perturbed = self.privatize_rows(cross, agents=evaluators)
+        pair_rows = {pair: row for row, pair in enumerate(pairs)}
+        return cross_perturbed, pair_rows
 
     def clip(self, gradient: np.ndarray) -> np.ndarray:
         """Clip a gradient to the configured threshold without adding noise."""
@@ -167,11 +403,27 @@ class DecentralizedAlgorithm(ABC):
         Implements ``x_i <- sum_j omega_{ij} x_j`` (eqs. 24–25) for all agents
         simultaneously.
         """
-        stacked = np.stack([np.asarray(v, dtype=np.float64) for v in vectors], axis=0)
-        mixed = self.topology.mixing_matrix @ stacked
+        mixed = self.mix_rows(
+            np.stack([np.asarray(v, dtype=np.float64) for v in vectors], axis=0)
+        )
         return [mixed[i] for i in range(self.num_agents)]
 
-    def draw_batches(self) -> List[Tuple[np.ndarray, np.ndarray]]:
+    def mix_rows(self, matrix: np.ndarray) -> np.ndarray:
+        """The gossip step as one matrix multiply: ``W @ X`` (eqs. 24–25)."""
+        return self.topology.mixing_matrix @ np.asarray(matrix, dtype=np.float64)
+
+    def record_fleet_exchange(self, tag: str, floats_per_message: int) -> None:
+        """Account one all-neighbour exchange executed by the vectorized engine.
+
+        Mirrors the traffic the loop backend generates for the same phase:
+        one message per directed edge, each carrying ``floats_per_message``
+        floats.
+        """
+        self.network.record_bulk(
+            tag, self.topology.num_directed_edges, floats_per_message
+        )
+
+    def draw_batches(self) -> List[Batch]:
         """One fresh mini-batch per agent for the current round."""
         return [self.samplers[i].next_batch() for i in range(self.num_agents)]
 
@@ -180,15 +432,15 @@ class DecentralizedAlgorithm(ABC):
     # ------------------------------------------------------------------
     def agent_parameters(self) -> List[np.ndarray]:
         """Copies of every agent's current parameter vector."""
-        return [p.copy() for p in self.params]
+        return [row.copy() for row in self.state]
 
     def average_parameters(self) -> np.ndarray:
         """The network-average model ``x_bar`` used in the convergence analysis."""
-        return np.mean(np.stack(self.params, axis=0), axis=0)
+        return self.state.mean(axis=0)
 
     def consensus(self) -> float:
         """Average squared distance of agent models from their mean (Lemma 6 quantity)."""
-        return consensus_distance(self.params)
+        return consensus_distance(self.state)
 
     def average_train_loss(self, max_samples_per_agent: int = 256) -> float:
         """Average of each agent's loss on (a sample of) its own local dataset.
@@ -205,7 +457,7 @@ class DecentralizedAlgorithm(ABC):
                 )
                 shard = shard.sample(max_samples_per_agent, rng)
             losses.append(
-                self.model.evaluate_loss(shard.inputs, shard.labels, params=self.params[agent])
+                self.model.evaluate_loss(shard.inputs, shard.labels, params=self.state[agent])
             )
         return float(np.mean(losses))
 
@@ -222,8 +474,8 @@ class DecentralizedAlgorithm(ABC):
             )
         if mode == "mean_agent":
             accuracies = [
-                self.model.accuracy(test_data.inputs, test_data.labels, params=p)
-                for p in self.params
+                self.model.accuracy(test_data.inputs, test_data.labels, params=row)
+                for row in self.state
             ]
             return float(np.mean(accuracies))
         raise ValueError("mode must be 'mean_agent' or 'average_model'")

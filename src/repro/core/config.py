@@ -47,6 +47,19 @@ class AlgorithmConfig:
         Mini-batch size drawn by each agent per round.
     seed:
         Base seed; per-agent randomness is derived from it deterministically.
+    backend:
+        Execution engine: ``"vectorized"`` (default) keeps the fleet's
+        parameters in one ``(num_agents, dimension)`` matrix and performs the
+        gossip step as a single ``W @ X`` multiply with batched gradient and
+        clip+noise paths; ``"loop"`` steps agents one at a time through the
+        message-passing :class:`~repro.simulation.network.Network`.  Both
+        backends consume identical per-agent random streams, so a fixed seed
+        yields the same trajectory (up to floating-point associativity)
+        under either engine.  Algorithms automatically fall back to the loop
+        backend when the network injects message drops (which only exist as
+        per-message events) or when the model contains stochastic layers
+        such as dropout (whose shared forward-pass RNG would be consumed in
+        a different order by the re-grouped vectorized evaluations).
     """
 
     learning_rate: float = 0.01
@@ -57,6 +70,7 @@ class AlgorithmConfig:
     delta: float = 1e-5
     batch_size: int = 32
     seed: int = 0
+    backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -75,6 +89,8 @@ class AlgorithmConfig:
             raise ValueError("delta must lie in (0, 1)")
         if self.sigma is None and self.epsilon is None:
             raise ValueError("either sigma or epsilon must be provided")
+        if self.backend not in ("loop", "vectorized"):
+            raise ValueError("backend must be 'loop' or 'vectorized'")
 
     @property
     def sensitivity(self) -> float:

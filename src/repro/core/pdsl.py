@@ -20,11 +20,19 @@ line by line:
    and model.
 4. **Gossip averaging** (lines 22–24): momentum buffers and models are mixed
    with the doubly stochastic matrix ``W`` (eqs. 24–25).
+
+Both execution backends run the same four phases.  The vectorized engine
+computes all local gradients and all per-edge cross-gradients with stacked
+forward/backward passes and performs phase 4 as two ``W @ X`` multiplies;
+phase 3's Shapley games remain per-agent (they are inherently sequential
+coalition evaluations) but consume exactly the same per-agent random streams
+as the loop backend, so both backends follow the same trajectory for a fixed
+seed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -91,10 +99,39 @@ class PDSL(DecentralizedAlgorithm):
             game, self.config.shapley_permutations, self.agent_rngs[agent]
         )
 
+    def _aggregate_returned(
+        self, agent: int, returned: Dict[int, np.ndarray]
+    ) -> np.ndarray:
+        """Phase-3 body for one agent: Shapley weights over the returned
+        perturbed gradients (eqs. 15–20) and their weighted average (eq. 21).
+
+        ``returned`` maps contributor id to perturbed gradient and must be
+        ordered neighbours-ascending-then-self: the Shapley game's player
+        order (and hence the Monte-Carlo permutation stream) follows dict
+        order, so both backends build it identically.
+        """
+        gamma = self.config.learning_rate
+        # Candidate updates x_{i,j} = x_i - gamma * g_hat_{j,i} (eq. 15).
+        candidates = {
+            j: self.state[agent] - gamma * grad for j, grad in returned.items()
+        }
+        shapley = self._shapley_values(agent, candidates)
+        normalized = normalize_shapley(shapley)
+        mixing = {j: self.topology.weight(agent, j) for j in returned}
+        weights = shapley_aggregation_weights(normalized, mixing)
+        self.last_shapley[agent] = {int(k): float(v) for k, v in shapley.items()}
+        self.last_weights[agent] = {int(k): float(v) for k, v in weights.items()}
+
+        # Weighted perturbed-gradient average (eq. 21).
+        aggregated = np.zeros(self.dimension, dtype=np.float64)
+        for j, grad in returned.items():
+            aggregated += weights[j] * grad
+        return aggregated
+
     # ------------------------------------------------------------------
-    # One round of Algorithm 1
+    # One round of Algorithm 1 — loop backend
     # ------------------------------------------------------------------
-    def step(self, round_index: int) -> None:
+    def _step_loop(self, round_index: int) -> None:
         gamma = self.config.learning_rate
         alpha = self.config.momentum
         batches = self.draw_batches()
@@ -120,22 +157,7 @@ class PDSL(DecentralizedAlgorithm):
         for agent in range(self.num_agents):
             returned = self.network.receive_by_sender(agent, "cross_grad")
             returned[agent] = own_perturbed[agent]
-
-            # Candidate updates x_{i,j} = x_i - gamma * g_hat_{j,i} (eq. 15).
-            candidates = {
-                j: self.params[agent] - gamma * grad for j, grad in returned.items()
-            }
-            shapley = self._shapley_values(agent, candidates)
-            normalized = normalize_shapley(shapley)
-            mixing = {j: self.topology.weight(agent, j) for j in returned}
-            weights = shapley_aggregation_weights(normalized, mixing)
-            self.last_shapley[agent] = {int(k): float(v) for k, v in shapley.items()}
-            self.last_weights[agent] = {int(k): float(v) for k, v in weights.items()}
-
-            # Weighted perturbed-gradient average (eq. 21).
-            aggregated = np.zeros(self.dimension, dtype=np.float64)
-            for j, grad in returned.items():
-                aggregated += weights[j] * grad
+            aggregated = self._aggregate_returned(agent, returned)
 
             # Momentum-like update (eqs. 22-23).
             momentum_hat = alpha * self.momenta[agent] + aggregated
@@ -162,3 +184,41 @@ class PDSL(DecentralizedAlgorithm):
 
         self.momenta = new_momenta
         self.params = new_params
+
+    # ------------------------------------------------------------------
+    # One round of Algorithm 1 — vectorized backend
+    # ------------------------------------------------------------------
+    def _step_vectorized(self, round_index: int) -> None:
+        gamma = self.config.learning_rate
+        alpha = self.config.momentum
+        batches = self.draw_batches()
+
+        # Phase 1 — all local gradients in one stacked pass, privatized in
+        # agent order (first noise draw per agent, as in the loop backend).
+        own = self.fleet_gradients(self.state, batches)
+        own_perturbed = self.privatize_rows(own)
+        self.record_fleet_exchange("model", self.dimension)
+
+        # Phase 2 — all cross-gradients in one stacked pass over the directed
+        # pairs (evaluator i, model owner j): agent i's batch, agent j's model.
+        cross_perturbed, pair_rows = self.fleet_cross_gradients(batches)
+        self.record_fleet_exchange("cross_grad", self.dimension)
+
+        # Phase 3 — per-agent Shapley aggregation (inherently sequential
+        # coalition evaluations), then one fleet-wide momentum update.
+        aggregated = np.empty_like(self.state)
+        for agent in range(self.num_agents):
+            returned = {
+                j: cross_perturbed[pair_rows[(j, agent)]]
+                for j in self.topology.neighbors(agent, include_self=False)
+            }
+            returned[agent] = own_perturbed[agent]
+            aggregated[agent] = self._aggregate_returned(agent, returned)
+
+        momentum_hat = alpha * self.momentum_state + aggregated
+        params_hat = self.state - gamma * momentum_hat
+        self.record_fleet_exchange("mix", 2 * self.dimension)
+
+        # Phase 4 — gossip averaging as two matrix multiplies.
+        self.momentum_state = self.mix_rows(momentum_hat)
+        self.state = self.mix_rows(params_hat)

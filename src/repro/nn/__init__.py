@@ -37,6 +37,7 @@ from repro.nn.losses import (
     softmax_cross_entropy,
 )
 from repro.nn.model import Model, Sequential
+from repro.nn.batched import StackedSequential, supports_stacked
 from repro.nn.gradcheck import numerical_gradient, check_gradients
 from repro.nn.zoo import (
     make_cifar_cnn,
@@ -58,6 +59,8 @@ __all__ = [
     "Flatten",
     "Model",
     "Sequential",
+    "StackedSequential",
+    "supports_stacked",
     "softmax_cross_entropy",
     "mean_squared_error",
     "l2_regularization",

@@ -1,0 +1,236 @@
+"""Stacked forward/backward passes over many parameter vectors at once.
+
+The decentralized algorithms evaluate the *same architecture* at many
+different points of ``R^d`` every round — one point per agent for local
+gradients, one point per directed edge for cross-gradients.  Doing that with
+the scalar :class:`~repro.nn.model.Model` interface costs one Python-level
+forward/backward pass per point.  :class:`StackedSequential` instead treats
+the whole fleet as a single tensor computation: parameters live in an
+``(M, d)`` matrix, activations in ``(M, B, ...)`` tensors, and each layer is
+applied to all ``M`` models with one einsum.
+
+Only layer types whose stacked semantics are exact and deterministic are
+supported (``Dense``, ``ReLU``, ``Tanh``, ``Sigmoid``, ``Flatten``).  Models
+containing convolutions, pooling or dropout fall back to the per-model loop
+path — use :func:`supports_stacked` to check.  The stacked computation mirrors
+the per-layer formulas of :mod:`repro.nn.layers` operation for operation, so
+its gradients agree with ``Model.loss_and_gradient`` to floating-point
+round-off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Dense, Flatten, ReLU, Sigmoid, Tanh
+from repro.nn.model import Model, Sequential
+
+__all__ = ["supports_stacked", "StackedSequential"]
+
+_ACTIVATIONS = (ReLU, Tanh, Sigmoid)
+
+
+def supports_stacked(model: Model) -> bool:
+    """True if ``model`` can be evaluated by :class:`StackedSequential`.
+
+    The model must be a plain :class:`~repro.nn.model.Sequential` composed
+    only of ``Dense``, ``ReLU``, ``Tanh``, ``Sigmoid`` and ``Flatten`` layers
+    (linear classifiers and MLPs).  Layers with spatial structure
+    (``Conv2D``, ``MaxPool2D``) or internal randomness (``Dropout``) are
+    excluded, as are ``Sequential`` *subclasses* — the stacked engine
+    hard-codes softmax cross-entropy, so a subclass overriding the loss
+    would silently get the wrong gradients.
+    """
+    if type(model) is not Sequential:
+        return False
+    for layer in model.layers:
+        if not isinstance(layer, (Dense, Flatten) + _ACTIVATIONS):
+            return False
+    return True
+
+
+class StackedSequential:
+    """Evaluate a :class:`Sequential` template at ``M`` parameter vectors at once.
+
+    Parameters
+    ----------
+    template:
+        The architecture to evaluate.  Only its layer *shapes* are used; the
+        parameter values come from the ``(M, d)`` matrix passed to
+        :meth:`loss_and_gradients`, laid out exactly like
+        :meth:`Model.get_flat_params` (layer order, weight before bias).
+    max_chunk_elements:
+        Upper bound on ``M * B * width`` per processed chunk, used to split
+        very large stacks (e.g. all cross-gradient pairs of a dense graph)
+        into memory-bounded pieces.
+    """
+
+    def __init__(self, template: Sequential, max_chunk_elements: int = 8_000_000) -> None:
+        if not supports_stacked(template):
+            raise ValueError(
+                "StackedSequential supports Sequential models built from "
+                "Dense/ReLU/Tanh/Sigmoid/Flatten layers only"
+            )
+        self.template = template
+        self.dimension = template.num_params
+        self.max_chunk_elements = int(max_chunk_elements)
+        # Build the static evaluation plan: one spec per layer with the flat
+        # slices its parameters occupy.
+        self._plan: List[Tuple] = []
+        offset = 0
+        widest = 1
+        for layer in template.layers:
+            if isinstance(layer, Dense):
+                w_size = layer.weight.size
+                w_slice = slice(offset, offset + w_size)
+                offset += w_size
+                b_slice: Optional[slice] = None
+                if layer.bias is not None:
+                    b_slice = slice(offset, offset + layer.bias.size)
+                    offset += layer.bias.size
+                self._plan.append(
+                    ("dense", layer.in_features, layer.out_features, w_slice, b_slice)
+                )
+                widest = max(widest, layer.in_features, layer.out_features)
+            elif isinstance(layer, ReLU):
+                self._plan.append(("relu",))
+            elif isinstance(layer, Tanh):
+                self._plan.append(("tanh",))
+            elif isinstance(layer, Sigmoid):
+                self._plan.append(("sigmoid",))
+            elif isinstance(layer, Flatten):
+                self._plan.append(("flatten",))
+        self._widest = widest
+        assert offset == self.dimension
+
+    # ------------------------------------------------------------------
+    # Forward / backward over a stack
+    # ------------------------------------------------------------------
+    def _forward(
+        self, params: np.ndarray, x: np.ndarray
+    ) -> Tuple[np.ndarray, List[Tuple]]:
+        """Stacked forward pass; returns ``(logits, caches)``."""
+        caches: List[Tuple] = []
+        m = params.shape[0]
+        for spec in self._plan:
+            kind = spec[0]
+            if kind == "dense":
+                _, n_in, n_out, w_slice, b_slice = spec
+                weight = params[:, w_slice].reshape(m, n_in, n_out)
+                caches.append((x, weight))
+                x = np.einsum("mbi,mio->mbo", x, weight)
+                if b_slice is not None:
+                    x = x + params[:, b_slice][:, None, :]
+            elif kind == "relu":
+                mask = x > 0
+                caches.append((mask,))
+                x = x * mask
+            elif kind == "tanh":
+                x = np.tanh(x)
+                caches.append((x,))
+            elif kind == "sigmoid":
+                x = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+                caches.append((x,))
+            elif kind == "flatten":
+                caches.append((x.shape,))
+                x = x.reshape(x.shape[0], x.shape[1], -1)
+        return x, caches
+
+    def _backward(
+        self, grad_logits: np.ndarray, caches: List[Tuple], grads_out: np.ndarray
+    ) -> None:
+        """Stacked backward pass writing flat parameter gradients into ``grads_out``."""
+        g = grad_logits
+        for spec, cache in zip(reversed(self._plan), reversed(caches)):
+            kind = spec[0]
+            if kind == "dense":
+                _, n_in, n_out, w_slice, b_slice = spec
+                x, weight = cache
+                m = x.shape[0]
+                grads_out[:, w_slice] = np.einsum("mbi,mbo->mio", x, g).reshape(m, -1)
+                if b_slice is not None:
+                    grads_out[:, b_slice] = g.sum(axis=1)
+                g = np.einsum("mbo,mio->mbi", g, weight)
+            elif kind == "relu":
+                g = g * cache[0]
+            elif kind == "tanh":
+                g = g * (1.0 - cache[0] ** 2)
+            elif kind == "sigmoid":
+                g = g * cache[0] * (1.0 - cache[0])
+            elif kind == "flatten":
+                g = g.reshape(cache[0])
+
+    @staticmethod
+    def _softmax_cross_entropy(
+        logits: np.ndarray, labels: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean-reduced fused softmax + cross-entropy over an ``(M, B, K)`` stack.
+
+        Mirrors :func:`repro.nn.losses.softmax_cross_entropy` per model row.
+        Returns ``(losses (M,), grad_logits (M, B, K))``.
+        """
+        batch = logits.shape[1]
+        shifted = logits - logits.max(axis=2, keepdims=True)
+        log_z = np.log(np.exp(shifted).sum(axis=2, keepdims=True))
+        log_probs = shifted - log_z
+        picked = np.take_along_axis(log_probs, labels[:, :, None], axis=2)[:, :, 0]
+        losses = -picked.mean(axis=1)
+        grad = np.exp(log_probs)
+        np.put_along_axis(
+            grad,
+            labels[:, :, None],
+            np.take_along_axis(grad, labels[:, :, None], axis=2) - 1.0,
+            axis=2,
+        )
+        return losses, grad / batch
+
+    def loss_and_gradients(
+        self, params: np.ndarray, inputs: np.ndarray, labels: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Softmax-cross-entropy loss and gradient for every stacked model.
+
+        Parameters
+        ----------
+        params:
+            ``(M, d)`` matrix; row ``k`` is the flat parameter vector of
+            model ``k``.
+        inputs:
+            ``(M, B, ...)`` stacked mini-batches; batch ``k`` is evaluated
+            under model ``k``.
+        labels:
+            ``(M, B)`` integer class labels.
+
+        Returns
+        -------
+        (losses, grads):
+            ``(M,)`` per-model mean losses and the ``(M, d)`` matrix of flat
+            gradients, matching ``Model.loss_and_gradient`` row by row up to
+            floating-point round-off.
+        """
+        params = np.asarray(params, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if params.ndim != 2 or params.shape[1] != self.dimension:
+            raise ValueError(
+                f"params must have shape (M, {self.dimension}), got {params.shape}"
+            )
+        m = params.shape[0]
+        if inputs.shape[0] != m or labels.shape[:2] != inputs.shape[:2]:
+            raise ValueError("params, inputs and labels disagree on the stack layout")
+
+        batch = inputs.shape[1]
+        per_row = max(1, batch * self._widest)
+        chunk = max(1, self.max_chunk_elements // per_row)
+        losses = np.empty(m, dtype=np.float64)
+        grads = np.empty((m, self.dimension), dtype=np.float64)
+        for start in range(0, m, chunk):
+            stop = min(m, start + chunk)
+            logits, caches = self._forward(params[start:stop], inputs[start:stop])
+            chunk_losses, grad_logits = self._softmax_cross_entropy(
+                logits, labels[start:stop]
+            )
+            losses[start:stop] = chunk_losses
+            self._backward(grad_logits, caches, grads[start:stop])
+        return losses, grads

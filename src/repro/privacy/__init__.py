@@ -14,6 +14,7 @@ Implements the pieces of Sec. III-B and Theorem 1:
 from repro.privacy.mechanisms import (
     GaussianMechanism,
     clip_by_l2_norm,
+    clip_rows_by_l2_norm,
     clipped_sensitivity,
 )
 from repro.privacy.calibration import (
@@ -27,6 +28,7 @@ from repro.privacy.accountant import PrivacyAccountant, CompositionMethod
 __all__ = [
     "GaussianMechanism",
     "clip_by_l2_norm",
+    "clip_rows_by_l2_norm",
     "clipped_sensitivity",
     "gaussian_sigma",
     "epsilon_for_sigma",

@@ -1,14 +1,34 @@
 """Privacy accounting across rounds.
 
-Theorem 1 gives a *per-round* (epsilon, delta)-DP guarantee.  Running ``T``
-rounds composes ``T`` such mechanisms; the accountant tracks the cumulative
-loss under two standard composition theorems so experiments can report the
-total budget spent:
+Units and scope
+---------------
+``epsilon`` (the privacy-loss bound, dimensionless, > 0) and ``delta`` (the
+failure probability, in ``(0, 1)``) always refer to *one* release of the
+Gaussian mechanism — in this codebase, one communication round of an
+algorithm, because every gradient an agent shares within a round is either
+clipped-and-noised once or post-processing of such a release.  This is the
+per-round guarantee of the paper's Theorem 1: each round of Algorithm 1 is
+``(epsilon, delta)``-DP with respect to one agent's local dataset when
+``sigma`` is calibrated via :mod:`repro.privacy.calibration`.
 
-* **basic composition** — ``(sum eps_t, sum delta_t)``;
+Running ``T`` rounds composes ``T`` such mechanisms.  The accountant records
+one ``(epsilon, delta)`` event per round (see
+:meth:`~repro.core.base.DecentralizedAlgorithm.run_round`) and reports the
+*composed* budget — the cumulative privacy loss of the entire training run —
+under two standard composition theorems:
+
+* **basic composition** — ``(sum_t eps_t, sum_t delta_t)``; tight for very
+  small ``T`` or heterogeneous events, linear in ``T`` otherwise;
 * **advanced composition** (Dwork & Roth, Thm. 3.20) — for ``k`` mechanisms
   each (eps, delta)-DP and a slack ``delta'``, the composition is
-  ``(eps * sqrt(2 k ln(1/delta')) + k eps (e^eps - 1), k delta + delta')``-DP.
+  ``(eps * sqrt(2 k ln(1/delta')) + k eps (e^eps - 1), k delta + delta')``-DP,
+  i.e. the epsilon grows like ``sqrt(k)`` instead of ``k`` for small ``eps``.
+
+Per-round values are what configs specify (``AlgorithmConfig.epsilon`` /
+``delta``); composed values are what experiments report
+(``DecentralizedAlgorithm.privacy_spent``).  Do not compare the two
+directly — a per-round ``epsilon = 0.5`` run over ``T = 100`` rounds has
+spent far more than ``0.5`` in total.
 """
 
 from __future__ import annotations
@@ -32,6 +52,11 @@ class CompositionMethod(str, Enum):
 class PrivacyAccountant:
     """Tracks the (epsilon, delta) spent by a sequence of DP mechanisms.
 
+    Each recorded event is one *per-round* ``(epsilon, delta)`` pair; the
+    ``total*`` methods return the *composed* budget over all recorded
+    events (the quantity a paper would report as "total privacy cost after
+    ``T`` rounds").
+
     Usage::
 
         accountant = PrivacyAccountant()
@@ -44,7 +69,11 @@ class PrivacyAccountant:
     events: List[Tuple[float, float]] = field(default_factory=list)
 
     def record(self, epsilon: float, delta: float, count: int = 1) -> None:
-        """Record ``count`` releases of an (epsilon, delta)-DP mechanism."""
+        """Record ``count`` releases of an (epsilon, delta)-DP mechanism.
+
+        ``epsilon`` and ``delta`` are *per-release* (per-round) values, not
+        cumulative ones; composition happens in :meth:`total`.
+        """
         if epsilon < 0 or not 0.0 <= delta < 1.0:
             raise ValueError("epsilon must be >= 0 and delta in [0, 1)")
         if count <= 0:
@@ -59,13 +88,24 @@ class PrivacyAccountant:
         self.events.clear()
 
     def total_basic(self) -> Tuple[float, float]:
-        """Basic (sequential) composition: budgets simply add up."""
+        """Composed budget under basic (sequential) composition.
+
+        Budgets simply add up: ``(sum_t eps_t, min(sum_t delta_t, 1))``.
+        Always valid, but loose for long runs — epsilon grows linearly in
+        the number of rounds.
+        """
         eps = sum(e for e, _ in self.events)
         delta = sum(d for _, d in self.events)
         return float(eps), float(min(delta, 1.0))
 
     def total_advanced(self, delta_slack: float = 1e-6) -> Tuple[float, float]:
-        """Advanced composition with slack ``delta_slack``.
+        """Composed budget under advanced composition with slack ``delta_slack``.
+
+        For ``k`` identical per-round ``(eps, delta)`` events the result is
+        ``(eps * sqrt(2 k ln(1/delta_slack)) + k eps (e^eps - 1),
+        k delta + delta_slack)`` — a ``sqrt(k)`` epsilon growth for small
+        per-round epsilons, at the cost of adding ``delta_slack`` to the
+        composed delta.
 
         Requires all recorded events to share the same (epsilon, delta); the
         PDSL experiments satisfy this because the per-round mechanism is

@@ -1,4 +1,13 @@
-"""Gradient clipping and the Gaussian mechanism (Definitions 1–2, eqs. 10–14)."""
+"""Gradient clipping and the Gaussian mechanism (Definitions 1–2, eqs. 10–14).
+
+Two granularities are provided: the per-vector helpers used by the loop
+backend (:func:`clip_by_l2_norm`, :meth:`GaussianMechanism.privatize`) and
+:func:`clip_rows_by_l2_norm`, used by the vectorized engine to clip a whole
+``(num_gradients, d)`` stack in one pass.  Noise stays per-vector
+(:meth:`GaussianMechanism.add_noise`) even on the vectorized path because
+each row of a fleet stack belongs to a different agent's mechanism and must
+consume that agent's random stream.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +15,12 @@ from typing import Optional
 
 import numpy as np
 
-__all__ = ["clip_by_l2_norm", "clipped_sensitivity", "GaussianMechanism"]
+__all__ = [
+    "clip_by_l2_norm",
+    "clip_rows_by_l2_norm",
+    "clipped_sensitivity",
+    "GaussianMechanism",
+]
 
 
 def clip_by_l2_norm(vector: np.ndarray, clip_threshold: float) -> np.ndarray:
@@ -21,6 +35,23 @@ def clip_by_l2_norm(vector: np.ndarray, clip_threshold: float) -> np.ndarray:
     norm = float(np.linalg.norm(vector))
     scale = max(1.0, norm / clip_threshold)
     return vector / scale
+
+
+def clip_rows_by_l2_norm(matrix: np.ndarray, clip_threshold: float) -> np.ndarray:
+    """Row-wise L2 clipping of a ``(num_gradients, d)`` stack of gradients.
+
+    Applies ``g_tilde = g / max(1, ||g|| / C)`` independently to every row;
+    equivalent to mapping :func:`clip_by_l2_norm` over the rows but computed
+    with a single vectorized pass.  Always returns a new array.
+    """
+    if clip_threshold <= 0:
+        raise ValueError("clip_threshold must be positive")
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D stack of gradients, got shape {matrix.shape}")
+    norms = np.linalg.norm(matrix, axis=1)
+    scales = np.maximum(1.0, norms / clip_threshold)
+    return matrix / scales[:, None]
 
 
 def clipped_sensitivity(clip_threshold: float) -> float:

@@ -21,10 +21,17 @@ def consensus_distance(parameter_vectors: Sequence[np.ndarray]) -> float:
     """Average squared distance of agent parameters from their mean.
 
     ``(1/M) * sum_i || x_i - x_bar ||^2`` — the quantity bounded by Lemma 6.
+    Accepts either a sequence of per-agent vectors or an already stacked
+    ``(num_agents, dimension)`` state matrix.
     """
     if len(parameter_vectors) == 0:
         return 0.0
-    stacked = np.stack([np.asarray(v, dtype=np.float64) for v in parameter_vectors], axis=0)
+    if isinstance(parameter_vectors, np.ndarray) and parameter_vectors.ndim == 2:
+        stacked = np.asarray(parameter_vectors, dtype=np.float64)
+    else:
+        stacked = np.stack(
+            [np.asarray(v, dtype=np.float64) for v in parameter_vectors], axis=0
+        )
     mean = stacked.mean(axis=0, keepdims=True)
     return float(np.mean(np.sum((stacked - mean) ** 2, axis=1)))
 

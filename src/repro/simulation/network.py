@@ -113,6 +113,24 @@ class Network:
         self._mailboxes[recipient][tag].append(message)
         return True
 
+    def record_bulk(self, tag: str, num_messages: int, floats_per_message: int) -> None:
+        """Account for an exchange performed outside the mailbox (vectorized engine).
+
+        The vectorized backend replaces per-message gossip with whole-fleet
+        matrix operations; this hook keeps the traffic statistics identical to
+        what the equivalent point-to-point exchange would have recorded, so
+        communication-cost reporting is backend independent.  No messages are
+        enqueued and fault injection does not apply (the vectorized engine is
+        only used on loss-free networks).
+        """
+        if not tag:
+            raise ValueError("tag must be a non-empty string")
+        if num_messages < 0 or floats_per_message < 0:
+            raise ValueError("message and float counts must be non-negative")
+        self.messages_sent += int(num_messages)
+        self.floats_sent += int(num_messages) * int(floats_per_message)
+        self.traffic_by_tag[tag] += int(num_messages) * int(floats_per_message)
+
     def broadcast(self, sender: int, recipients: List[int], tag: str, payload: Any) -> int:
         """Send the same payload to every recipient; returns the number delivered."""
         delivered = 0

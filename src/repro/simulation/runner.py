@@ -91,6 +91,9 @@ def run_decentralized(
             "learning_rate": algorithm.config.learning_rate,
             "momentum": algorithm.config.momentum,
             "rounds": num_rounds,
+            # The effective engine (after e.g. the lossy-network fallback),
+            # not merely the configured one.
+            "backend": getattr(algorithm, "backend", "loop"),
         },
     )
 

@@ -51,6 +51,7 @@ class Topology:
     mixing_matrix: np.ndarray
     name: str = "topology"
     _neighbor_cache: Dict[int, List[int]] = field(default_factory=dict, repr=False)
+    _directed_pairs_cache: Optional[List[Tuple[int, int]]] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         w = np.asarray(self.mixing_matrix, dtype=np.float64)
@@ -108,6 +109,29 @@ class Topology:
 
     def edges(self) -> List[Tuple[int, int]]:
         return [(int(u), int(v)) for u, v in self.graph.edges()]
+
+    def directed_pairs(self) -> List[Tuple[int, int]]:
+        """Every ordered pair ``(i, j)`` with ``j`` a neighbour of ``i`` (``j != i``).
+
+        Sorted by ``(i, j)``, i.e. grouped by agent with neighbours ascending —
+        the exact order in which the loop backend's message-passing phases
+        visit the pairs, which the vectorized engine mirrors so both backends
+        consume per-agent randomness identically.
+        """
+        if self._directed_pairs_cache is None:
+            self._directed_pairs_cache = [
+                (i, j)
+                for i in range(self.num_agents)
+                for j in self.neighbors(i, include_self=False)
+            ]
+        return list(self._directed_pairs_cache)
+
+    @property
+    def num_directed_edges(self) -> int:
+        """Number of directed communication channels (twice the edge count)."""
+        if self._directed_pairs_cache is None:
+            self.directed_pairs()
+        return len(self._directed_pairs_cache)
 
 
 def _build(graph: nx.Graph, name: str, mixing: Optional[np.ndarray] = None) -> Topology:

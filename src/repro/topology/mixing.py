@@ -1,9 +1,34 @@
 """Doubly stochastic mixing matrices and their spectral diagnostics.
 
-Assumption 3 of the paper requires ``W`` to be symmetric doubly stochastic
-with ``lambda_1(W) = 1`` and ``max(|lambda_2|, |lambda_M|) <= sqrt(rho) < 1``.
-Metropolis–Hastings weights satisfy these conditions for any connected
-undirected graph, which is why they are the default here.
+Notation (matching the paper's Sec. III-A / Assumption 3): the communication
+graph has ``M`` agents; ``W = (omega_{ij})`` is the ``(M, M)`` mixing matrix
+whose entry ``omega_{ij}`` weights the message agent ``i`` receives from
+agent ``j`` during gossip averaging (``x_i <- sum_j omega_{ij} x_j``,
+eqs. 24–25); ``M_i = {j : omega_{ij} > 0}`` is agent ``i``'s closed
+neighbourhood; ``lambda_1 >= lambda_2 >= ... >= lambda_M`` are the
+eigenvalues of ``W``.
+
+Assumption 3 requires two structural properties and one spectral one:
+
+* **symmetry** — ``W = W^T`` (undirected communication, equal weights both
+  ways);
+* **double stochasticity** — non-negative entries with every row *and*
+  column summing to 1, so gossip preserves the network average and every
+  agent's contribution has equal total influence;
+* **contraction** — ``lambda_1(W) = 1`` with
+  ``max(|lambda_2|, |lambda_M|) <= sqrt(rho) < 1``, i.e. a strictly positive
+  spectral gap.  This is what makes repeated gossip shrink the consensus
+  distance geometrically (Lemma 6) and is equivalent to the graph being
+  connected and ``W`` not flipping sign on a bipartition (guaranteed here by
+  strictly positive diagonals).
+
+Symmetry and double stochasticity are *structural* requirements checked by
+:func:`validate_mixing_matrix` unconditionally; the contraction property is
+optional there (``require_contraction=True``) because a disconnected or
+zero-diagonal-bipartite ``W`` is still a valid averaging operator, it just
+does not converge to consensus.  Metropolis–Hastings weights
+(:func:`metropolis_hastings_weights`) satisfy all three conditions for any
+connected undirected graph, which is why they are the default.
 """
 
 from __future__ import annotations
@@ -99,7 +124,11 @@ def second_largest_eigenvalue(matrix: np.ndarray) -> float:
     """``max(|lambda_2|, |lambda_M|)`` for a symmetric stochastic matrix.
 
     For the mixing matrices used here this equals ``sqrt(rho)`` in
-    Assumption 3.
+    Assumption 3: the contraction factor by which one gossip step shrinks
+    the disagreement component (everything orthogonal to the consensus
+    direction ``1``).  Values close to 0 mean near-instant consensus (e.g.
+    the complete graph's ``W = 11^T / M``); values close to 1 mean slow
+    mixing (long rings).
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     eigenvalues = np.linalg.eigvalsh(matrix)
@@ -111,17 +140,30 @@ def second_largest_eigenvalue(matrix: np.ndarray) -> float:
 
 
 def spectral_gap(matrix: np.ndarray) -> float:
-    """``1 - max(|lambda_2|, |lambda_M|)``; larger gap means faster consensus."""
+    """``1 - max(|lambda_2|, |lambda_M|)`` = ``1 - sqrt(rho)``.
+
+    Larger gap means faster consensus; this is the quantity that enters the
+    denominator of the paper's convergence bound (Theorem 2).
+    """
     return float(1.0 - second_largest_eigenvalue(matrix))
 
 
 def validate_mixing_matrix(matrix: np.ndarray, require_contraction: bool = False) -> None:
     """Raise ``ValueError`` unless the matrix satisfies Assumption 3's structure.
 
-    ``require_contraction`` additionally demands ``sqrt(rho) < 1`` (strict),
-    which holds for every connected graph with positive self-weights but can
-    be violated by, e.g., a disconnected graph or a bipartite graph with zero
-    diagonal.
+    Checks, in order: squareness, symmetry (``W = W^T``) and double
+    stochasticity (non-negative entries, rows and columns summing to 1).
+    These are the properties gossip averaging relies on — without them the
+    ``W @ X`` step would not preserve the network-average model, and the
+    loop and vectorized engines could silently disagree.
+    :class:`~repro.topology.graphs.Topology` validates at construction and
+    :class:`~repro.core.base.DecentralizedAlgorithm` re-validates at
+    algorithm construction, so a matrix mutated in between fails fast.
+
+    ``require_contraction`` additionally demands ``sqrt(rho) < 1`` (strict
+    positive spectral gap, the third part of Assumption 3), which holds for
+    every connected graph with positive self-weights but can be violated by,
+    e.g., a disconnected graph or a bipartite graph with zero diagonal.
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:

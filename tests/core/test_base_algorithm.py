@@ -180,3 +180,132 @@ class TestPrivacyAccounting:
             algorithm.run_round()
         assert algorithm.rounds_completed == 3
         assert algorithm.network.current_round == 3
+
+
+class TestMixingMatrixValidation:
+    def test_mutated_mixing_matrix_rejected_at_construction(self, components):
+        model, topology, shards, config, _ = components
+        topology.mixing_matrix[0, 1] += 0.5  # breaks double stochasticity
+        with pytest.raises(ValueError, match="mixing matrix"):
+            NoOpAlgorithm(model, topology, shards, config)
+
+    def test_asymmetric_mixing_matrix_rejected_at_construction(self, components):
+        model, topology, shards, config, _ = components
+        topology.mixing_matrix[0, 1] += 0.1
+        topology.mixing_matrix[0, 0] -= 0.1  # rows still sum to 1, not symmetric
+        with pytest.raises(ValueError, match="mixing matrix"):
+            NoOpAlgorithm(model, topology, shards, config)
+
+
+class TestFleetStateMatrix:
+    def test_state_matrix_shape_and_row_views(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        assert algorithm.state.shape == (4, algorithm.dimension)
+        # params[i] is a live view into the state matrix.
+        algorithm.params[1] = np.full(algorithm.dimension, 7.0)
+        np.testing.assert_array_equal(algorithm.state[1], 7.0)
+
+    def test_params_setter_validates_shape(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        with pytest.raises(ValueError):
+            algorithm.params = [np.zeros(algorithm.dimension)] * 3
+        with pytest.raises(ValueError):
+            algorithm.params = [np.zeros(algorithm.dimension + 1)] * 4
+
+    def test_agent_parameters_returns_copies(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        copies = algorithm.agent_parameters()
+        copies[0][:] = 123.0
+        assert not np.any(algorithm.state[0] == 123.0)
+
+    def test_momenta_item_assignment_hits_matrix(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        algorithm.momenta[2] = np.ones(algorithm.dimension)
+        np.testing.assert_array_equal(algorithm.momentum_state[2], 1.0)
+
+
+class TestVectorizedHelpers:
+    def test_privatize_rows_matches_per_agent_privatize(self, components):
+        model, topology, shards, _, _ = components
+        config = AlgorithmConfig(learning_rate=0.1, sigma=0.5, clip_threshold=1.0, batch_size=16, seed=3)
+        a = NoOpAlgorithm(model, topology, shards, config)
+        b = NoOpAlgorithm(model, topology, shards, config)
+        rows = np.random.default_rng(0).normal(size=(4, a.dimension)) * 3.0
+        vectorized = a.privatize_rows(rows)
+        looped = np.stack([b.privatize(i, rows[i]) for i in range(4)], axis=0)
+        np.testing.assert_allclose(vectorized, looped, rtol=1e-12, atol=1e-12)
+
+    def test_privatize_rows_with_repeated_owners_advances_stream(self, components):
+        model, topology, shards, _, _ = components
+        config = AlgorithmConfig(learning_rate=0.1, sigma=0.5, clip_threshold=1.0, batch_size=16, seed=3)
+        a = NoOpAlgorithm(model, topology, shards, config)
+        b = NoOpAlgorithm(model, topology, shards, config)
+        rows = np.zeros((3, a.dimension))
+        vectorized = a.privatize_rows(rows, agents=[1, 1, 2])
+        first = b.privatize(1, rows[0])
+        second = b.privatize(1, rows[1])
+        third = b.privatize(2, rows[2])
+        np.testing.assert_allclose(vectorized, np.stack([first, second, third]), atol=1e-12)
+
+    def test_privatize_rows_rejects_owner_count_mismatch(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        rows = np.zeros((3, algorithm.dimension))
+        with pytest.raises(ValueError, match="owner agents"):
+            algorithm.privatize_rows(rows)  # default owners expect 4 rows
+        with pytest.raises(ValueError, match="owner agents"):
+            algorithm.privatize_rows(rows, agents=[0, 1])
+
+    def test_fleet_cross_gradients_match_pairwise_local_gradients(self, components):
+        model, topology, shards, _, _ = components
+        config = AlgorithmConfig(sigma=0.0, clip_threshold=100.0, batch_size=16, seed=3)
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        batches = algorithm.draw_batches()
+        cross, pair_rows = algorithm.fleet_cross_gradients(batches)
+        assert set(pair_rows) == set(algorithm.topology.directed_pairs())
+        for (i, j), row in pair_rows.items():
+            expected = algorithm.local_gradient(i, algorithm.state[j], batches[i])
+            np.testing.assert_allclose(cross[row], expected, rtol=1e-10, atol=1e-12)
+
+    def test_fleet_gradients_matches_local_gradient(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        batches = algorithm.draw_batches()
+        fleet = algorithm.fleet_gradients(algorithm.state, batches)
+        for agent in range(4):
+            expected = algorithm.local_gradient(agent, algorithm.state[agent], batches[agent])
+            np.testing.assert_allclose(fleet[agent], expected, rtol=1e-10, atol=1e-12)
+
+    def test_fleet_gradients_handles_ragged_batches(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        batches = algorithm.draw_batches()
+        # Truncate one batch so the stacked path cannot apply.
+        inputs, labels = batches[2]
+        batches[2] = (inputs[:5], labels[:5])
+        fleet = algorithm.fleet_gradients(algorithm.state, batches)
+        for agent in range(4):
+            expected = algorithm.local_gradient(agent, algorithm.state[agent], batches[agent])
+            np.testing.assert_allclose(fleet[agent], expected, rtol=1e-10, atol=1e-12)
+
+    def test_mix_rows_matches_gossip_average(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(4, algorithm.dimension))
+        mixed = algorithm.mix_rows(matrix)
+        expected = algorithm.gossip_average([matrix[i] for i in range(4)])
+        np.testing.assert_allclose(mixed, np.stack(expected), atol=1e-12)
+
+    def test_record_fleet_exchange_accounts_directed_edges(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        algorithm.record_fleet_exchange("model", algorithm.dimension)
+        summary = algorithm.network.traffic_summary()
+        expected_messages = algorithm.topology.num_directed_edges
+        assert summary["messages_sent"] == expected_messages
+        assert summary["floats_sent"] == expected_messages * algorithm.dimension

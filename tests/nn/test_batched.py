@@ -1,0 +1,111 @@
+"""Tests for the stacked multi-model engine (repro.nn.batched)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.batched import StackedSequential, supports_stacked
+from repro.nn.layers import Dense, Dropout, Flatten, ReLU, Sigmoid, Tanh
+from repro.nn.model import Sequential
+from repro.nn.zoo import make_linear_classifier, make_mlp, make_mnist_cnn
+
+
+def random_params(model, count, rng):
+    base = model.get_flat_params()
+    return np.stack(
+        [base + 0.1 * rng.normal(size=base.shape) for _ in range(count)], axis=0
+    )
+
+
+class TestSupportsStacked:
+    def test_linear_and_mlp_supported(self):
+        assert supports_stacked(make_linear_classifier(6, 3))
+        assert supports_stacked(make_mlp(6, 3, hidden_sizes=(8, 4)))
+
+    def test_cnn_not_supported(self):
+        assert not supports_stacked(make_mnist_cnn(num_classes=4, channels=(2, 4)))
+
+    def test_dropout_not_supported(self):
+        rng = np.random.default_rng(0)
+        model = Sequential([Dense(6, 3, rng), Dropout(0.5, rng)])
+        assert not supports_stacked(model)
+
+    def test_sequential_subclass_not_supported(self):
+        # A subclass may override the loss; the stacked engine hard-codes
+        # softmax cross-entropy, so only plain Sequential qualifies.
+        class MSESequential(Sequential):
+            pass
+
+        rng = np.random.default_rng(0)
+        assert not supports_stacked(MSESequential([Dense(6, 3, rng)]))
+
+    def test_constructor_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            StackedSequential(make_mnist_cnn(num_classes=4, channels=(2, 4)))
+
+
+class TestStackedGradients:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda rng: make_linear_classifier(6, 3, seed=rng),
+            lambda rng: make_mlp(6, 3, hidden_sizes=(8,), seed=rng),
+            lambda rng: Sequential(
+                [Dense(6, 8, rng), Tanh(), Dense(8, 5, rng), Sigmoid(), Dense(5, 3, rng)]
+            ),
+            lambda rng: Sequential([Flatten(), Dense(6, 3, rng)]),
+        ],
+    )
+    def test_matches_per_model_loss_and_gradient(self, factory):
+        rng = np.random.default_rng(0)
+        model = factory(rng)
+        engine = StackedSequential(model)
+        m, batch = 7, 12
+        params = random_params(model, m, rng)
+        inputs = rng.normal(size=(m, batch, 6))
+        labels = rng.integers(0, 3, size=(m, batch))
+        losses, grads = engine.loss_and_gradients(params, inputs, labels)
+        for k in range(m):
+            expected_loss, expected_grad = model.loss_and_gradient(
+                inputs[k], labels[k], params=params[k]
+            )
+            assert losses[k] == pytest.approx(expected_loss, rel=1e-12)
+            np.testing.assert_allclose(grads[k], expected_grad, rtol=1e-10, atol=1e-12)
+
+    def test_chunked_evaluation_matches_unchunked(self):
+        rng = np.random.default_rng(3)
+        model = make_mlp(6, 3, hidden_sizes=(8,), seed=0)
+        full = StackedSequential(model)
+        tiny_chunks = StackedSequential(model, max_chunk_elements=1)
+        m, batch = 9, 4
+        params = random_params(model, m, rng)
+        inputs = rng.normal(size=(m, batch, 6))
+        labels = rng.integers(0, 3, size=(m, batch))
+        losses_a, grads_a = full.loss_and_gradients(params, inputs, labels)
+        losses_b, grads_b = tiny_chunks.loss_and_gradients(params, inputs, labels)
+        np.testing.assert_array_equal(losses_a, losses_b)
+        np.testing.assert_array_equal(grads_a, grads_b)
+
+    def test_relu_mask_uses_each_models_activation(self):
+        # Two very different parameter vectors must produce different masks;
+        # a buggy shared-mask implementation would make gradients agree.
+        rng = np.random.default_rng(4)
+        model = make_mlp(4, 2, hidden_sizes=(6,), seed=0)
+        engine = StackedSequential(model)
+        params = random_params(model, 2, rng)
+        params[1] *= -3.0
+        inputs = rng.normal(size=(2, 8, 4))
+        labels = rng.integers(0, 2, size=(2, 8))
+        _, grads = engine.loss_and_gradients(params, inputs, labels)
+        assert not np.allclose(grads[0], grads[1])
+
+    def test_shape_validation(self):
+        model = make_linear_classifier(6, 3, seed=0)
+        engine = StackedSequential(model)
+        rng = np.random.default_rng(0)
+        params = random_params(model, 3, rng)
+        inputs = rng.normal(size=(3, 5, 6))
+        labels = rng.integers(0, 3, size=(3, 5))
+        with pytest.raises(ValueError):
+            engine.loss_and_gradients(params[:, :-1], inputs, labels)
+        with pytest.raises(ValueError):
+            engine.loss_and_gradients(params, inputs[:2], labels)

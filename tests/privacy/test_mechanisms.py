@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.privacy.mechanisms import GaussianMechanism, clip_by_l2_norm, clipped_sensitivity
+from repro.privacy.mechanisms import (
+    GaussianMechanism,
+    clip_by_l2_norm,
+    clip_rows_by_l2_norm,
+    clipped_sensitivity,
+)
 
 
 class TestClipping:
@@ -87,3 +92,28 @@ class TestGaussianMechanism:
         mech = GaussianMechanism(0.5, np.random.default_rng(0), clip_threshold=1.0)
         v = np.random.default_rng(1).normal(size=(37,))
         assert mech.privatize(v).shape == v.shape
+
+
+class TestRowWiseClipping:
+    def test_matches_per_vector_clipping(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(12, 30)) * rng.uniform(0.1, 50, size=(12, 1))
+        rows = clip_rows_by_l2_norm(matrix, 2.0)
+        for k in range(matrix.shape[0]):
+            np.testing.assert_allclose(
+                rows[k], clip_by_l2_norm(matrix[k], 2.0), rtol=1e-12, atol=1e-15
+            )
+
+    def test_returns_new_array(self):
+        matrix = np.ones((3, 4))
+        rows = clip_rows_by_l2_norm(matrix, 100.0)
+        rows[0, 0] = -1.0
+        assert matrix[0, 0] == 1.0
+
+    def test_rejects_non_2d_input(self):
+        with pytest.raises(ValueError):
+            clip_rows_by_l2_norm(np.ones(5), 1.0)
+
+    def test_rejects_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            clip_rows_by_l2_norm(np.ones((2, 3)), 0.0)

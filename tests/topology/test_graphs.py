@@ -42,6 +42,23 @@ def test_every_topology_is_connected_with_positive_gap(builder):
 
 
 @pytest.mark.parametrize("builder", ALL_BUILDERS)
+def test_directed_pairs_cover_all_edges_in_loop_order(builder):
+    topo = builder()
+    pairs = topo.directed_pairs()
+    assert len(pairs) == topo.num_directed_edges
+    # Grouped by agent, neighbours ascending — the loop backend's visit order.
+    expected = [
+        (i, j)
+        for i in range(topo.num_agents)
+        for j in topo.neighbors(i, include_self=False)
+    ]
+    assert pairs == expected
+    # Symmetric graph: every directed pair appears with its reverse.
+    assert set(pairs) == {(j, i) for i, j in pairs}
+    assert all(i != j for i, j in pairs)
+
+
+@pytest.mark.parametrize("builder", ALL_BUILDERS)
 def test_neighbors_include_self_and_match_matrix(builder):
     topo = builder()
     for agent in range(topo.num_agents):
