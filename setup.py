@@ -1,12 +1,33 @@
-"""Legacy setup shim.
+"""Legacy setup script (also the single source of project metadata).
 
 The offline environment used for this reproduction has no ``wheel`` package,
 so PEP 660 editable installs cannot build their metadata wheel.  Keeping a
-``setup.py`` (and omitting the ``[build-system]`` table from pyproject.toml)
-lets ``pip install -e .`` fall back to the legacy ``setup.py develop`` path,
-which works without ``wheel``.  All project metadata lives in pyproject.toml.
+``setup.py`` (and no ``[build-system]`` table) lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path, which works without
+``wheel``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-pdsl",
+    version="0.2.0",
+    description=(
+        "Reproduction of PDSL (ICDCS 2025): Shapley-weighted, differentially "
+        "private decentralized stochastic learning, with dense and sparse "
+        "gossip engines"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        # CSR mixing matrices, sparse-aware spectral diagnostics (eigsh)
+        # and the DP-CGA min-norm QP.
+        "scipy",
+        "networkx",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+    },
+)

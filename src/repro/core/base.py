@@ -16,12 +16,15 @@ Two execution engines share that state (selected by
   message by message, and required for fault injection;
 * the **vectorized** backend performs the same round as whole-fleet tensor
   operations — the gossip step is a single ``W @ X`` multiply
-  (:meth:`mix_rows`), gradients are evaluated with stacked forward/backward
-  passes where the model allows it (:meth:`fleet_gradients`), and clipping +
-  Gaussian noise are applied row-wise (:meth:`privatize_rows`).  Per-agent
-  random streams are consumed in the same order as the loop backend, so the
-  two engines produce the same trajectory for a fixed seed (up to
-  floating-point associativity).
+  (:meth:`mix_rows`, dispatched through the topology's
+  :class:`~repro.topology.mixing.MixingOperator`: O(M^2 d) dense or
+  O(nnz d) CSR, bit-identical either way), gradients are evaluated with
+  stacked forward/backward passes where the model allows it
+  (:meth:`fleet_gradients`), and clipping + Gaussian noise are applied
+  row-wise (:meth:`privatize_rows`, one batched draw per owner agent).
+  Per-agent random streams are consumed in the same order as the loop
+  backend, so the two engines produce the same trajectory for a fixed seed
+  (up to floating-point associativity).
 
 Subclasses implement :meth:`_step_loop` (and usually
 :meth:`_step_vectorized`), each executing one communication round for all
@@ -140,6 +143,15 @@ class DecentralizedAlgorithm:
             raise ValueError(
                 f"topology {topology.name!r} has an invalid mixing matrix: {error}"
             ) from error
+        # The gossip operator: W in dense or CSR storage, per the config's
+        # mixing_backend ("auto" selects by fleet size and edge density).
+        # Both formats apply W with the same accumulation order, so the
+        # choice is purely a performance knob — trajectories are
+        # bit-identical either way.
+        mixing_backend = getattr(config, "mixing_backend", "auto")
+        self.mixing = topology.mixing_operator(
+            None if mixing_backend == "auto" else mixing_backend
+        )
         self.model = model
         self.topology = topology
         self.shards = list(shards)
@@ -320,18 +332,33 @@ class DecentralizedAlgorithm:
                 ],
                 axis=0,
             )
-        groups: Dict[Tuple, List[int]] = {}
-        for k, (inputs, labels) in enumerate(batches):
-            groups.setdefault((inputs.shape, labels.shape), []).append(k)
         grads = np.empty((len(batches), self.dimension), dtype=np.float64)
-        for rows in groups.values():
-            inputs = np.stack([batches[k][0] for k in rows], axis=0)
-            labels = np.stack([batches[k][1] for k in rows], axis=0)
+        for rows, inputs, labels in self._stack_groups(batches):
             _, group_grads = self._stacked.loss_and_gradients(
                 param_rows[rows], inputs, labels
             )
             grads[rows] = group_grads
         return grads
+
+    @staticmethod
+    def _stack_groups(batches: Sequence[Batch]):
+        """Group ``(inputs, labels)`` pairs by shape and stack each group.
+
+        The stacked engine needs rectangular ``(M, B, ...)`` tensors, so
+        ragged entries (agents whose shard is smaller than the configured
+        batch or evaluation-sample size) only exclude themselves from a
+        stack, not the whole fleet.  Yields ``(row_indices, inputs, labels)``
+        per group with the original order preserved inside each group.
+        """
+        groups: Dict[Tuple, List[int]] = {}
+        for k, (inputs, labels) in enumerate(batches):
+            groups.setdefault((inputs.shape, labels.shape), []).append(k)
+        for rows in groups.values():
+            yield (
+                rows,
+                np.stack([batches[k][0] for k in rows], axis=0),
+                np.stack([batches[k][1] for k in rows], axis=0),
+            )
 
     def privatize(self, agent: int, gradient: np.ndarray) -> np.ndarray:
         """Clip to ``C`` and add ``N(0, sigma^2 I)`` noise (Algorithm 1 lines 3–4, 9–10)."""
@@ -359,8 +386,19 @@ class DecentralizedAlgorithm:
                 f"got {clipped.shape[0]} gradient rows for {len(owners)} owner agents"
             )
         if self.sigma > 0.0:
+            # One batched draw per owner instead of one mechanism call per
+            # row: rows are grouped by owner preserving their order, and
+            # Generator.normal fills arrays sequentially, so each agent's
+            # stream is consumed exactly as the per-row loop would — while
+            # skipping the Python-level call churn that dominates at
+            # N >= 1024 (each agent owns one local-gradient row plus one
+            # row per neighbour in the cross-gradient stacks).
+            rows_by_owner: Dict[int, List[int]] = {}
             for row, agent in enumerate(owners):
-                clipped[row] = self.mechanisms[agent].add_noise(clipped[row])
+                rows_by_owner.setdefault(int(agent), []).append(row)
+            for agent, owned_rows in rows_by_owner.items():
+                index = np.asarray(owned_rows, dtype=np.intp)
+                clipped[index] = self.mechanisms[agent].add_noise_rows(clipped[index])
         return clipped
 
     def fleet_cross_gradients(
@@ -409,8 +447,13 @@ class DecentralizedAlgorithm:
         return [mixed[i] for i in range(self.num_agents)]
 
     def mix_rows(self, matrix: np.ndarray) -> np.ndarray:
-        """The gossip step as one matrix multiply: ``W @ X`` (eqs. 24–25)."""
-        return self.topology.mixing_matrix @ np.asarray(matrix, dtype=np.float64)
+        """The gossip step as one matrix multiply: ``W @ X`` (eqs. 24–25).
+
+        Dispatches to the configured :class:`~repro.topology.mixing.MixingOperator`:
+        O(M^2 d) for dense storage, O(nnz d) for CSR — with bit-identical
+        results, so sparse topologies can opt into the cheap kernel freely.
+        """
+        return self.mixing.apply(matrix)
 
     def record_fleet_exchange(self, tag: str, floats_per_message: int) -> None:
         """Account one all-neighbour exchange executed by the vectorized engine.
@@ -447,8 +490,16 @@ class DecentralizedAlgorithm:
 
         This is the quantity plotted in Figs. 1–6 of the paper ("average
         training loss").
+
+        The per-agent evaluation subsample is drawn from a dedicated
+        seed-derived RNG per agent (independent of the training streams), so
+        the evaluated samples are identical under every backend and
+        evaluation path.  When the model supports stacked evaluation the
+        per-agent losses are computed with whole-fleet forward passes
+        (grouped by shard shape, like :meth:`fleet_gradients`) instead of
+        one Python-level ``evaluate_loss`` call per agent.
         """
-        losses = []
+        shards: List[Dataset] = []
         for agent in range(self.num_agents):
             shard = self.shards[agent]
             if len(shard) > max_samples_per_agent:
@@ -456,10 +507,20 @@ class DecentralizedAlgorithm:
                     (self.config.seed * 1_000_003 + agent) % (2**63 - 1)
                 )
                 shard = shard.sample(max_samples_per_agent, rng)
-            losses.append(
-                self.model.evaluate_loss(shard.inputs, shard.labels, params=self.state[agent])
-            )
-        return float(np.mean(losses))
+            shards.append(shard)
+        if self._stacked is None:
+            losses = [
+                self.model.evaluate_loss(
+                    shards[agent].inputs, shards[agent].labels, params=self.state[agent]
+                )
+                for agent in range(self.num_agents)
+            ]
+            return float(np.mean(losses))
+        losses_out = np.empty(self.num_agents, dtype=np.float64)
+        pairs = [(shard.inputs, shard.labels) for shard in shards]
+        for agents, inputs, labels in self._stack_groups(pairs):
+            losses_out[agents] = self._stacked.losses(self.state[agents], inputs, labels)
+        return float(np.mean(losses_out))
 
     def test_accuracy(self, test_data: Dataset, mode: str = "mean_agent") -> float:
         """Test accuracy of the trained system.

@@ -60,6 +60,14 @@ class AlgorithmConfig:
         per-message events) or when the model contains stochastic layers
         such as dropout (whose shared forward-pass RNG would be consumed in
         a different order by the re-grouped vectorized evaluations).
+    mixing_backend:
+        Storage format the gossip step applies ``W`` in: ``"auto"`` (the
+        default) picks dense or CSR by fleet size and edge density
+        (:func:`repro.topology.mixing.preferred_mixing_format`);
+        ``"dense"`` forces the O(M^2 d) dense kernel; ``"sparse"`` forces
+        the O(nnz d) CSR kernel.  The two kernels accumulate in the same
+        order and produce bit-identical results, so this is purely a
+        performance knob.
     """
 
     learning_rate: float = 0.01
@@ -71,6 +79,7 @@ class AlgorithmConfig:
     batch_size: int = 32
     seed: int = 0
     backend: str = "vectorized"
+    mixing_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.learning_rate <= 0:
@@ -91,6 +100,8 @@ class AlgorithmConfig:
             raise ValueError("either sigma or epsilon must be provided")
         if self.backend not in ("loop", "vectorized"):
             raise ValueError("backend must be 'loop' or 'vectorized'")
+        if self.mixing_backend not in ("auto", "dense", "sparse"):
+            raise ValueError("mixing_backend must be 'auto', 'dense' or 'sparse'")
 
     @property
     def sensitivity(self) -> float:

@@ -39,10 +39,15 @@ from repro.topology.graphs import (
     Topology,
     bipartite_graph,
     erdos_renyi_graph,
+    exponential_graph,
     fully_connected_graph,
     grid_graph,
+    hypercube_graph,
+    random_regular_graph,
     ring_graph,
+    small_world_graph,
     star_graph,
+    torus_graph,
 )
 
 __all__ = [
@@ -80,8 +85,25 @@ def _make_topology(name: str, num_agents: int, seed: int) -> Topology:
         rows = int(np.floor(np.sqrt(num_agents)))
         cols = int(np.ceil(num_agents / max(rows, 1)))
         return grid_graph(rows, cols)
+    if name == "torus":
+        side = int(round(np.sqrt(num_agents)))
+        if side * side != num_agents:
+            raise ValueError("torus topology needs a square number of agents")
+        return torus_graph(side)
     if name == "erdos_renyi":
         return erdos_renyi_graph(num_agents, edge_probability=0.4, seed=seed)
+    if name == "random_regular":
+        degree = 4 if num_agents > 4 else 2
+        return random_regular_graph(num_agents, degree=degree, seed=seed)
+    if name == "small_world":
+        return small_world_graph(num_agents, seed=seed)
+    if name == "hypercube":
+        dimension = int(round(np.log2(num_agents)))
+        if 2**dimension != num_agents:
+            raise ValueError("hypercube topology needs a power-of-two number of agents")
+        return hypercube_graph(dimension)
+    if name == "exponential":
+        return exponential_graph(num_agents)
     raise ValueError(f"unknown topology: {name}")
 
 

@@ -55,6 +55,18 @@ class CooperativeGame:
         return len(self.players)
 
     @property
+    def cache_enabled(self) -> bool:
+        """Whether characteristic evaluations are memoised.
+
+        Estimators that batch coalition evaluations
+        (:func:`repro.game.shapley.monte_carlo_shapley`) consult this: with
+        caching off, repeated queries must reach the characteristic again
+        (it may be deliberately stochastic), so batched single-evaluation
+        bookkeeping would change the semantics.
+        """
+        return self._cache_enabled
+
+    @property
     def num_evaluations(self) -> int:
         """How many times the underlying characteristic function was actually called."""
         return self._evaluations

@@ -62,9 +62,65 @@ def monte_carlo_shapley(
     predecessors in ``phi_r`` is accumulated and divided by ``R``.  The
     estimator is unbiased and its cost is ``O(R * Z)`` characteristic
     evaluations (amortised further by the game's memoisation).
+
+    The batch bookkeeping is vectorized: all ``R`` permutations are sampled
+    up front (one ``rng.permutation`` draw each, the same stream the
+    per-permutation loop consumed), coalitions are encoded as prefix
+    bitmasks with a cumulative OR, and the ``(R, Z)`` marginal matrix is
+    reduced into per-player estimates with a single ``np.add.at`` in the
+    loop's accumulation order — so the result (and the RNG stream) is
+    bit-identical to the sequential implementation.  Only the
+    characteristic evaluations remain Python calls, one per *unique*
+    coalition in first-encounter order, exactly as the memoised sequential
+    walk would issue them.  Two cases fall back to the sequential walk:
+    games with more than 63 players (the bitmask encoding needs one bit per
+    player) and games constructed with ``cache=False`` (an uncached — e.g.
+    deliberately stochastic — characteristic must be re-invoked on every
+    repeated query, which single-evaluation bookkeeping would skip).
     """
     if num_permutations <= 0:
         raise ValueError("num_permutations must be positive")
+    players = list(game.players)
+    n = len(players)
+    if n > 63 or not getattr(game, "cache_enabled", True):
+        return _monte_carlo_shapley_sequential(game, num_permutations, rng)
+    orders = np.stack([rng.permutation(n) for _ in range(num_permutations)], axis=0)
+    bits = np.uint64(1) << orders.astype(np.uint64)
+    with_player = np.bitwise_or.accumulate(bits, axis=1)
+    predecessors = with_player ^ bits
+    # Interleave [with, without] per position: the sequential walk evaluates
+    # v(predecessors | {player}) before v(predecessors), and memoisation
+    # makes every repeat free — so evaluating each unique mask at its first
+    # encounter reproduces the exact characteristic-call order (and hence
+    # any RNG the characteristic itself consumes, e.g. validation batch
+    # subsampling).
+    interleaved = np.stack([with_player, predecessors], axis=2).reshape(-1)
+    values: Dict[int, float] = {0: 0.0}
+    for mask in interleaved:
+        mask = int(mask)
+        if mask not in values:
+            coalition = [players[k] for k in range(n) if (mask >> k) & 1]
+            values[mask] = game.value(coalition)
+    unique_masks, inverse = np.unique(
+        np.concatenate([with_player.reshape(-1), predecessors.reshape(-1)]),
+        return_inverse=True,
+    )
+    unique_values = np.asarray([values[int(mask)] for mask in unique_masks])
+    flat = num_permutations * n
+    marginals = (
+        unique_values[inverse[:flat]] - unique_values[inverse[flat:]]
+    ) / num_permutations
+    totals = np.zeros(n, dtype=np.float64)
+    np.add.at(totals, orders.reshape(-1), marginals)
+    return {players[k]: float(totals[k]) for k in range(n)}
+
+
+def _monte_carlo_shapley_sequential(
+    game: CooperativeGame,
+    num_permutations: int,
+    rng: np.random.Generator,
+) -> Dict[Player, float]:
+    """Reference per-permutation walk (also the > 63-player fallback)."""
     players = list(game.players)
     estimates = {p: 0.0 for p in players}
     for _ in range(num_permutations):

@@ -186,6 +186,24 @@ class StackedSequential:
         )
         return losses, grad / batch
 
+    def _validate_stack(
+        self, params: np.ndarray, inputs: np.ndarray, labels: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        params = np.asarray(params, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if params.ndim != 2 or params.shape[1] != self.dimension:
+            raise ValueError(
+                f"params must have shape (M, {self.dimension}), got {params.shape}"
+            )
+        m = params.shape[0]
+        if inputs.shape[0] != m or labels.shape[:2] != inputs.shape[:2]:
+            raise ValueError("params, inputs and labels disagree on the stack layout")
+        batch = inputs.shape[1]
+        per_row = max(1, batch * self._widest)
+        chunk = max(1, self.max_chunk_elements // per_row)
+        return params, inputs, labels, chunk
+
     def loss_and_gradients(
         self, params: np.ndarray, inputs: np.ndarray, labels: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -209,20 +227,8 @@ class StackedSequential:
             gradients, matching ``Model.loss_and_gradient`` row by row up to
             floating-point round-off.
         """
-        params = np.asarray(params, dtype=np.float64)
-        inputs = np.asarray(inputs, dtype=np.float64)
-        labels = np.asarray(labels, dtype=np.int64)
-        if params.ndim != 2 or params.shape[1] != self.dimension:
-            raise ValueError(
-                f"params must have shape (M, {self.dimension}), got {params.shape}"
-            )
+        params, inputs, labels, chunk = self._validate_stack(params, inputs, labels)
         m = params.shape[0]
-        if inputs.shape[0] != m or labels.shape[:2] != inputs.shape[:2]:
-            raise ValueError("params, inputs and labels disagree on the stack layout")
-
-        batch = inputs.shape[1]
-        per_row = max(1, batch * self._widest)
-        chunk = max(1, self.max_chunk_elements // per_row)
         losses = np.empty(m, dtype=np.float64)
         grads = np.empty((m, self.dimension), dtype=np.float64)
         for start in range(0, m, chunk):
@@ -234,3 +240,23 @@ class StackedSequential:
             losses[start:stop] = chunk_losses
             self._backward(grad_logits, caches, grads[start:stop])
         return losses, grads
+
+    def losses(
+        self, params: np.ndarray, inputs: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Softmax-cross-entropy loss for every stacked model (forward only).
+
+        Same stacked layout as :meth:`loss_and_gradients` but skips the
+        backward pass — the evaluation path
+        (:meth:`~repro.core.base.DecentralizedAlgorithm.average_train_loss`)
+        only needs the ``(M,)`` per-model mean losses.
+        """
+        params, inputs, labels, chunk = self._validate_stack(params, inputs, labels)
+        m = params.shape[0]
+        losses = np.empty(m, dtype=np.float64)
+        for start in range(0, m, chunk):
+            stop = min(m, start + chunk)
+            logits, _ = self._forward(params[start:stop], inputs[start:stop])
+            chunk_losses, _ = self._softmax_cross_entropy(logits, labels[start:stop])
+            losses[start:stop] = chunk_losses
+        return losses

@@ -5,29 +5,45 @@ undirected graph ``G = (M, W)`` whose weighted adjacency matrix ``W`` is
 symmetric and doubly stochastic (Sec. III-A).  This package provides:
 
 * graph constructors for the topologies used in the paper's evaluation
-  (fully connected, ring, bipartite) plus extra topologies useful for
-  ablations (star, 2-D torus/grid, Erdős–Rényi);
+  (fully connected, ring, bipartite) plus scalable large-fleet topologies
+  (star, 2-D torus/grid, Erdős–Rényi, random-regular, Watts–Strogatz
+  small-world, hypercube, exponential);
 * mixing-matrix builders (Metropolis–Hastings weights, uniform-neighbour
-  averaging) that turn a graph into a symmetric doubly stochastic ``W``;
+  averaging) in dense or edge-wise CSR form, and the
+  :class:`~repro.topology.mixing.MixingOperator` abstraction the gossip
+  engine applies ``W`` through (dense O(M^2 d) or sparse O(nnz d), selected
+  by edge density, bit-identical results either way);
 * spectral diagnostics: the second-largest eigenvalue magnitude
   ``sqrt(rho)`` from Assumption 3 and the spectral gap, which drive the
-  convergence bound of Theorem 2.
+  convergence bound of Theorem 2 — computed densely for small fleets and
+  with a Lanczos iteration (``scipy.sparse.linalg.eigsh``) above
+  ``DENSE_EIG_MAX_AGENTS``.
 """
 
 from repro.topology.graphs import (
     Topology,
     bipartite_graph,
     erdos_renyi_graph,
+    exponential_graph,
     fully_connected_graph,
     grid_graph,
+    hypercube_graph,
+    random_regular_graph,
     ring_graph,
+    small_world_graph,
     star_graph,
+    torus_graph,
 )
 from repro.topology.mixing import (
+    AUTO_SPARSE_MAX_DENSITY,
+    AUTO_SPARSE_MIN_AGENTS,
+    DENSE_EIG_MAX_AGENTS,
+    MixingOperator,
     metropolis_hastings_weights,
     uniform_neighbor_weights,
     is_doubly_stochastic,
     is_symmetric,
+    preferred_mixing_format,
     spectral_gap,
     second_largest_eigenvalue,
     validate_mixing_matrix,
@@ -40,12 +56,22 @@ __all__ = [
     "bipartite_graph",
     "star_graph",
     "grid_graph",
+    "torus_graph",
     "erdos_renyi_graph",
+    "random_regular_graph",
+    "small_world_graph",
+    "hypercube_graph",
+    "exponential_graph",
+    "MixingOperator",
     "metropolis_hastings_weights",
     "uniform_neighbor_weights",
     "is_doubly_stochastic",
     "is_symmetric",
+    "preferred_mixing_format",
     "spectral_gap",
     "second_largest_eigenvalue",
     "validate_mixing_matrix",
+    "AUTO_SPARSE_MAX_DENSITY",
+    "AUTO_SPARSE_MIN_AGENTS",
+    "DENSE_EIG_MAX_AGENTS",
 ]

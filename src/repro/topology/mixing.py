@@ -29,16 +29,37 @@ zero-diagonal-bipartite ``W`` is still a valid averaging operator, it just
 does not converge to consensus.  Metropolis–Hastings weights
 (:func:`metropolis_hastings_weights`) satisfy all three conditions for any
 connected undirected graph, which is why they are the default.
+
+Sparse storage
+--------------
+
+On a sparse communication graph (ring, torus, random-regular, small-world)
+``W`` has O(M) nonzeros, so storing it densely costs O(M^2) memory and every
+gossip step O(M^2 d) time — at M = 4096 that is 16.7M matrix entries of
+which only ~12k are nonzero.  The weight builders therefore accept
+``sparse=True`` and assemble a ``scipy.sparse`` CSR matrix *edge-wise*,
+never materialising the dense matrix; every helper in this module
+(:func:`is_symmetric`, :func:`is_doubly_stochastic`,
+:func:`validate_mixing_matrix`, the spectral diagnostics) accepts either
+representation without densifying, and :class:`MixingOperator` applies
+``W @ X`` in O(nnz * d) for CSR storage.  Above ``DENSE_EIG_MAX_AGENTS``
+the spectral diagnostics switch from a full O(M^3) ``eigvalsh``
+decomposition to a Lanczos iteration (``scipy.sparse.linalg.eigsh``) that
+only needs matrix–vector products.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Union
 
 import networkx as nx
 import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.linalg import ArpackNoConvergence, eigsh
 
 __all__ = [
+    "MixingMatrix",
+    "MixingOperator",
     "metropolis_hastings_weights",
     "uniform_neighbor_weights",
     "is_symmetric",
@@ -46,68 +67,170 @@ __all__ = [
     "second_largest_eigenvalue",
     "spectral_gap",
     "validate_mixing_matrix",
+    "preferred_mixing_format",
+    "DENSE_EIG_MAX_AGENTS",
+    "AUTO_SPARSE_MIN_AGENTS",
+    "AUTO_SPARSE_MAX_DENSITY",
 ]
 
 _TOLERANCE = 1e-9
 
+#: Largest matrix for which the spectral diagnostics use a full dense
+#: eigendecomposition; above this they switch to Lanczos (``eigsh``).
+DENSE_EIG_MAX_AGENTS = 512
 
-def metropolis_hastings_weights(graph: nx.Graph) -> np.ndarray:
+#: Auto-selection rule for :func:`preferred_mixing_format`: CSR wins once the
+#: fleet is at least this large ...
+AUTO_SPARSE_MIN_AGENTS = 64
+
+#: ... and at most this fraction of the matrix entries is nonzero.  Below
+#: ~25% density the O(nnz * d) CSR product beats the dense kernel; above it
+#: the dense kernel's contiguous memory access wins.
+AUTO_SPARSE_MAX_DENSITY = 0.25
+
+#: Either storage format of a mixing matrix.
+MixingMatrix = Union[np.ndarray, sp.csr_array]
+
+
+def _graph_layout(graph: nx.Graph):
+    """Sorted nodes, node -> row index, and the (i, j) edge list sans self-loops."""
+    nodes = sorted(graph.nodes())
+    index = {node: k for k, node in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in graph.edges() if u != v]
+    return nodes, index, edges
+
+
+def _assemble_csr(
+    m: int, edges: list, edge_weights: np.ndarray
+) -> sp.csr_array:
+    """Symmetric CSR matrix from per-edge weights plus the stochastic diagonal.
+
+    Built entirely from edge arrays — the dense matrix is never materialised,
+    so this scales to graphs with millions of nodes.  The diagonal receives
+    the residual mass ``1 - sum_j w_{ij}`` with the off-diagonal row sums
+    accumulated in ascending column order (CSR canonical order).
+    """
+    edge_weights = np.asarray(edge_weights, dtype=np.float64)
+    if edges:
+        ij = np.asarray(edges, dtype=np.int64)
+        rows = np.concatenate([ij[:, 0], ij[:, 1]])
+        cols = np.concatenate([ij[:, 1], ij[:, 0]])
+        data = np.concatenate([edge_weights, edge_weights])
+        off_diagonal = sp.coo_array((data, (rows, cols)), shape=(m, m)).tocsr()
+        off_diagonal.sum_duplicates()
+        off_diagonal.sort_indices()
+        row_sums = np.asarray(off_diagonal.sum(axis=1)).reshape(-1)
+    else:
+        off_diagonal = sp.csr_array((m, m), dtype=np.float64)
+        row_sums = np.zeros(m, dtype=np.float64)
+    diagonal = sp.dia_array(
+        (np.asarray([1.0 - row_sums]), [0]), shape=(m, m)
+    )
+    matrix = (off_diagonal + diagonal).tocsr()
+    matrix.sum_duplicates()
+    matrix.sort_indices()
+    return matrix
+
+
+def metropolis_hastings_weights(
+    graph: nx.Graph, sparse: bool = False
+) -> MixingMatrix:
     """Metropolis–Hastings mixing matrix for an undirected graph.
 
     ``w_{ij} = 1 / (1 + max(deg_i, deg_j))`` for each edge ``(i, j)``, zero for
     non-edges, and ``w_{ii} = 1 - sum_j w_{ij}``.  The result is symmetric,
     doubly stochastic and has strictly positive diagonal, so every agent's
     neighbourhood ``M_i`` includes itself as the paper assumes.
+
+    With ``sparse=True`` the matrix is assembled edge-wise into CSR storage
+    without ever materialising the dense ``(M, M)`` array; the edge weights
+    are computed by the identical formula, so the two representations agree
+    to floating-point round-off (the diagonals may differ in the last ulp
+    because the residual row sums are accumulated in different orders).
     """
-    nodes = sorted(graph.nodes())
-    index = {node: k for k, node in enumerate(nodes)}
+    nodes, index, edges = _graph_layout(graph)
     m = len(nodes)
+    degrees = np.asarray([graph.degree[node] for node in nodes], dtype=np.float64)
+    if sparse:
+        if edges:
+            ij = np.asarray(edges, dtype=np.int64)
+            edge_weights = 1.0 / (1.0 + np.maximum(degrees[ij[:, 0]], degrees[ij[:, 1]]))
+        else:
+            edge_weights = np.zeros(0, dtype=np.float64)
+        return _assemble_csr(m, edges, edge_weights)
     w = np.zeros((m, m), dtype=np.float64)
-    degrees = {node: graph.degree[node] for node in nodes}
-    for u, v in graph.edges():
-        if u == v:
-            continue
-        weight = 1.0 / (1.0 + max(degrees[u], degrees[v]))
-        w[index[u], index[v]] = weight
-        w[index[v], index[u]] = weight
+    for i, j in edges:
+        weight = 1.0 / (1.0 + max(degrees[i], degrees[j]))
+        w[i, j] = weight
+        w[j, i] = weight
     np.fill_diagonal(w, 1.0 - w.sum(axis=1))
     return w
 
 
-def uniform_neighbor_weights(graph: nx.Graph) -> np.ndarray:
+def uniform_neighbor_weights(
+    graph: nx.Graph, sparse: bool = False
+) -> MixingMatrix:
     """Uniform averaging over the *regular* closed neighbourhood.
 
     ``w_{ij} = 1 / (d_max + 1)`` for each edge where ``d_max`` is the maximum
     degree, and the remaining mass goes to the diagonal.  Like
     Metropolis–Hastings this is symmetric and doubly stochastic for any
     graph; on regular graphs (rings, complete graphs) it equals uniform
-    neighbourhood averaging.
+    neighbourhood averaging.  ``sparse=True`` assembles CSR storage
+    edge-wise, exactly as in :func:`metropolis_hastings_weights`.
     """
-    nodes = sorted(graph.nodes())
-    index = {node: k for k, node in enumerate(nodes)}
+    nodes, index, edges = _graph_layout(graph)
     m = len(nodes)
     if m == 0:
-        return np.zeros((0, 0), dtype=np.float64)
+        return sp.csr_array((0, 0), dtype=np.float64) if sparse else np.zeros((0, 0))
     d_max = max((graph.degree[n] for n in nodes), default=0)
     share = 1.0 / (d_max + 1.0)
+    if sparse:
+        return _assemble_csr(m, edges, np.full(len(edges), share))
     w = np.zeros((m, m), dtype=np.float64)
-    for u, v in graph.edges():
-        if u == v:
-            continue
-        w[index[u], index[v]] = share
-        w[index[v], index[u]] = share
+    for i, j in edges:
+        w[i, j] = share
+        w[j, i] = share
     np.fill_diagonal(w, 1.0 - w.sum(axis=1))
     return w
 
 
-def is_symmetric(matrix: np.ndarray, tol: float = _TOLERANCE) -> bool:
-    """True if the matrix equals its transpose within tolerance."""
+def is_symmetric(matrix: MixingMatrix, tol: float = _TOLERANCE) -> bool:
+    """True if the matrix equals its transpose within tolerance.
+
+    CSR matrices are checked via the sparse difference ``W - W^T`` (O(nnz),
+    no densification).
+    """
+    if sp.issparse(matrix):
+        if matrix.shape[0] != matrix.shape[1]:
+            return False
+        difference = (matrix - matrix.T).tocoo()
+        if difference.nnz == 0:
+            return True
+        return bool(np.max(np.abs(difference.data)) <= tol)
     matrix = np.asarray(matrix, dtype=np.float64)
     return bool(np.allclose(matrix, matrix.T, atol=tol))
 
 
-def is_doubly_stochastic(matrix: np.ndarray, tol: float = 1e-8) -> bool:
-    """True if all entries are non-negative and all rows and columns sum to 1."""
+def is_doubly_stochastic(matrix: MixingMatrix, tol: float = 1e-8) -> bool:
+    """True if all entries are non-negative and all rows and columns sum to 1.
+
+    CSR matrices are checked on their stored entries and axis sums only
+    (O(nnz), no densification).
+    """
+    if sp.issparse(matrix):
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            return False
+        csr = matrix.tocsr()
+        if csr.nnz and float(csr.data.min()) < -tol:
+            return False
+        ones = np.ones(csr.shape[0])
+        row_sums = np.asarray(csr.sum(axis=1)).reshape(-1)
+        col_sums = np.asarray(csr.sum(axis=0)).reshape(-1)
+        return bool(
+            np.allclose(row_sums, ones, atol=tol)
+            and np.allclose(col_sums, ones, atol=tol)
+        )
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         return False
@@ -120,7 +243,7 @@ def is_doubly_stochastic(matrix: np.ndarray, tol: float = 1e-8) -> bool:
     )
 
 
-def second_largest_eigenvalue(matrix: np.ndarray) -> float:
+def second_largest_eigenvalue(matrix: MixingMatrix) -> float:
     """``max(|lambda_2|, |lambda_M|)`` for a symmetric stochastic matrix.
 
     For the mixing matrices used here this equals ``sqrt(rho)`` in
@@ -129,17 +252,51 @@ def second_largest_eigenvalue(matrix: np.ndarray) -> float:
     direction ``1``).  Values close to 0 mean near-instant consensus (e.g.
     the complete graph's ``W = 11^T / M``); values close to 1 mean slow
     mixing (long rings).
+
+    Up to ``DENSE_EIG_MAX_AGENTS`` agents the full spectrum is computed with
+    a dense ``eigvalsh`` (O(M^3), exact); above it a Lanczos iteration
+    (``scipy.sparse.linalg.eigsh``) extracts only the two largest-magnitude
+    eigenvalues — which are exactly ``{lambda_1, max(|lambda_2|, |lambda_M|)}``
+    — at O(nnz) per matrix–vector product, so the diagnostic no longer pays
+    an O(M^3) decomposition before training even starts.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
-    eigenvalues = np.linalg.eigvalsh(matrix)
-    # eigvalsh returns ascending order; the largest should be ~1.
-    sorted_by_magnitude = np.sort(np.abs(eigenvalues))[::-1]
-    if sorted_by_magnitude.size < 2:
+    n = matrix.shape[0]
+    if n < 2:
         return 0.0
+    if n <= DENSE_EIG_MAX_AGENTS:
+        dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix, dtype=np.float64)
+        eigenvalues = np.linalg.eigvalsh(dense)
+        # eigvalsh returns ascending order; the largest should be ~1.
+        sorted_by_magnitude = np.sort(np.abs(eigenvalues))[::-1]
+        return float(sorted_by_magnitude[1])
+    operand = matrix if sp.issparse(matrix) else np.asarray(matrix, dtype=np.float64)
+    # Deterministic, non-special start vector (all-ones is the consensus
+    # eigenvector of a doubly stochastic W and would degenerate the Krylov
+    # space; a generic oscillating vector has mass on every eigenvector).
+    v0 = np.cos(np.arange(n, dtype=np.float64))
+    try:
+        # ncv=64 Krylov vectors and a 1e-8 residual tolerance: slow-mixing
+        # graphs (long rings) cluster lambda_1 and lambda_2 within ~1/n^2 of
+        # each other, and the wider subspace cuts ARPACK's restarts several
+        # fold while the achieved eigenvalue error stays < 1e-12.
+        eigenvalues = eigsh(
+            operand,
+            k=2,
+            which="LM",
+            return_eigenvectors=False,
+            tol=1e-8,
+            v0=v0,
+            ncv=min(n, 64),
+        )
+    except ArpackNoConvergence as error:
+        eigenvalues = error.eigenvalues
+        if eigenvalues is None or len(eigenvalues) < 2:
+            raise
+    sorted_by_magnitude = np.sort(np.abs(np.asarray(eigenvalues)))[::-1]
     return float(sorted_by_magnitude[1])
 
 
-def spectral_gap(matrix: np.ndarray) -> float:
+def spectral_gap(matrix: MixingMatrix) -> float:
     """``1 - max(|lambda_2|, |lambda_M|)`` = ``1 - sqrt(rho)``.
 
     Larger gap means faster consensus; this is the quantity that enters the
@@ -148,7 +305,9 @@ def spectral_gap(matrix: np.ndarray) -> float:
     return float(1.0 - second_largest_eigenvalue(matrix))
 
 
-def validate_mixing_matrix(matrix: np.ndarray, require_contraction: bool = False) -> None:
+def validate_mixing_matrix(
+    matrix: MixingMatrix, require_contraction: bool = False
+) -> None:
     """Raise ``ValueError`` unless the matrix satisfies Assumption 3's structure.
 
     Checks, in order: squareness, symmetry (``W = W^T``) and double
@@ -160,12 +319,17 @@ def validate_mixing_matrix(matrix: np.ndarray, require_contraction: bool = False
     :class:`~repro.core.base.DecentralizedAlgorithm` re-validates at
     algorithm construction, so a matrix mutated in between fails fast.
 
+    CSR matrices are validated on their sparse structure directly — the
+    checks are O(nnz) and never densify, so validation stays cheap even for
+    fleet-scale graphs where the dense matrix would not fit in memory.
+
     ``require_contraction`` additionally demands ``sqrt(rho) < 1`` (strict
     positive spectral gap, the third part of Assumption 3), which holds for
     every connected graph with positive self-weights but can be violated by,
     e.g., a disconnected graph or a bipartite graph with zero diagonal.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
+    if not sp.issparse(matrix):
+        matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise ValueError("mixing matrix must be square")
     if not is_symmetric(matrix):
@@ -174,3 +338,96 @@ def validate_mixing_matrix(matrix: np.ndarray, require_contraction: bool = False
         raise ValueError("mixing matrix must be doubly stochastic with non-negative entries")
     if require_contraction and second_largest_eigenvalue(matrix) >= 1.0 - 1e-12:
         raise ValueError("mixing matrix must have spectral gap > 0 (connected topology)")
+
+
+def preferred_mixing_format(num_agents: int, nnz: int) -> str:
+    """The storage format the gossip engine should apply ``W`` in.
+
+    ``"csr"`` once the fleet has at least ``AUTO_SPARSE_MIN_AGENTS`` agents
+    *and* at most ``AUTO_SPARSE_MAX_DENSITY`` of the matrix entries are
+    nonzero — the regime where the O(nnz * d) sparse product beats the dense
+    kernel; ``"dense"`` otherwise (small fleets, dense graphs).
+    """
+    if num_agents <= 0:
+        return "dense"
+    density = nnz / float(num_agents * num_agents)
+    if num_agents >= AUTO_SPARSE_MIN_AGENTS and density <= AUTO_SPARSE_MAX_DENSITY:
+        return "csr"
+    return "dense"
+
+
+class MixingOperator:
+    """A mixing matrix in an applicable storage format: the gossip step's ``W``.
+
+    ``apply(X)`` computes ``W @ X`` — dense storage in O(M^2 d), CSR storage
+    in O(nnz * d).  Both kernels accumulate each output row over the columns
+    in ascending order with one separate multiply-add per term: the CSR
+    product iterates a row's stored entries in index order, and the dense
+    kernel uses ``np.einsum`` (a sequential sum-of-products loop) rather than
+    the BLAS ``@``, whose blocked/FMA accumulation reorders the sum and
+    perturbs the last ulp.  Because adding an exact zero never changes a
+    partial sum, the two formats therefore produce **bit-identical** results
+    for the same matrix — the property the engine-equivalence suite asserts
+    so that switching a topology to sparse storage cannot silently change a
+    trajectory.
+    """
+
+    __slots__ = ("matrix", "format")
+
+    def __init__(self, matrix: MixingMatrix) -> None:
+        if sp.issparse(matrix):
+            csr = sp.csr_array(matrix)
+            csr.sum_duplicates()
+            csr.sort_indices()
+            self.matrix = csr
+            self.format = "csr"
+        else:
+            self.matrix = np.asarray(matrix, dtype=np.float64)
+            self.format = "dense"
+        if self.matrix.ndim != 2 or self.matrix.shape[0] != self.matrix.shape[1]:
+            raise ValueError("mixing operator requires a square matrix")
+
+    @property
+    def num_agents(self) -> int:
+        return int(self.matrix.shape[0])
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored nonzero entries."""
+        if self.format == "csr":
+            return int(self.matrix.nnz)
+        return int(np.count_nonzero(self.matrix))
+
+    @property
+    def density(self) -> float:
+        """Fraction of matrix entries that are nonzero."""
+        n = self.num_agents
+        return self.nnz / float(n * n) if n else 0.0
+
+    def apply(self, rows: np.ndarray) -> np.ndarray:
+        """One gossip step for a stack of vectors: ``W @ rows``.
+
+        ``rows`` is an ``(M, d)`` matrix whose row ``i`` is agent ``i``'s
+        vector; the result is a new ``(M, d)`` dense matrix.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[0] != self.num_agents:
+            raise ValueError(
+                f"expected a ({self.num_agents}, d) stack of agent rows, "
+                f"got shape {rows.shape}"
+            )
+        if self.format == "csr":
+            return self.matrix @ rows
+        return np.einsum("ij,jk->ik", self.matrix, rows)
+
+    def toarray(self) -> np.ndarray:
+        """The matrix as a dense ndarray (converts CSR; entries are preserved exactly)."""
+        if self.format == "csr":
+            return self.matrix.toarray()
+        return self.matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MixingOperator(format={self.format!r}, num_agents={self.num_agents}, "
+            f"nnz={self.nnz})"
+        )

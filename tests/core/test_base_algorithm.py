@@ -309,3 +309,52 @@ class TestVectorizedHelpers:
         expected_messages = algorithm.topology.num_directed_edges
         assert summary["messages_sent"] == expected_messages
         assert summary["floats_sent"] == expected_messages * algorithm.dimension
+
+    def test_average_train_loss_stacked_matches_per_agent_reference(self, components):
+        model, topology, shards, config, _ = components
+        algorithm = NoOpAlgorithm(model, topology, shards, config)
+        # Spread the agents so per-agent losses genuinely differ.
+        rng = np.random.default_rng(9)
+        algorithm.state += rng.normal(scale=0.3, size=algorithm.state.shape)
+        assert algorithm._stacked is not None  # linear model: stacked path active
+        stacked = algorithm.average_train_loss(max_samples_per_agent=16)
+        reference = []
+        for agent in range(algorithm.num_agents):
+            shard = algorithm.shards[agent]
+            if len(shard) > 16:
+                sub_rng = np.random.default_rng(
+                    (config.seed * 1_000_003 + agent) % (2**63 - 1)
+                )
+                shard = shard.sample(16, sub_rng)
+            reference.append(
+                model.evaluate_loss(shard.inputs, shard.labels, params=algorithm.state[agent])
+            )
+        assert stacked == pytest.approx(float(np.mean(reference)), rel=1e-12)
+
+    def test_average_train_loss_subsample_rng_is_stable(self, components):
+        # The per-agent evaluation subsample must not depend on training
+        # progress or backend: two fresh algorithms at the same state report
+        # the same loss.
+        model, topology, shards, config, _ = components
+        a = NoOpAlgorithm(model, topology, shards, config)
+        b = NoOpAlgorithm(model, topology, shards, config)
+        a.draw_batches()  # advancing training streams must not perturb evaluation
+        assert a.average_train_loss(max_samples_per_agent=8) == b.average_train_loss(
+            max_samples_per_agent=8
+        )
+
+    def test_mix_rows_dispatches_to_configured_operator(self, components):
+        model, _, shards, _, _ = components
+        topology = ring_graph(4)
+        rows = np.random.default_rng(2).normal(size=(4, model.num_params))
+        outputs = {}
+        for mixing_backend in ("dense", "sparse"):
+            config = AlgorithmConfig(
+                sigma=0.0, batch_size=16, mixing_backend=mixing_backend
+            )
+            algorithm = NoOpAlgorithm(model, topology, shards, config)
+            assert algorithm.mixing.format == (
+                "csr" if mixing_backend == "sparse" else "dense"
+            )
+            outputs[mixing_backend] = algorithm.mix_rows(rows)
+        np.testing.assert_array_equal(outputs["dense"], outputs["sparse"])

@@ -5,6 +5,11 @@ seed it consumes exactly the same per-agent random streams (batch draws,
 Gaussian noise, Shapley permutations) as the loop backend, so the two
 backends produce the same ``TrainingHistory`` up to floating-point
 associativity of the re-ordered sums.
+
+The sparse (CSR) mixing backend carries a *stronger* contract: it applies
+the same ``W`` with the same accumulation order as the dense kernel, so
+``mixing_backend="sparse"`` must reproduce the dense vectorized engine's
+``TrainingHistory`` **bit for bit** (asserted with exact equality below).
 """
 
 import numpy as np
@@ -23,7 +28,12 @@ from repro.data.partition import partition_dirichlet
 from repro.data.synthetic import make_classification_dataset
 from repro.nn.zoo import make_linear_classifier, make_mlp
 from repro.simulation.runner import EvaluationConfig, run_decentralized
-from repro.topology.graphs import bipartite_graph, fully_connected_graph, ring_graph
+from repro.topology.graphs import (
+    bipartite_graph,
+    fully_connected_graph,
+    ring_graph,
+    torus_graph,
+)
 
 NUM_AGENTS = 5
 ROUNDS = 3
@@ -44,9 +54,17 @@ TOPOLOGIES = {
 }
 
 
-def build_algorithm(name, backend, topology_name, sigma=0.1, model="linear"):
+def build_algorithm(
+    name,
+    backend,
+    topology_name=None,
+    sigma=0.1,
+    model="linear",
+    mixing_backend="auto",
+    topology_factory=None,
+):
     cls, config_cls, extra = ALGORITHMS[name]
-    topology = TOPOLOGIES[topology_name]()
+    topology = (topology_factory or TOPOLOGIES[topology_name])()
     data = make_classification_dataset(
         400, num_features=8, num_classes=4, cluster_std=0.6, seed=1
     )
@@ -67,6 +85,7 @@ def build_algorithm(name, backend, topology_name, sigma=0.1, model="linear"):
         batch_size=16,
         seed=7,
         backend=backend,
+        mixing_backend=mixing_backend,
         **extra,
     )
     if cls is PDSL:
@@ -186,3 +205,96 @@ class TestBackendEquivalenceVariants:
         )
         history = run_decentralized(algorithm, num_rounds=1)
         assert history.metadata["backend"] == "loop"
+
+
+SPARSE_TOPOLOGIES = {
+    "ring": lambda: ring_graph(NUM_AGENTS),
+    "torus": lambda: torus_graph(3),  # 9 agents, 4-regular
+}
+
+
+def assert_histories_identical(history_a, history_b):
+    """Exact (bitwise) equality of every recorded quantity."""
+    assert len(history_a) == len(history_b)
+    for rec_a, rec_b in zip(history_a.records, history_b.records):
+        assert rec_a.round == rec_b.round
+        assert rec_a.average_train_loss == rec_b.average_train_loss
+        assert rec_a.test_accuracy == rec_b.test_accuracy
+        assert rec_a.consensus == rec_b.consensus
+    assert history_a.final_test_accuracy == history_b.final_test_accuracy
+
+
+@pytest.mark.parametrize("topology_name", sorted(SPARSE_TOPOLOGIES))
+@pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
+class TestSparseMixingEquivalence:
+    """CSR gossip must reproduce the dense vectorized engine bit for bit."""
+
+    def run(self, algorithm_name, topology_name, mixing_backend):
+        algorithm, test = build_algorithm(
+            algorithm_name,
+            "vectorized",
+            mixing_backend=mixing_backend,
+            topology_factory=SPARSE_TOPOLOGIES[topology_name],
+        )
+        history = run_decentralized(
+            algorithm,
+            num_rounds=ROUNDS,
+            evaluation=EvaluationConfig(eval_every=1, test_data=test),
+        )
+        return algorithm, history
+
+    def test_bit_identical_training_history(self, algorithm_name, topology_name):
+        dense_alg, dense_history = self.run(algorithm_name, topology_name, "dense")
+        sparse_alg, sparse_history = self.run(algorithm_name, topology_name, "sparse")
+        assert dense_alg.mixing.format == "dense"
+        assert sparse_alg.mixing.format == "csr"
+        assert_histories_identical(dense_history, sparse_history)
+        np.testing.assert_array_equal(dense_alg.state, sparse_alg.state)
+        np.testing.assert_array_equal(dense_alg.momentum_state, sparse_alg.momentum_state)
+
+    def test_identical_traffic_accounting(self, algorithm_name, topology_name):
+        dense_alg, _ = self.run(algorithm_name, topology_name, "dense")
+        sparse_alg, _ = self.run(algorithm_name, topology_name, "sparse")
+        assert (
+            dense_alg.network.traffic_summary() == sparse_alg.network.traffic_summary()
+        )
+
+
+class TestSparseMixingVariants:
+    def test_auto_selection_prefers_dense_for_small_fleets(self):
+        algorithm, _ = build_algorithm("DP-DPSGD", "vectorized", "ring")
+        assert algorithm.config.mixing_backend == "auto"
+        assert algorithm.mixing.format == "dense"
+
+    def test_sparse_override_respected_on_small_fleets(self):
+        algorithm, _ = build_algorithm(
+            "DP-DPSGD", "vectorized", "ring", mixing_backend="sparse"
+        )
+        assert algorithm.mixing.format == "csr"
+
+    def test_sparse_mixing_with_loop_backend(self):
+        # The loop backend never applies the operator, but a sparse-stored
+        # topology must still serve neighbour queries and weights.
+        loop_alg, loop_history = run_history(
+            "DP-DPSGD", "loop", "ring", mixing_backend="sparse"
+        )
+        vec_alg, vec_history = run_history(
+            "DP-DPSGD", "vectorized", "ring", mixing_backend="sparse"
+        )
+        assert loop_alg.backend == "loop"
+        assert_histories_equivalent(loop_history, vec_history)
+
+    def test_sparse_stored_topology_runs_end_to_end(self):
+        from repro.core.config import AlgorithmConfig
+        from repro.data.partition import partition_iid
+
+        topology = ring_graph(80)  # above the auto-sparse threshold
+        assert topology.mixing_is_sparse
+        data = make_classification_dataset(640, num_features=8, num_classes=4, seed=0)
+        shards = partition_iid(data, 80, np.random.default_rng(0)).shards
+        config = AlgorithmConfig(sigma=0.1, batch_size=8, backend="vectorized")
+        algorithm = DPDPSGD(make_linear_classifier(8, 4, seed=0), topology, shards, config)
+        assert algorithm.mixing.format == "csr"
+        history = run_decentralized(algorithm, num_rounds=2)
+        assert len(history) >= 1
+        assert np.isfinite(algorithm.state).all()

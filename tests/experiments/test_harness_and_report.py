@@ -44,13 +44,37 @@ class TestComponentConstruction:
         np.testing.assert_array_equal(a.get_flat_params(), b.get_flat_params())
 
     def test_every_topology_name_supported(self):
-        for topology in ("fully_connected", "ring", "bipartite", "star", "grid", "erdos_renyi"):
+        for topology in (
+            "fully_connected",
+            "ring",
+            "bipartite",
+            "star",
+            "grid",
+            "erdos_renyi",
+            "random_regular",
+            "small_world",
+            "exponential",
+        ):
             spec = fast_spec(num_agents=6, num_rounds=2).with_updates(topology=topology)
             comps = build_experiment_components(spec)
             assert comps.topology.num_agents == 6
 
+    def test_square_and_power_of_two_topologies(self):
+        torus = fast_spec(num_agents=9, num_rounds=2).with_updates(topology="torus")
+        assert build_experiment_components(torus).topology.num_agents == 9
+        cube = fast_spec(num_agents=8, num_rounds=2).with_updates(topology="hypercube")
+        assert build_experiment_components(cube).topology.num_agents == 8
+        with pytest.raises(ValueError, match="square"):
+            build_experiment_components(
+                fast_spec(num_agents=10).with_updates(topology="torus")
+            )
+        with pytest.raises(ValueError, match="power-of-two"):
+            build_experiment_components(
+                fast_spec(num_agents=10).with_updates(topology="hypercube")
+            )
+
     def test_unknown_topology_rejected(self):
-        spec = fast_spec(num_agents=4).with_updates(topology="hypercube")
+        spec = fast_spec(num_agents=4).with_updates(topology="moebius")
         with pytest.raises(ValueError):
             build_experiment_components(spec)
 

@@ -5,6 +5,7 @@ import pytest
 
 from repro.game.cooperative import CooperativeGame
 from repro.game.shapley import (
+    _monte_carlo_shapley_sequential,
     exact_shapley,
     monte_carlo_shapley,
     normalize_shapley,
@@ -97,6 +98,104 @@ class TestMonteCarloShapley:
     def test_invalid_permutation_count(self):
         with pytest.raises(ValueError):
             monte_carlo_shapley(glove_game(), 0, np.random.default_rng(0))
+
+
+def five_player_game():
+    """5 players with superadditive pairwise synergies (non-trivial Shapley values)."""
+    bonus = {frozenset({0, 1}): 1.5, frozenset({2, 3}): 0.75, frozenset({1, 4}): 0.5}
+
+    def value(coalition):
+        members = set(coalition)
+        total = float(sum(0.2 * (p + 1) for p in members))
+        for pair, extra in bonus.items():
+            if pair <= members:
+                total += extra
+        return total
+
+    return CooperativeGame([0, 1, 2, 3, 4], value)
+
+
+class TestVectorizedMonteCarlo:
+    """The batched estimator must match both the sequential walk and eq. 18."""
+
+    def test_bitwise_identical_to_sequential_walk(self):
+        # Same seed, same permutation stream, same marginal accumulation
+        # order: the vectorized bookkeeping must not change a single bit.
+        for seed in (0, 1, 42):
+            vectorized = monte_carlo_shapley(
+                five_player_game(), 16, np.random.default_rng(seed)
+            )
+            sequential = _monte_carlo_shapley_sequential(
+                five_player_game(), 16, np.random.default_rng(seed)
+            )
+            assert vectorized == sequential
+
+    def test_seeded_agreement_with_exact_on_five_players(self):
+        game = five_player_game()
+        exact = exact_shapley(game)
+        estimate = monte_carlo_shapley(game, 5000, np.random.default_rng(11))
+        for player in range(5):
+            assert estimate[player] == pytest.approx(exact[player], abs=0.03)
+        # Efficiency is preserved exactly by permutation sampling.
+        np.testing.assert_allclose(
+            sum(estimate.values()), game.grand_coalition_value(), atol=1e-9
+        )
+
+    def test_characteristic_call_order_matches_sequential(self):
+        # The characteristic may consume its own RNG (validation-batch
+        # subsampling), so the vectorized estimator must issue evaluations
+        # for unique coalitions in the same first-encounter order.
+        def record_calls(log):
+            def value(coalition):
+                log.append(tuple(coalition))
+                return float(len(coalition))
+
+            return value
+
+        calls_vec, calls_seq = [], []
+        monte_carlo_shapley(
+            CooperativeGame(list("abcd"), record_calls(calls_vec)),
+            6,
+            np.random.default_rng(3),
+        )
+        _monte_carlo_shapley_sequential(
+            CooperativeGame(list("abcd"), record_calls(calls_seq)),
+            6,
+            np.random.default_rng(3),
+        )
+        assert calls_vec == calls_seq
+
+    def test_uncached_game_reinvokes_characteristic_on_repeats(self):
+        # With cache=False the characteristic may be deliberately
+        # stochastic, so repeated coalition queries must reach it again —
+        # the estimator falls back to the sequential walk instead of its
+        # evaluate-each-unique-coalition-once bookkeeping.
+        def make_game(log):
+            def value(coalition):
+                log.append(tuple(coalition))
+                return float(len(coalition))
+
+            return CooperativeGame([0, 1, 2, 3], value, cache=False)
+
+        calls_est, calls_ref = [], []
+        estimate = monte_carlo_shapley(make_game(calls_est), 8, np.random.default_rng(4))
+        reference = _monte_carlo_shapley_sequential(
+            make_game(calls_ref), 8, np.random.default_rng(4)
+        )
+        assert estimate == reference
+        assert calls_est == calls_ref  # repeats included, not deduplicated
+
+    def test_hashable_player_labels(self):
+        game = additive_game(["alpha", "beta", ("tuple", 1)], [1.0, 2.0, 3.0])
+        phi = monte_carlo_shapley(game, 20, np.random.default_rng(0))
+        np.testing.assert_allclose(
+            [phi["alpha"], phi["beta"], phi[("tuple", 1)]], [1.0, 2.0, 3.0], atol=1e-12
+        )
+
+    def test_single_player(self):
+        game = CooperativeGame([9], lambda c: 2.5 if c else 0.0)
+        phi = monte_carlo_shapley(game, 3, np.random.default_rng(0))
+        assert phi[9] == pytest.approx(2.5)
 
 
 class TestNormalization:

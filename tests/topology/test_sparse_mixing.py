@@ -1,0 +1,297 @@
+"""Sparse (CSR) mixing backend: builders, validation, operators, diagnostics.
+
+The CSR path must be a pure storage optimisation: edge-wise builders agree
+with the dense builders, validation checks the same Assumption 3 structure
+without densifying, and the dense and CSR :class:`MixingOperator` kernels
+produce bit-identical gossip results for the same matrix.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.topology.graphs import (
+    Topology,
+    exponential_graph,
+    hypercube_graph,
+    random_regular_graph,
+    ring_graph,
+    small_world_graph,
+    torus_graph,
+)
+from repro.topology.mixing import (
+    AUTO_SPARSE_MIN_AGENTS,
+    DENSE_EIG_MAX_AGENTS,
+    MixingOperator,
+    is_doubly_stochastic,
+    is_symmetric,
+    metropolis_hastings_weights,
+    preferred_mixing_format,
+    second_largest_eigenvalue,
+    spectral_gap,
+    uniform_neighbor_weights,
+    validate_mixing_matrix,
+)
+
+GRAPHS = [
+    nx.cycle_graph(12),
+    nx.grid_2d_graph(4, 4, periodic=True),
+    nx.star_graph(9),
+    nx.path_graph(7),
+    nx.erdos_renyi_graph(20, 0.3, seed=0),
+]
+
+
+@pytest.mark.parametrize("graph", GRAPHS)
+@pytest.mark.parametrize("builder", [metropolis_hastings_weights, uniform_neighbor_weights])
+class TestCsrBuilders:
+    def test_matches_dense_builder(self, builder, graph):
+        dense = builder(graph)
+        sparse = builder(graph, sparse=True)
+        assert sp.issparse(sparse)
+        np.testing.assert_allclose(sparse.toarray(), dense, atol=1e-12)
+
+    def test_csr_satisfies_assumption3(self, builder, graph):
+        sparse = builder(graph, sparse=True)
+        assert is_symmetric(sparse)
+        assert is_doubly_stochastic(sparse)
+        validate_mixing_matrix(sparse)
+
+    def test_zero_weight_exactly_on_non_edges(self, builder, graph):
+        sparse = builder(graph, sparse=True)
+        dense = sparse.toarray()
+        nodes = sorted(graph.nodes())
+        index = {node: k for k, node in enumerate(nodes)}
+        for u in nodes:
+            for v in nodes:
+                if u == v:
+                    continue
+                assert (dense[index[u], index[v]] > 0) == graph.has_edge(u, v)
+
+
+class TestCsrValidation:
+    def test_rejects_asymmetric_csr(self):
+        w = sp.csr_array(np.array([[0.5, 0.5, 0.0], [0.4, 0.2, 0.4], [0.1, 0.3, 0.6]]))
+        assert not is_symmetric(w)
+        with pytest.raises(ValueError, match="symmetric"):
+            validate_mixing_matrix(w)
+
+    def test_rejects_non_stochastic_csr(self):
+        w = sp.csr_array(np.array([[0.5, 0.2], [0.2, 0.5]]))
+        assert not is_doubly_stochastic(w)
+        with pytest.raises(ValueError, match="stochastic"):
+            validate_mixing_matrix(w)
+
+    def test_rejects_negative_entries_csr(self):
+        w = sp.csr_array(np.array([[1.2, -0.2], [-0.2, 1.2]]))
+        with pytest.raises(ValueError, match="stochastic"):
+            validate_mixing_matrix(w)
+
+    def test_rejects_non_square_csr(self):
+        w = sp.csr_array(np.ones((2, 3)) / 3.0)
+        with pytest.raises(ValueError, match="square"):
+            validate_mixing_matrix(w)
+
+    def test_validation_never_densifies(self):
+        # A 100k-agent ring: the dense matrix would be 10^10 entries (~80 GB),
+        # so merely finishing proves the checks stay on the sparse structure.
+        graph = nx.cycle_graph(100_000)
+        w = metropolis_hastings_weights(graph, sparse=True)
+        validate_mixing_matrix(w)
+        assert w.nnz == 3 * 100_000
+
+    def test_contraction_check_on_csr(self):
+        w = metropolis_hastings_weights(nx.cycle_graph(11), sparse=True)
+        validate_mixing_matrix(w, require_contraction=True)
+        disconnected = sp.csr_array(sp.eye(5).tocsr())
+        with pytest.raises(ValueError, match="spectral gap"):
+            validate_mixing_matrix(disconnected, require_contraction=True)
+
+
+class TestSpectralDiagnostics:
+    def test_eigsh_matches_dense_path(self):
+        # Same matrix through both code paths: dense eigvalsh below the
+        # threshold, Lanczos above it (forced by a graph larger than
+        # DENSE_EIG_MAX_AGENTS).
+        n = DENSE_EIG_MAX_AGENTS + 64
+        w = metropolis_hastings_weights(nx.cycle_graph(n), sparse=True)
+        lanczos = second_largest_eigenvalue(w)
+        dense = np.linalg.eigvalsh(w.toarray())
+        expected = float(np.sort(np.abs(dense))[::-1][1])
+        assert lanczos == pytest.approx(expected, abs=1e-8)
+
+    def test_eigsh_matches_analytic_ring_value(self):
+        n = 2048
+        w = metropolis_hastings_weights(nx.cycle_graph(n), sparse=True)
+        # Ring MH weights are (1 + 2 cos(2 pi k / n)) / 3; the second-largest
+        # magnitude is attained at k = 1.
+        analytic = (1.0 + 2.0 * np.cos(2.0 * np.pi / n)) / 3.0
+        assert second_largest_eigenvalue(w) == pytest.approx(analytic, abs=1e-8)
+        assert 0.0 < spectral_gap(w) < 1e-4
+
+    def test_eigsh_accepts_dense_storage_above_threshold(self):
+        n = DENSE_EIG_MAX_AGENTS + 32
+        w = metropolis_hastings_weights(nx.cycle_graph(n))
+        assert isinstance(w, np.ndarray)
+        assert spectral_gap(w) > 0.0
+
+
+class TestMixingOperator:
+    def test_dense_and_csr_apply_bit_identical(self):
+        for graph in GRAPHS:
+            w = metropolis_hastings_weights(graph)
+            dense_op = MixingOperator(w)
+            csr_op = MixingOperator(sp.csr_array(w))
+            rows = np.random.default_rng(0).normal(size=(w.shape[0], 23))
+            np.testing.assert_array_equal(dense_op.apply(rows), csr_op.apply(rows))
+
+    def test_apply_matches_matmul_semantics(self):
+        w = metropolis_hastings_weights(nx.cycle_graph(9))
+        rows = np.random.default_rng(1).normal(size=(9, 5))
+        for op in (MixingOperator(w), MixingOperator(sp.csr_array(w))):
+            np.testing.assert_allclose(op.apply(rows), w @ rows, atol=1e-12)
+
+    def test_shape_mismatch_rejected(self):
+        op = MixingOperator(metropolis_hastings_weights(nx.cycle_graph(6)))
+        with pytest.raises(ValueError, match="stack of agent rows"):
+            op.apply(np.zeros((5, 3)))
+
+    def test_metadata(self):
+        w = metropolis_hastings_weights(nx.cycle_graph(10), sparse=True)
+        op = MixingOperator(w)
+        assert op.format == "csr"
+        assert op.num_agents == 10
+        assert op.nnz == 30
+        assert op.density == pytest.approx(0.3)
+        assert MixingOperator(w.toarray()).format == "dense"
+
+
+class TestFormatSelection:
+    def test_small_fleets_stay_dense(self):
+        assert preferred_mixing_format(8, 24) == "dense"
+        assert ring_graph(8).mixing_operator().format == "dense"
+
+    def test_large_sparse_fleets_use_csr(self):
+        n = AUTO_SPARSE_MIN_AGENTS
+        assert preferred_mixing_format(n, 3 * n) == "csr"
+        topology = ring_graph(4 * n)
+        assert topology.mixing_is_sparse
+        assert topology.mixing_operator().format == "csr"
+
+    def test_dense_graphs_stay_dense_at_any_size(self):
+        # Density above the threshold keeps the dense kernel even for big fleets.
+        assert preferred_mixing_format(1024, 1024 * 1024) == "dense"
+
+    def test_explicit_override(self):
+        topology = ring_graph(10)
+        assert topology.mixing_operator("sparse").format == "csr"
+        assert topology.mixing_operator("csr").format == "csr"
+        assert topology.mixing_operator("dense").format == "dense"
+        with pytest.raises(ValueError, match="mixing format"):
+            topology.mixing_operator("blocked")
+
+    def test_format_conversions_preserve_entries_exactly(self):
+        topology = ring_graph(50)
+        dense = topology.mixing_operator("dense").matrix
+        csr = topology.mixing_operator("csr").matrix
+        np.testing.assert_array_equal(csr.toarray(), dense)
+
+
+class TestSparseTopology:
+    """Topology accessors must behave identically under either storage."""
+
+    @pytest.fixture()
+    def twins(self):
+        graph = nx.convert_node_labels_to_integers(
+            nx.erdos_renyi_graph(30, 0.2, seed=3), ordering="sorted"
+        )
+        dense = Topology(graph, metropolis_hastings_weights(graph), name="dense")
+        sparse = Topology(
+            graph.copy(), metropolis_hastings_weights(graph, sparse=True), name="sparse"
+        )
+        return dense, sparse
+
+    def test_neighbors_agree(self, twins):
+        dense, sparse = twins
+        assert sparse.mixing_is_sparse and not dense.mixing_is_sparse
+        for agent in range(dense.num_agents):
+            assert dense.neighbors(agent) == sparse.neighbors(agent)
+            assert dense.neighbors(agent, include_self=False) == sparse.neighbors(
+                agent, include_self=False
+            )
+
+    def test_weights_and_pairs_agree(self, twins):
+        dense, sparse = twins
+        assert dense.directed_pairs() == sparse.directed_pairs()
+        assert dense.num_directed_edges == sparse.num_directed_edges
+        for i, j in dense.directed_pairs():
+            assert dense.weight(i, j) == pytest.approx(sparse.weight(i, j), abs=1e-15)
+        assert dense.min_weight() == pytest.approx(sparse.min_weight(), abs=1e-15)
+
+    def test_spectral_properties_agree(self, twins):
+        dense, sparse = twins
+        assert dense.rho == pytest.approx(sparse.rho, abs=1e-10)
+        assert dense.spectral_gap == pytest.approx(sparse.spectral_gap, abs=1e-10)
+
+    def test_invalid_sparse_matrix_rejected(self):
+        graph = nx.cycle_graph(5)
+        bad = sp.csr_array(np.eye(5) * 0.9)
+        with pytest.raises(ValueError, match="stochastic"):
+            Topology(graph, bad)
+
+
+class TestLargeGraphConstructors:
+    def test_torus_is_4_regular(self):
+        topology = torus_graph(8)
+        assert topology.num_agents == 64
+        assert topology.name == "torus"
+        assert all(topology.degree(a) == 4 for a in range(64))
+        assert topology.mixing_is_sparse
+
+    def test_torus_rectangular_and_validation(self):
+        assert torus_graph(3, 5).num_agents == 15
+        with pytest.raises(ValueError):
+            torus_graph(2)
+
+    def test_random_regular_degree_and_connectivity(self):
+        topology = random_regular_graph(64, degree=6, seed=1)
+        assert topology.name == "random_regular"
+        assert all(topology.degree(a) == 6 for a in range(64))
+        assert topology.spectral_gap > 0.0
+        with pytest.raises(ValueError):
+            random_regular_graph(9, degree=3)  # odd product
+
+    def test_small_world_shortcut_gap(self):
+        ring = ring_graph(128)
+        small_world = small_world_graph(128, nearest_neighbors=4, rewire_probability=0.2, seed=0)
+        assert small_world.name == "small_world"
+        # Shortcuts must mix strictly faster than the plain ring.
+        assert small_world.spectral_gap > ring.spectral_gap
+
+    def test_hypercube_structure(self):
+        topology = hypercube_graph(6)
+        assert topology.num_agents == 64
+        assert topology.name == "hypercube"
+        assert all(topology.degree(a) == 6 for a in range(64))
+        for i, j in topology.graph.edges():
+            assert bin(i ^ j).count("1") == 1
+
+    def test_exponential_degree_is_logarithmic(self):
+        topology = exponential_graph(64)
+        assert topology.name == "exponential"
+        # Neighbours at hops 1, 2, 4, ..., 32 in both directions; the +/-32
+        # hops coincide, giving 11 distinct neighbours.
+        assert topology.degree(0) == 11
+        assert topology.spectral_gap > ring_graph(64).spectral_gap
+
+    def test_all_constructors_validate(self):
+        for topology in [
+            torus_graph(4),
+            random_regular_graph(16, 4),
+            small_world_graph(16),
+            hypercube_graph(4),
+            exponential_graph(16),
+        ]:
+            validate_mixing_matrix(topology.mixing_matrix)
+            assert nx.is_connected(topology.graph)
