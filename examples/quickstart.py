@@ -13,10 +13,14 @@ This is the smallest end-to-end use of the public API:
 Run with::
 
     python examples/quickstart.py
+
+Environment knobs (used by the CI smoke step to keep the run tiny):
+``REPRO_QUICKSTART_ROUNDS``, ``REPRO_QUICKSTART_AGENTS``.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -41,7 +45,7 @@ def main() -> None:
     train, validation, test = train_val_test_split(dataset, val_fraction=0.1, test_fraction=0.2, rng=rng)
 
     # 2. Non-IID partition across 8 agents (Dirichlet alpha = 0.25, as in the paper).
-    num_agents = 8
+    num_agents = int(os.environ.get("REPRO_QUICKSTART_AGENTS", 8))
     partition = partition_dirichlet(train, num_agents, alpha=0.25, rng=rng, min_samples_per_agent=20)
     print("per-agent dataset sizes:", partition.sizes())
 
@@ -64,7 +68,7 @@ def main() -> None:
     # 4. Train and report.
     history = run_decentralized(
         algorithm,
-        num_rounds=25,
+        num_rounds=int(os.environ.get("REPRO_QUICKSTART_ROUNDS", 25)),
         evaluation=EvaluationConfig(eval_every=5, test_data=test),
         progress_callback=lambda r, rec: print(
             f"round {r:>3d}  avg train loss {rec.average_train_loss:.3f}"

@@ -30,6 +30,11 @@ class DMSGD(DecentralizedAlgorithm):
 
         provisional: List[np.ndarray] = []
         for agent in range(self.num_agents):
+            if not self.is_active(agent):
+                # Inactive agents take no step and their momentum does not
+                # decay; the round topology's identity row keeps their model.
+                provisional.append(self.params[agent].copy())
+                continue
             gradient = self.local_gradient(agent, self.params[agent], batches[agent])
             perturbed = self.privatize(agent, gradient)
             self.momenta[agent] = alpha * self.momenta[agent] + perturbed
@@ -53,7 +58,11 @@ class DMSGD(DecentralizedAlgorithm):
         batches = self.draw_batches()
         gradients = self.fleet_gradients(self.state, batches)
         perturbed = self.privatize_rows(gradients)
-        self.momentum_state = alpha * self.momentum_state + perturbed
-        provisional = self.state - gamma * self.momentum_state
+        self.momentum_state = self.freeze_inactive_rows(
+            alpha * self.momentum_state + perturbed, self.momentum_state
+        )
+        provisional = self.freeze_inactive_rows(
+            self.state - gamma * self.momentum_state, self.state
+        )
         self.record_fleet_exchange("model", self.dimension)
         self.state = self.mix_rows(provisional)

@@ -18,7 +18,7 @@ has at most a couple of dozen variables).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 from scipy.optimize import minimize
@@ -93,9 +93,14 @@ class DPCGA(DecentralizedAlgorithm):
             self.network.broadcast(agent, neighbors, "model", self.params[agent].copy())
 
         # Compute DP-perturbed cross-gradients of each received model on local data
-        # and send them back to the model's owner.
-        own_perturbed: List[np.ndarray] = []
+        # and send them back to the model's owner.  Inactive agents received
+        # no models (the round topology gives them no neighbours) and draw
+        # neither batches nor noise.
+        own_perturbed: List[Optional[np.ndarray]] = []
         for agent in range(self.num_agents):
+            if not self.is_active(agent):
+                own_perturbed.append(None)
+                continue
             local_grad = self.local_gradient(agent, self.params[agent], batches[agent])
             own_perturbed.append(self.privatize(agent, local_grad))
             received_models = self.network.receive_by_sender(agent, "model")
@@ -107,6 +112,9 @@ class DPCGA(DecentralizedAlgorithm):
         # momentum step, and share the provisional model for gossip averaging.
         provisional: List[np.ndarray] = []
         for agent in range(self.num_agents):
+            if not self.is_active(agent):
+                provisional.append(self.params[agent].copy())
+                continue
             returned: Dict[int, np.ndarray] = self.network.receive_by_sender(agent, "cross_grad")
             returned[agent] = own_perturbed[agent]
             ordered = [returned[j] for j in sorted(returned)]
@@ -147,9 +155,10 @@ class DPCGA(DecentralizedAlgorithm):
         self.record_fleet_exchange("cross_grad", self.dimension)
 
         # Min-norm QP per agent over the returned cross-gradients (sorted by
-        # contributor id, self included, as in the loop backend).
-        combined = np.empty_like(self.state)
-        for agent in range(self.num_agents):
+        # contributor id, self included, as in the loop backend).  Inactive
+        # agents run no QP and keep their momentum and model frozen.
+        combined = np.zeros_like(self.state)
+        for agent in self.active_agents:
             contributors = self.topology.neighbors(agent, include_self=True)
             ordered = [
                 own_perturbed[agent]
@@ -163,7 +172,11 @@ class DPCGA(DecentralizedAlgorithm):
                 acc += weight * grad
             combined[agent] = acc
 
-        self.momentum_state = alpha * self.momentum_state + combined
-        provisional = self.state - gamma * self.momentum_state
+        self.momentum_state = self.freeze_inactive_rows(
+            alpha * self.momentum_state + combined, self.momentum_state
+        )
+        provisional = self.freeze_inactive_rows(
+            self.state - gamma * self.momentum_state, self.state
+        )
         self.record_fleet_exchange("mix", self.dimension)
         self.state = self.mix_rows(provisional)

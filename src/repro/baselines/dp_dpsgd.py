@@ -28,9 +28,15 @@ class DPDPSGD(DecentralizedAlgorithm):
         gamma = self.config.learning_rate
         batches = self.draw_batches()
 
-        # Local DP-SGD step on each agent's own model and data.
+        # Local DP-SGD step on each agent's own model and data.  Inactive
+        # agents (churn/stragglers) sit the round out: no gradient, no noise
+        # draw, no broadcast — their provisional model is just their current
+        # one, which the round topology's identity mixing row preserves.
         provisional: List[np.ndarray] = []
         for agent in range(self.num_agents):
+            if not self.is_active(agent):
+                provisional.append(self.params[agent].copy())
+                continue
             gradient = self.local_gradient(agent, self.params[agent], batches[agent])
             perturbed = self.privatize(agent, gradient)
             provisional.append(self.params[agent] - gamma * perturbed)
@@ -51,6 +57,9 @@ class DPDPSGD(DecentralizedAlgorithm):
     def _step_vectorized(self, round_index: int) -> None:
         gamma = self.config.learning_rate
         batches = self.draw_batches()
+        # Inactive agents' rows are exactly zero after the masked gradient
+        # and noise paths, so the provisional step leaves them at their
+        # current parameters and the identity mixing row keeps them there.
         gradients = self.fleet_gradients(self.state, batches)
         perturbed = self.privatize_rows(gradients)
         provisional = self.state - gamma * perturbed

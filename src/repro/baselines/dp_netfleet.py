@@ -86,9 +86,14 @@ class DPNetFleet(DecentralizedAlgorithm):
     def _step_loop(self, round_index: int) -> None:
         gamma = self.config.learning_rate
 
-        # Lazy initialisation of the tracking variable with the first gradients.
+        # Lazy initialisation of the tracking variable with the first
+        # gradients.  Agents inactive in the very first round start from a
+        # zero tracking estimate instead (they draw no batch and no noise);
+        # it bootstraps through the recursive correction once they rejoin.
         if not self._initialized:
             for agent in range(self.num_agents):
+                if not self.is_active(agent):
+                    continue
                 grad = self._perturbed_local_gradient(agent, self.params[agent])
                 self.tracking[agent] = grad
                 self.previous_gradient[agent] = grad
@@ -102,6 +107,10 @@ class DPNetFleet(DecentralizedAlgorithm):
         #    other baselines.
         local_params: List[np.ndarray] = []
         for agent in range(self.num_agents):
+            if not self.is_active(agent):
+                # Inactive agents take no local steps this round.
+                local_params.append(self.params[agent].copy())
+                continue
             # Gradient-tracking descent: the update direction is the tracking
             # variable y_i (the running estimate of the network-average
             # gradient), re-clipped so accumulated noise cannot inflate the
@@ -134,10 +143,13 @@ class DPNetFleet(DecentralizedAlgorithm):
                 params_acc += weight * params_j
                 tracking_acc += weight * tracking_j
             # Recursive correction with a fresh DP gradient at the mixed model:
-            # y_i <- sum_j w_ij y_j + (g_i^{t} - g_i^{t-1}).
-            fresh = self._perturbed_local_gradient(agent, params_acc)
-            tracking_acc = tracking_acc + fresh - self.previous_gradient[agent]
-            self.previous_gradient[agent] = fresh
+            # y_i <- sum_j w_ij y_j + (g_i^{t} - g_i^{t-1}).  Inactive agents
+            # draw no fresh gradient; their accumulators already equal their
+            # frozen model and tracking (identity mixing row).
+            if self.is_active(agent):
+                fresh = self._perturbed_local_gradient(agent, params_acc)
+                tracking_acc = tracking_acc + fresh - self.previous_gradient[agent]
+                self.previous_gradient[agent] = fresh
             new_params.append(params_acc)
             new_tracking.append(tracking_acc)
 
@@ -148,24 +160,34 @@ class DPNetFleet(DecentralizedAlgorithm):
         gamma = self.config.learning_rate
 
         if not self._initialized:
+            # The masked gradient path leaves agents inactive in the first
+            # round at a zero tracking estimate, as in the loop engine.
             initial = self._fresh_fleet_gradients(self.state)
             self.tracking_state = initial
             self.previous_gradient_state = initial.copy()
             self._initialized = True
 
-        # 1. Local steps along the re-clipped tracking direction.
+        # 1. Local steps along the re-clipped tracking direction (inactive
+        #    agents take none).
         corrected = clip_rows_by_l2_norm(self.tracking_state, self.config.clip_threshold)
         local_params = self.state.copy()
         for _ in range(self.config.local_steps):
             local_params = local_params - gamma * corrected
+        local_params = self.freeze_inactive_rows(local_params, self.state)
 
         # 2. One (model, tracking) exchange per directed edge.
         self.record_fleet_exchange("state", 2 * self.dimension)
 
-        # 3. Gossip averaging + recursive gradient correction.
+        # 3. Gossip averaging + recursive gradient correction.  Inactive
+        #    agents draw no fresh gradient and keep their tracking state and
+        #    previous gradient frozen.
         mixed_params = self.mix_rows(local_params)
         mixed_tracking = self.mix_rows(self.tracking_state)
         fresh = self._fresh_fleet_gradients(mixed_params)
-        self.tracking_state = mixed_tracking + fresh - self.previous_gradient_state
-        self.previous_gradient_state = fresh
+        self.tracking_state = self.freeze_inactive_rows(
+            mixed_tracking + fresh - self.previous_gradient_state, self.tracking_state
+        )
+        self.previous_gradient_state = self.freeze_inactive_rows(
+            fresh, self.previous_gradient_state
+        )
         self.state = mixed_params

@@ -49,9 +49,15 @@ class Muffliato(DecentralizedAlgorithm):
         gamma = self.config.learning_rate
         batches = self.draw_batches()
 
-        # Local gradient step with clipped + noised gradient.
+        # Local gradient step with clipped + noised gradient.  Inactive
+        # agents take no step; the gossip exchanges below leave them
+        # untouched because the round topology gives them no neighbours and
+        # an identity mixing row.
         updated: List[np.ndarray] = []
         for agent in range(self.num_agents):
+            if not self.is_active(agent):
+                updated.append(self.params[agent].copy())
+                continue
             gradient = self.local_gradient(agent, self.params[agent], batches[agent])
             perturbed = self.privatize(agent, gradient)
             updated.append(self.params[agent] - gamma * perturbed)
@@ -67,6 +73,8 @@ class Muffliato(DecentralizedAlgorithm):
         batches = self.draw_batches()
         gradients = self.fleet_gradients(self.state, batches)
         perturbed = self.privatize_rows(gradients)
+        # Inactive rows are exactly zero in ``perturbed`` and have identity
+        # mixing rows, so they ride through the step and gossip unchanged.
         updated = self.state - gamma * perturbed
         for gossip_round in range(self.config.gossip_steps):
             self.record_fleet_exchange(f"gossip_{gossip_round}", self.dimension)

@@ -8,6 +8,14 @@ mini-batch samplers and DP mechanisms, the message-passing
 topology's mixing matrix, and the evaluation helpers used by the experiment
 runner (average training loss, test accuracy, consensus distance).
 
+The communication topology is consulted *per round*: a
+:class:`~repro.topology.schedule.TopologySchedule` (or a bare
+:class:`~repro.topology.graphs.Topology`, wrapped in a bit-identical static
+schedule) provides each round's graph, mixing operator and active-agent
+mask through :meth:`DecentralizedAlgorithm._begin_round` — agents that sit
+a round out (churn, stragglers) draw no randomness and keep frozen rows on
+both engines.
+
 Two execution engines share that state (selected by
 ``AlgorithmConfig.backend``):
 
@@ -49,6 +57,7 @@ from repro.simulation.metrics import consensus_distance
 from repro.simulation.network import Network
 from repro.topology.graphs import Topology
 from repro.topology.mixing import validate_mixing_matrix
+from repro.topology.schedule import StaticSchedule, TopologyEvent, TopologySchedule
 
 __all__ = ["AgentRows", "DecentralizedAlgorithm"]
 
@@ -105,10 +114,15 @@ class DecentralizedAlgorithm:
         evaluations (agents are distinguished purely by their parameter
         vectors, exactly as the paper treats them as points in ``R^d``).
     topology:
-        Communication graph with doubly stochastic mixing matrix ``W``.  The
-        matrix is re-validated here (symmetry, double stochasticity) so a
-        topology whose matrix was mutated after construction fails fast with
-        a clear error instead of deep inside the first gossip step.
+        Communication graph with doubly stochastic mixing matrix ``W``, or a
+        :class:`~repro.topology.schedule.TopologySchedule` providing one
+        graph per round (time-varying topologies, churn, stragglers).  A
+        bare ``Topology`` is wrapped in a
+        :class:`~repro.topology.schedule.StaticSchedule`, which reproduces
+        the fixed-graph behaviour bit for bit.  The base matrix is
+        re-validated here (symmetry, double stochasticity) so a topology
+        whose matrix was mutated after construction fails fast with a clear
+        error instead of deep inside the first gossip step.
     shards:
         One local dataset per agent (e.g. from
         :func:`repro.data.partition.partition_dirichlet`).
@@ -125,11 +139,16 @@ class DecentralizedAlgorithm:
     def __init__(
         self,
         model: Model,
-        topology: Topology,
+        topology: Union[Topology, TopologySchedule],
         shards: Sequence[Dataset],
         config: AlgorithmConfig,
         validation: Optional[Dataset] = None,
     ) -> None:
+        if isinstance(topology, TopologySchedule):
+            self.schedule: TopologySchedule = topology
+            topology = self.schedule.base
+        else:
+            self.schedule = StaticSchedule(topology)
         if len(shards) != topology.num_agents:
             raise ValueError(
                 f"got {len(shards)} data shards for {topology.num_agents} agents"
@@ -149,9 +168,8 @@ class DecentralizedAlgorithm:
         # choice is purely a performance knob — trajectories are
         # bit-identical either way.
         mixing_backend = getattr(config, "mixing_backend", "auto")
-        self.mixing = topology.mixing_operator(
-            None if mixing_backend == "auto" else mixing_backend
-        )
+        self._mixing_format = None if mixing_backend == "auto" else mixing_backend
+        self.mixing = topology.mixing_operator(self._mixing_format)
         self.model = model
         self.topology = topology
         self.shards = list(shards)
@@ -160,6 +178,14 @@ class DecentralizedAlgorithm:
         self.num_agents = topology.num_agents
         self.dimension = model.num_params
         self.sigma = config.resolve_sigma()
+
+        # Per-round participation state, refreshed by :meth:`_begin_round`
+        # from the schedule.  On a static schedule every agent is active in
+        # every round and none of the masking paths are taken.
+        self.active_mask: np.ndarray = np.ones(self.num_agents, dtype=bool)
+        self.active_agents: List[int] = list(range(self.num_agents))
+        self._all_active = True
+        self.pending_events: List[TopologyEvent] = []
 
         root_rng = np.random.default_rng(config.seed)
         child_seeds = root_rng.integers(0, 2**63 - 1, size=3 * self.num_agents + 2)
@@ -262,10 +288,59 @@ class DecentralizedAlgorithm:
 
     def step(self, round_index: int) -> None:
         """Execute one synchronous communication round for every agent."""
+        self._begin_round(round_index)
         if self._use_vectorized():
             self._step_vectorized(round_index)
         else:
             self._step_loop(round_index)
+
+    def _begin_round(self, round_index: int) -> None:
+        """Pull round ``round_index``'s topology and participation from the schedule.
+
+        Swaps in the round's graph and
+        :class:`~repro.topology.mixing.MixingOperator` (LRU-cached by the
+        schedule), refreshes the active-agent mask (churned-out agents and
+        this round's stragglers are masked out of every phase), tells the
+        network which agents are reachable, and buffers the schedule's
+        events for the runner to record.  On a static schedule this is a
+        no-op, so the legacy fixed-topology path is untouched.
+        """
+        if self.schedule.is_static:
+            return
+        topology = self.schedule.topology_at(round_index)
+        if topology is not self.topology:
+            self.topology = topology
+            self.mixing = self.schedule.operator_at(round_index, self._mixing_format)
+        mask = self.schedule.active_mask_at(round_index)
+        self.active_mask = mask
+        self._all_active = bool(mask.all())
+        self.active_agents = [int(agent) for agent in np.flatnonzero(mask)]
+        self.network.set_active_mask(mask)
+        self.pending_events.extend(self.schedule.events_at(round_index))
+
+    def is_active(self, agent: int) -> bool:
+        """Whether the agent participates in the current round."""
+        return bool(self.active_mask[agent])
+
+    def consume_events(self) -> List[TopologyEvent]:
+        """Drain the topology/churn events buffered since the last call."""
+        events = self.pending_events
+        self.pending_events = []
+        return events
+
+    def freeze_inactive_rows(
+        self, updated: np.ndarray, current: np.ndarray
+    ) -> np.ndarray:
+        """Keep inactive agents' rows at ``current``; active rows take ``updated``.
+
+        The vectorized engine computes whole-fleet updates and then pins the
+        rows of agents that sat the round out — matching the loop engine,
+        which simply never touches them.  With every agent active this
+        returns ``updated`` unchanged (bit-identical legacy path).
+        """
+        if self._all_active:
+            return updated
+        return np.where(self.active_mask[:, None], updated, current)
 
     def _step_loop(self, round_index: int) -> None:
         """One round via per-agent message passing (must be overridden)."""
@@ -321,23 +396,28 @@ class DecentralizedAlgorithm:
         fleet.  Models without stacked support (CNNs) fall back to one
         :meth:`Model.loss_and_gradient` call per row.  ``param_rows`` may
         contain arbitrary rows (e.g. the neighbour models of every directed
-        edge for cross-gradients), not just the fleet state.
+        edge for cross-gradients), not just the fleet state.  A ``None``
+        batch (an inactive agent, see :meth:`draw_batches`) contributes a
+        zero row and no forward/backward pass.
         """
         param_rows = np.asarray(param_rows, dtype=np.float64)
+        present = [k for k, batch in enumerate(batches) if batch is not None]
+        grads = np.zeros((len(batches), self.dimension), dtype=np.float64)
         if self._stacked is None:
-            return np.stack(
-                [
-                    self.model.loss_and_gradient(inputs, labels, params=param_rows[k])[1]
-                    for k, (inputs, labels) in enumerate(batches)
-                ],
-                axis=0,
-            )
-        grads = np.empty((len(batches), self.dimension), dtype=np.float64)
-        for rows, inputs, labels in self._stack_groups(batches):
+            for k in present:
+                inputs, labels = batches[k]
+                grads[k] = self.model.loss_and_gradient(
+                    inputs, labels, params=param_rows[k]
+                )[1]
+            return grads
+        for rows, inputs, labels in self._stack_groups(
+            [batches[k] for k in present]
+        ):
+            owners = [present[r] for r in rows]
             _, group_grads = self._stacked.loss_and_gradients(
-                param_rows[rows], inputs, labels
+                param_rows[owners], inputs, labels
             )
-            grads[rows] = group_grads
+            grads[owners] = group_grads
         return grads
 
     @staticmethod
@@ -397,6 +477,11 @@ class DecentralizedAlgorithm:
             for row, agent in enumerate(owners):
                 rows_by_owner.setdefault(int(agent), []).append(row)
             for agent, owned_rows in rows_by_owner.items():
+                if not self.active_mask[agent]:
+                    # Inactive owners contribute zero rows and draw no
+                    # noise, mirroring the loop engine which never reaches
+                    # their privatize call.
+                    continue
                 index = np.asarray(owned_rows, dtype=np.intp)
                 clipped[index] = self.mechanisms[agent].add_noise_rows(clipped[index])
         return clipped
@@ -466,9 +551,18 @@ class DecentralizedAlgorithm:
             tag, self.topology.num_directed_edges, floats_per_message
         )
 
-    def draw_batches(self) -> List[Batch]:
-        """One fresh mini-batch per agent for the current round."""
-        return [self.samplers[i].next_batch() for i in range(self.num_agents)]
+    def draw_batches(self) -> List[Optional[Batch]]:
+        """One fresh mini-batch per *active* agent for the current round.
+
+        Inactive agents (churned out or straggling) get ``None`` and their
+        sampler streams are not consumed — identically under both engines,
+        so loop/vectorized trajectory equivalence extends to dynamic
+        schedules.
+        """
+        return [
+            self.samplers[i].next_batch() if self.active_mask[i] else None
+            for i in range(self.num_agents)
+        ]
 
     # ------------------------------------------------------------------
     # State accessors and evaluation

@@ -32,7 +32,7 @@ seed.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -137,8 +137,14 @@ class PDSL(DecentralizedAlgorithm):
         batches = self.draw_batches()
 
         # Phase 1 — local gradients (lines 2-4) and model broadcast (line 5).
-        own_perturbed: List[np.ndarray] = []
+        # Agents inactive this round (churned out or straggling) sit every
+        # phase out: they draw no batch or noise, broadcast nothing, and the
+        # round topology's identity mixing row freezes their state.
+        own_perturbed: List[Optional[np.ndarray]] = []
         for agent in range(self.num_agents):
+            if not self.is_active(agent):
+                own_perturbed.append(None)
+                continue
             local_grad = self.local_gradient(agent, self.params[agent], batches[agent])
             own_perturbed.append(self.privatize(agent, local_grad))
             neighbors = self.topology.neighbors(agent, include_self=False)
@@ -155,6 +161,11 @@ class PDSL(DecentralizedAlgorithm):
         # Phase 3 — Shapley-weighted aggregation and momentum update (lines 13-21).
         provisional: List[Tuple[np.ndarray, np.ndarray]] = []
         for agent in range(self.num_agents):
+            if not self.is_active(agent):
+                provisional.append(
+                    (self.momenta[agent].copy(), self.params[agent].copy())
+                )
+                continue
             returned = self.network.receive_by_sender(agent, "cross_grad")
             returned[agent] = own_perturbed[agent]
             aggregated = self._aggregate_returned(agent, returned)
@@ -206,8 +217,10 @@ class PDSL(DecentralizedAlgorithm):
 
         # Phase 3 — per-agent Shapley aggregation (inherently sequential
         # coalition evaluations), then one fleet-wide momentum update.
-        aggregated = np.empty_like(self.state)
-        for agent in range(self.num_agents):
+        # Inactive agents run no Shapley game and keep momentum and model
+        # frozen for the round.
+        aggregated = np.zeros_like(self.state)
+        for agent in self.active_agents:
             returned = {
                 j: cross_perturbed[pair_rows[(j, agent)]]
                 for j in self.topology.neighbors(agent, include_self=False)
@@ -215,8 +228,12 @@ class PDSL(DecentralizedAlgorithm):
             returned[agent] = own_perturbed[agent]
             aggregated[agent] = self._aggregate_returned(agent, returned)
 
-        momentum_hat = alpha * self.momentum_state + aggregated
-        params_hat = self.state - gamma * momentum_hat
+        momentum_hat = self.freeze_inactive_rows(
+            alpha * self.momentum_state + aggregated, self.momentum_state
+        )
+        params_hat = self.freeze_inactive_rows(
+            self.state - gamma * momentum_hat, self.state
+        )
         self.record_fleet_exchange("mix", 2 * self.dimension)
 
         # Phase 4 — gossip averaging as two matrix multiplies.

@@ -35,6 +35,7 @@ from repro.nn.model import Model
 from repro.nn.zoo import make_cifar_cnn, make_linear_classifier, make_mlp, make_mnist_cnn
 from repro.simulation.metrics import TrainingHistory
 from repro.simulation.runner import EvaluationConfig, run_decentralized
+from repro.topology.schedule import TopologySchedule, schedule_from_dynamics
 from repro.topology.graphs import (
     Topology,
     bipartite_graph,
@@ -61,7 +62,14 @@ __all__ = [
 
 @dataclass
 class ExperimentComponents:
-    """The concrete objects an experiment runs on."""
+    """The concrete objects an experiment runs on.
+
+    ``schedule`` is ``None`` for the historical fixed-topology experiments;
+    when the spec declares ``dynamics`` it is the
+    :class:`~repro.topology.schedule.TopologySchedule` every compared
+    algorithm trains against (shared, so all algorithms see the identical
+    sequence of graphs, departures and stragglers).
+    """
 
     spec: ExperimentSpec
     topology: Topology
@@ -70,6 +78,7 @@ class ExperimentComponents:
     test: Dataset
     partition: PartitionResult
     model_factory: Callable[[], Model]
+    schedule: Optional[TopologySchedule] = None
 
 
 def _make_topology(name: str, num_agents: int, seed: int) -> Topology:
@@ -176,6 +185,11 @@ def build_experiment_components(spec: ExperimentSpec) -> ExperimentComponents:
         min_samples_per_agent=max(2, spec.batch_size // 4),
     )
     topology = _make_topology(spec.topology, spec.num_agents, spec.seed)
+    schedule = (
+        schedule_from_dynamics(topology, spec.dynamics, seed=spec.seed)
+        if spec.dynamics
+        else None
+    )
     model_factory = _make_model_factory(spec, train.input_shape)
     return ExperimentComponents(
         spec=spec,
@@ -185,6 +199,7 @@ def build_experiment_components(spec: ExperimentSpec) -> ExperimentComponents:
         test=test,
         partition=partition,
         model_factory=model_factory,
+        schedule=schedule,
     )
 
 
@@ -211,7 +226,11 @@ def build_algorithm(
     )
     model = components.model_factory()
     shards = components.partition.shards
-    topology = components.topology
+    # When the spec declares topology dynamics, the algorithms receive the
+    # shared per-round schedule instead of the fixed base graph.
+    topology = (
+        components.schedule if components.schedule is not None else components.topology
+    )
     validation = components.validation
 
     if name == "PDSL":

@@ -38,6 +38,9 @@ def history_to_dict(history: TrainingHistory) -> Dict[str, object]:
                 "test_accuracy": record.test_accuracy,
                 "consensus": record.consensus,
                 "extra": dict(record.extra),
+                "wall_clock_seconds": record.wall_clock_seconds,
+                "active_agents": record.active_agents,
+                "topology_events": [dict(e) for e in record.topology_events],
             }
             for record in history.records
         ],
@@ -61,6 +64,9 @@ def history_from_dict(payload: Mapping[str, object]) -> TrainingHistory:
                 test_accuracy=item.get("test_accuracy"),
                 consensus=item.get("consensus"),
                 extra=dict(item.get("extra", {})),
+                wall_clock_seconds=item.get("wall_clock_seconds"),
+                active_agents=item.get("active_agents"),
+                topology_events=[dict(e) for e in item.get("topology_events", [])],
             )
         )
     return history

@@ -17,6 +17,8 @@ __all__ = [
     "format_loss_curves",
     "accuracy_table_rows",
     "format_accuracy_table",
+    "runtime_summary_rows",
+    "format_runtime_table",
 ]
 
 
@@ -51,6 +53,50 @@ def format_loss_curves(
             history = histories[name]
             values.append(f"{history.losses[idx]:>14.4f}" if idx < len(history.losses) else " " * 14)
         lines.append(f"{rounds[idx]:>5d}  " + "  ".join(values))
+    return "\n".join(lines)
+
+
+def runtime_summary_rows(
+    histories: Mapping[str, TrainingHistory]
+) -> Dict[str, Dict[str, float]]:
+    """Per-algorithm runtime summary from the per-round wall-clock records.
+
+    Returns ``{algorithm: {"total_seconds", "seconds_per_round", "rounds",
+    "events"}}``; ``seconds_per_round`` divides by the number of *training*
+    rounds covered by timed records (evaluation time is never included).
+    """
+    rows: Dict[str, Dict[str, float]] = {}
+    for name, history in histories.items():
+        total = history.total_wall_clock()
+        rounds = history.metadata.get("rounds", history.rounds[-1] if history.records else 0)
+        rows[name] = {
+            "total_seconds": total,
+            "seconds_per_round": total / rounds if rounds else 0.0,
+            "rounds": float(rounds),
+            "events": float(len(history.topology_events)),
+        }
+    return rows
+
+
+def format_runtime_table(
+    histories: Mapping[str, TrainingHistory],
+    caption: str = "Training runtime (per-round wall clock)",
+) -> str:
+    """Render the runtime column next to each algorithm's convergence summary."""
+    rows = runtime_summary_rows(histories)
+    lines = [
+        caption,
+        f"{'method':<14s}{'rounds':>8s}{'runtime [s]':>14s}{'s/round':>12s}"
+        f"{'events':>9s}{'final loss':>13s}",
+    ]
+    for name, row in rows.items():
+        history = histories[name]
+        final_loss = history.final_loss() if len(history) else float("nan")
+        lines.append(
+            f"{name:<14s}{int(row['rounds']):>8d}{row['total_seconds']:>14.3f}"
+            f"{row['seconds_per_round']:>12.4f}{int(row['events']):>9d}"
+            f"{final_loss:>13.4f}"
+        )
     return "\n".join(lines)
 
 

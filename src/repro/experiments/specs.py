@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.topology.schedule import validate_dynamics
+
 __all__ = [
     "ALGORITHM_NAMES",
     "ExperimentSpec",
@@ -68,7 +70,16 @@ _PAPER_FIGURES: Dict[int, Tuple[str, str]] = {
 
 @dataclass
 class ExperimentSpec:
-    """Everything needed to run one experimental cell."""
+    """Everything needed to run one experimental cell.
+
+    ``dynamics`` (optional) makes the communication topology time-varying:
+    a mapping over the :data:`repro.topology.schedule.DYNAMICS_KEYS`
+    vocabulary, e.g. ``{"rewire_every": 50, "churn_rate": 0.01,
+    "straggler_fraction": 0.1}``, turned into a
+    :class:`~repro.topology.schedule.DynamicTopologySchedule` by the
+    harness and applied identically to every compared algorithm.  ``None``
+    (the default) keeps the historical fixed-graph behaviour.
+    """
 
     name: str
     dataset: str = "classification"  # "classification", "mnist", "cifar"
@@ -93,6 +104,7 @@ class ExperimentSpec:
     seed: int = 7
     algorithms: Sequence[str] = field(default_factory=lambda: list(ALGORITHM_NAMES))
     scale: str = "fast"
+    dynamics: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.dataset not in ("classification", "mnist", "cifar"):
@@ -106,6 +118,7 @@ class ExperimentSpec:
         unknown = [a for a in self.algorithms if a not in ALGORITHM_NAMES + ("D-PSGD", "DMSGD")]
         if unknown:
             raise ValueError(f"unknown algorithms: {unknown}")
+        validate_dynamics(self.dynamics, num_agents=self.num_agents)
 
     def with_updates(self, **kwargs) -> "ExperimentSpec":
         from dataclasses import replace
@@ -120,9 +133,11 @@ def fast_spec(
     num_rounds: int = 12,
     algorithms: Optional[Sequence[str]] = None,
     seed: int = 7,
+    dynamics: Optional[Dict[str, float]] = None,
 ) -> ExperimentSpec:
     """A small spec (generic Gaussian-cluster data + linear model) for tests and CI."""
     return ExperimentSpec(
+        dynamics=dynamics,
         name=f"fast_{topology}_M{num_agents}_eps{epsilon}",
         dataset="classification",
         model="linear",

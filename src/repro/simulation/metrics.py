@@ -38,13 +38,21 @@ def consensus_distance(parameter_vectors: Sequence[np.ndarray]) -> float:
 
 @dataclass
 class RoundRecord:
-    """Metrics collected after one communication round."""
+    """Metrics collected after one communication round.
+
+    When evaluation is strided (``eval_every > 1``), ``wall_clock_seconds``
+    and ``topology_events`` cover every round since the previous record, so
+    nothing is lost between evaluation points.
+    """
 
     round: int
     average_train_loss: float
     test_accuracy: Optional[float] = None
     consensus: Optional[float] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    wall_clock_seconds: Optional[float] = None
+    active_agents: Optional[int] = None
+    topology_events: List[Dict[str, object]] = field(default_factory=list)
 
 
 @dataclass
@@ -73,6 +81,29 @@ class TrainingHistory:
     @property
     def accuracies(self) -> List[Optional[float]]:
         return [r.test_accuracy for r in self.records]
+
+    @property
+    def wall_clock_per_record(self) -> List[Optional[float]]:
+        return [r.wall_clock_seconds for r in self.records]
+
+    def total_wall_clock(self) -> float:
+        """Total training seconds recorded across the run (evaluation excluded)."""
+        return float(
+            sum(r.wall_clock_seconds for r in self.records if r.wall_clock_seconds)
+        )
+
+    @property
+    def topology_events(self) -> List[Dict[str, object]]:
+        """Every topology-change / churn / straggler event recorded in the run."""
+        return [event for record in self.records for event in record.topology_events]
+
+    def event_counts(self) -> Dict[str, int]:
+        """``{event kind: count}`` over the whole run (empty for static runs)."""
+        counts: Dict[str, int] = {}
+        for event in self.topology_events:
+            kind = str(event.get("kind", "unknown"))
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
 
     def final_loss(self) -> float:
         """Training loss at the last recorded round."""
@@ -110,4 +141,7 @@ class TrainingHistory:
             "losses": self.losses,
             "accuracies": self.accuracies,
             "consensus": [r.consensus for r in self.records],
+            "wall_clock_seconds": self.wall_clock_per_record,
+            "active_agents": [r.active_agents for r in self.records],
+            "topology_events": self.topology_events,
         }

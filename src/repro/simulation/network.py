@@ -43,9 +43,18 @@ class Network:
         Number of participating agents, identified by integers ``0..M-1``.
     drop_probability:
         Probability that any individual message is silently dropped
-        (fault-injection hook used by robustness tests); 0 disables drops.
+        (fault-injection hook used by robustness tests); 0 disables drops
+        and 1 models a fully partitioned network where nothing is ever
+        delivered.
     rng:
         Randomness source for drops; required when ``drop_probability > 0``.
+
+    Agents can also *depart* (churn, see
+    :class:`~repro.topology.schedule.TopologySchedule`): sends to or from a
+    departed agent are rejected — not delivered, counted in
+    ``messages_rejected`` — because there is no process at the other end to
+    accept the payload.  :meth:`set_active_mask` updates the roster each
+    round.
     """
 
     def __init__(
@@ -56,20 +65,23 @@ class Network:
     ) -> None:
         if num_agents <= 0:
             raise ValueError("num_agents must be positive")
-        if not 0.0 <= drop_probability < 1.0:
-            raise ValueError("drop_probability must lie in [0, 1)")
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must lie in [0, 1]")
         if drop_probability > 0.0 and rng is None:
             raise ValueError("an rng is required when drop_probability > 0")
         self.num_agents = int(num_agents)
         self.drop_probability = float(drop_probability)
         self.rng = rng
         self._round = 0
+        # None means every agent is reachable; otherwise a boolean roster.
+        self._active_mask: Optional[np.ndarray] = None
         # mailboxes[recipient][tag] -> list of messages
         self._mailboxes: Dict[int, Dict[str, List[Message]]] = {
             agent: defaultdict(list) for agent in range(num_agents)
         }
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.messages_rejected = 0
         self.floats_sent = 0
         self.traffic_by_tag: Dict[str, int] = defaultdict(int)
 
@@ -85,6 +97,32 @@ class Network:
         self._round += 1
 
     # ------------------------------------------------------------------
+    # Agent roster (churn)
+    # ------------------------------------------------------------------
+    def set_active_mask(self, mask: Optional[np.ndarray]) -> None:
+        """Update which agents are reachable; ``None`` restores everyone.
+
+        Departed agents' pending messages are discarded — their process is
+        gone, so anything still queued for them can never be read.
+        """
+        if mask is None:
+            self._active_mask = None
+            return
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_agents,):
+            raise ValueError(
+                f"active mask must have shape ({self.num_agents},), got {mask.shape}"
+            )
+        self._active_mask = mask
+        for agent in np.flatnonzero(~mask):
+            self._mailboxes[int(agent)] = defaultdict(list)
+
+    def is_active(self, agent: int) -> bool:
+        """Whether the agent is currently reachable."""
+        self._validate_agent(agent)
+        return self._active_mask is None or bool(self._active_mask[agent])
+
+    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def _validate_agent(self, agent: int) -> None:
@@ -95,12 +133,16 @@ class Network:
         """Send ``payload`` from ``sender`` to ``recipient`` under ``tag``.
 
         Returns ``True`` if the message was delivered, ``False`` if it was
-        dropped by fault injection.
+        dropped by fault injection or rejected because either endpoint has
+        departed the fleet.
         """
         self._validate_agent(sender)
         self._validate_agent(recipient)
         if not tag:
             raise ValueError("tag must be a non-empty string")
+        if not (self.is_active(sender) and self.is_active(recipient)):
+            self.messages_rejected += 1
+            return False
         self.messages_sent += 1
         payload_size = int(np.asarray(payload).size) if isinstance(payload, (np.ndarray, list, tuple)) else 1
         self.floats_sent += payload_size
@@ -181,6 +223,7 @@ class Network:
         return {
             "messages_sent": self.messages_sent,
             "messages_dropped": self.messages_dropped,
+            "messages_rejected": self.messages_rejected,
             "floats_sent": self.floats_sent,
             "traffic_by_tag": dict(self.traffic_by_tag),
         }

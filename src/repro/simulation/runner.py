@@ -7,8 +7,11 @@ themselves.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+import numpy as np
 
 from repro.data.dataset import Dataset
 from repro.simulation.metrics import RoundRecord, TrainingHistory
@@ -81,24 +84,51 @@ def run_decentralized(
         raise ValueError("num_rounds must be positive")
     evaluation = evaluation or EvaluationConfig()
 
-    history = TrainingHistory(
-        algorithm=algorithm.name,
-        metadata={
-            "num_agents": algorithm.num_agents,
-            "topology": algorithm.topology.name,
-            "sigma": algorithm.sigma,
-            "epsilon": algorithm.config.epsilon,
-            "learning_rate": algorithm.config.learning_rate,
-            "momentum": algorithm.config.momentum,
-            "rounds": num_rounds,
-            # The effective engine (after e.g. the lossy-network fallback),
-            # not merely the configured one.
-            "backend": getattr(algorithm, "backend", "loop"),
-        },
-    )
+    metadata = {
+        "num_agents": algorithm.num_agents,
+        "topology": algorithm.topology.name,
+        "sigma": algorithm.sigma,
+        "epsilon": algorithm.config.epsilon,
+        "learning_rate": algorithm.config.learning_rate,
+        "momentum": algorithm.config.momentum,
+        "rounds": num_rounds,
+        # The effective engine (after e.g. the lossy-network fallback),
+        # not merely the configured one.
+        "backend": getattr(algorithm, "backend", "loop"),
+    }
+    schedule = getattr(algorithm, "schedule", None)
+    if schedule is not None and not schedule.is_static:
+        metadata["dynamics"] = schedule.describe()
+        # The experiment's identity is the base graph, not whichever
+        # per-round snapshot happens to be swapped in right now.
+        metadata["topology"] = schedule.base.name
+    history = TrainingHistory(algorithm=algorithm.name, metadata=metadata)
 
+    # Training seconds and schedule events accumulate across non-evaluated
+    # rounds and are attached to the next record, so strided evaluation
+    # (eval_every > 1) loses neither timing nor event information.
+    pending_seconds = 0.0
+    pending_events: List[Dict[str, object]] = []
+    # Schedules number rounds by the algorithm's absolute round index; this
+    # run's records start at 1 even when the algorithm has trained before.
+    # Events buffered by rounds driven outside any runner belong to no
+    # record of this run — discard them rather than mis-attribute them.
+    round_offset = int(getattr(algorithm, "rounds_completed", 0))
+    if hasattr(algorithm, "consume_events"):
+        algorithm.consume_events()
     for round_index in range(1, num_rounds + 1):
+        started = time.perf_counter()
         algorithm.run_round()
+        pending_seconds += time.perf_counter() - started
+        if hasattr(algorithm, "consume_events"):
+            # Schedules number rounds 0-based (the engine's round index);
+            # records number them 1-based within this run — renumber at this
+            # boundary so an event and the record of the round it occurred
+            # in agree.
+            pending_events.extend(
+                {**event.as_dict(), "round": event.round + 1 - round_offset}
+                for event in algorithm.consume_events()
+            )
         should_eval = (
             round_index == 1
             or round_index == num_rounds
@@ -106,6 +136,7 @@ def run_decentralized(
         )
         if not should_eval:
             continue
+        active_mask = getattr(algorithm, "active_mask", None)
         record = RoundRecord(
             round=round_index,
             average_train_loss=algorithm.average_train_loss(
@@ -117,7 +148,14 @@ def run_decentralized(
                 else None
             ),
             consensus=algorithm.consensus() if evaluation.track_consensus else None,
+            wall_clock_seconds=pending_seconds,
+            active_agents=(
+                int(np.sum(active_mask)) if active_mask is not None else None
+            ),
+            topology_events=pending_events,
         )
+        pending_seconds = 0.0
+        pending_events = []
         history.append(record)
         if progress_callback is not None:
             progress_callback(round_index, record)

@@ -13,6 +13,10 @@ symmetric and doubly stochastic (Sec. III-A).  This package provides:
   :class:`~repro.topology.mixing.MixingOperator` abstraction the gossip
   engine applies ``W`` through (dense O(M^2 d) or sparse O(nnz d), selected
   by edge density, bit-identical results either way);
+* time-varying topologies: a :class:`~repro.topology.schedule.TopologySchedule`
+  provides a (cached) graph snapshot per round — static wrapper for
+  backward compatibility, plus periodic rewiring, edge failure/recovery,
+  agent churn and straggler masks (:mod:`repro.topology.schedule`);
 * spectral diagnostics: the second-largest eigenvalue magnitude
   ``sqrt(rho)`` from Assumption 3 and the spectral gap, which drive the
   convergence bound of Theorem 2 — computed densely for small fleets and
@@ -33,6 +37,19 @@ from repro.topology.graphs import (
     small_world_graph,
     star_graph,
     torus_graph,
+)
+from repro.topology.schedule import (
+    DYNAMICS_KEYS,
+    DynamicTopologySchedule,
+    StaticSchedule,
+    TopologyEvent,
+    TopologySchedule,
+    churn_schedule,
+    edge_failure_schedule,
+    periodic_rewiring_schedule,
+    schedule_from_dynamics,
+    straggler_schedule,
+    validate_dynamics,
 )
 from repro.topology.mixing import (
     AUTO_SPARSE_MAX_DENSITY,
@@ -62,6 +79,17 @@ __all__ = [
     "small_world_graph",
     "hypercube_graph",
     "exponential_graph",
+    "TopologyEvent",
+    "TopologySchedule",
+    "StaticSchedule",
+    "DynamicTopologySchedule",
+    "periodic_rewiring_schedule",
+    "edge_failure_schedule",
+    "churn_schedule",
+    "straggler_schedule",
+    "schedule_from_dynamics",
+    "validate_dynamics",
+    "DYNAMICS_KEYS",
     "MixingOperator",
     "metropolis_hastings_weights",
     "uniform_neighbor_weights",

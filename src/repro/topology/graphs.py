@@ -67,11 +67,19 @@ class Topology:
         ndarray or a CSR matrix; every accessor works with both.
     name:
         Human-readable topology name used in experiment reports.
+    require_connected:
+        Whether construction rejects a disconnected graph.  The default
+        (``True``) matches Assumption 3; per-round snapshots produced by a
+        :class:`~repro.topology.schedule.TopologySchedule` pass ``False``
+        because churned-out agents appear as isolated nodes (their mixing
+        row is the identity) and edge failures may split the active fleet
+        for a round.
     """
 
     graph: nx.Graph
     mixing_matrix: MixingMatrix
     name: str = "topology"
+    require_connected: bool = True
     _neighbor_cache: Dict[int, List[int]] = field(default_factory=dict, repr=False)
     _directed_pairs_cache: Optional[List[Tuple[int, int]]] = field(default=None, repr=False)
     _operator_cache: Dict[str, MixingOperator] = field(default_factory=dict, repr=False)
@@ -86,7 +94,7 @@ class Topology:
         validate_mixing_matrix(w)
         if w.shape[0] != self.graph.number_of_nodes():
             raise ValueError("mixing matrix size does not match the number of nodes")
-        if not nx.is_connected(self.graph):
+        if self.require_connected and not nx.is_connected(self.graph):
             raise ValueError("communication graph must be connected")
         self.mixing_matrix = w
 

@@ -260,6 +260,104 @@ class TestSparseMixingEquivalence:
         )
 
 
+class TestScheduleEquivalence:
+    """Topology schedules: static wrapping is free, dynamics preserve engine parity."""
+
+    @pytest.mark.parametrize("backend", ["loop", "vectorized"])
+    @pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
+    def test_static_schedule_is_bit_identical(self, algorithm_name, backend):
+        from repro.topology.schedule import StaticSchedule
+
+        plain_alg, plain_history = run_history(algorithm_name, backend, "ring")
+        wrapped_alg, wrapped_history = run_history(
+            algorithm_name,
+            backend,
+            None,
+            topology_factory=lambda: StaticSchedule(ring_graph(NUM_AGENTS)),
+        )
+        assert_histories_identical(plain_history, wrapped_history)
+        np.testing.assert_array_equal(plain_alg.state, wrapped_alg.state)
+        np.testing.assert_array_equal(
+            plain_alg.momentum_state, wrapped_alg.momentum_state
+        )
+        assert (
+            plain_alg.network.traffic_summary()
+            == wrapped_alg.network.traffic_summary()
+        )
+
+    @staticmethod
+    def dynamic_schedule():
+        from repro.topology.schedule import DynamicTopologySchedule
+
+        return DynamicTopologySchedule(
+            ring_graph(6),
+            rewire_every=2,
+            churn_rate=0.25,
+            rejoin_rate=0.5,
+            straggler_fraction=0.2,
+            edge_failure_rate=0.1,
+            seed=3,
+        )
+
+    @pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
+    def test_dynamic_schedule_backend_equivalence(self, algorithm_name):
+        """Churn + rewiring + stragglers: both engines stay RNG-stream equal."""
+        histories = {}
+        algorithms = {}
+        for backend in ("loop", "vectorized"):
+            algorithm, history = run_history(
+                algorithm_name,
+                backend,
+                None,
+                topology_factory=self.dynamic_schedule,
+            )
+            histories[backend] = history
+            algorithms[backend] = algorithm
+        assert algorithms["loop"].backend == "loop"
+        assert algorithms["vectorized"].backend == "vectorized"
+        assert_histories_equivalent(histories["loop"], histories["vectorized"])
+        np.testing.assert_allclose(
+            algorithms["loop"].state,
+            algorithms["vectorized"].state,
+            rtol=1e-9,
+            atol=1e-12,
+        )
+        loop_traffic = algorithms["loop"].network.traffic_summary()
+        vec_traffic = algorithms["vectorized"].network.traffic_summary()
+        assert loop_traffic["messages_sent"] == vec_traffic["messages_sent"]
+        assert loop_traffic["floats_sent"] == vec_traffic["floats_sent"]
+
+    def test_dynamic_run_records_events_and_masks(self):
+        algorithm, history = run_history(
+            "DMSGD", "vectorized", None, topology_factory=self.dynamic_schedule
+        )
+        events = [e for record in history.records for e in record.topology_events]
+        assert events, "a dynamic schedule must surface events in the history"
+        kinds = {e["kind"] for e in events}
+        assert "rewire" in kinds
+        assert {record.active_agents for record in history.records} != {6}
+        assert history.metadata["dynamics"]["churn_rate"] == 0.25
+
+    def test_inactive_agents_are_frozen_for_the_round(self):
+        from repro.topology.schedule import churn_schedule
+
+        schedule = churn_schedule(ring_graph(6), churn_rate=0.5, rejoin_rate=0.3, seed=1)
+        algorithm, _ = build_algorithm(
+            "DMSGD", "vectorized", topology_factory=lambda: schedule
+        )
+        for round_index in range(4):
+            before = algorithm.state.copy()
+            momentum_before = algorithm.momentum_state.copy()
+            algorithm.run_round()
+            inactive = ~schedule.active_mask_at(round_index)
+            np.testing.assert_array_equal(
+                algorithm.state[inactive], before[inactive]
+            )
+            np.testing.assert_array_equal(
+                algorithm.momentum_state[inactive], momentum_before[inactive]
+            )
+
+
 class TestSparseMixingVariants:
     def test_auto_selection_prefers_dense_for_small_fleets(self):
         algorithm, _ = build_algorithm("DP-DPSGD", "vectorized", "ring")

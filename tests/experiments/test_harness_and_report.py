@@ -14,7 +14,9 @@ from repro.experiments.report import (
     accuracy_table_rows,
     format_accuracy_table,
     format_loss_curves,
+    format_runtime_table,
     loss_curve_series,
+    runtime_summary_rows,
 )
 from repro.experiments.specs import fast_spec
 from repro.simulation.metrics import RoundRecord, TrainingHistory
@@ -174,3 +176,88 @@ class TestReporting:
         histories = self.make_histories()
         table = accuracy_table_rows({("ring", 10): histories}, algorithms=["A", "C"])
         assert table["C"] == {}
+
+
+class TestDynamicsThroughTheHarness:
+    """The declarative ``dynamics`` field, end to end through run_comparison."""
+
+    @pytest.fixture(scope="class")
+    def dynamic_results(self):
+        spec = fast_spec(
+            num_agents=6,
+            topology="ring",
+            num_rounds=6,
+            algorithms=["PDSL", "DMSGD"],
+            dynamics={"rewire_every": 2, "churn_rate": 0.15, "rejoin_rate": 0.5},
+        )
+        return run_comparison(spec)
+
+    def test_components_build_a_shared_schedule(self):
+        from repro.topology.schedule import DynamicTopologySchedule
+
+        spec = fast_spec(num_agents=5, dynamics={"churn_rate": 0.1})
+        components = build_experiment_components(spec)
+        assert isinstance(components.schedule, DynamicTopologySchedule)
+        algorithm = build_algorithm("DMSGD", components)
+        assert algorithm.schedule is components.schedule
+
+    def test_static_spec_builds_no_schedule(self, components):
+        assert components.schedule is None
+        algorithm = build_algorithm("DMSGD", components)
+        assert algorithm.schedule.is_static
+
+    def test_events_recorded_in_every_history(self, dynamic_results):
+        for name, history in dynamic_results.items():
+            assert history.topology_events, name
+            assert "rewire" in history.event_counts()
+            assert history.metadata["dynamics"]["rewire_every"] == 2
+
+    def test_all_algorithms_see_the_same_dynamics(self, dynamic_results):
+        event_lists = [h.topology_events for h in dynamic_results.values()]
+        assert event_lists[0] == event_lists[1]
+
+    def test_losses_stay_finite_under_dynamics(self, dynamic_results):
+        for history in dynamic_results.values():
+            assert np.isfinite(history.losses).all()
+
+    def test_unknown_dynamics_keys_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="unknown dynamics keys"):
+            fast_spec(dynamics={"rewire_evry": 2})
+
+
+class TestRuntimeReporting:
+    def make_timed_history(self, name, seconds):
+        history = TrainingHistory(algorithm=name, metadata={"rounds": 4})
+        for round_index, loss in enumerate([1.0, 0.5], start=1):
+            history.append(
+                RoundRecord(
+                    round=round_index,
+                    average_train_loss=loss,
+                    wall_clock_seconds=seconds,
+                )
+            )
+        return history
+
+    def test_runtime_summary_rows(self):
+        histories = {"A": self.make_timed_history("A", 0.25)}
+        rows = runtime_summary_rows(histories)
+        assert rows["A"]["total_seconds"] == pytest.approx(0.5)
+        assert rows["A"]["seconds_per_round"] == pytest.approx(0.125)
+
+    def test_format_runtime_table_has_a_runtime_column(self):
+        histories = {
+            "A": self.make_timed_history("A", 0.25),
+            "B": self.make_timed_history("B", 0.1),
+        }
+        table = format_runtime_table(histories)
+        assert "runtime [s]" in table
+        assert "s/round" in table
+        for name in histories:
+            assert name in table
+
+    def test_run_comparison_populates_wall_clock(self):
+        spec = fast_spec(num_agents=4, num_rounds=2, algorithms=["DMSGD"])
+        histories = run_comparison(spec)
+        history = histories["DMSGD"]
+        assert history.total_wall_clock() > 0.0
+        assert all(r.wall_clock_seconds is not None for r in history.records)

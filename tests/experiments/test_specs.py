@@ -102,3 +102,28 @@ class TestFactories:
     def test_custom_algorithm_subset(self):
         spec = fast_spec(algorithms=["PDSL", "DP-DPSGD"])
         assert list(spec.algorithms) == ["PDSL", "DP-DPSGD"]
+
+
+class TestDynamicsField:
+    def test_defaults_to_static(self):
+        assert fast_spec().dynamics is None
+
+    def test_valid_dynamics_accepted(self):
+        spec = fast_spec(dynamics={"rewire_every": 50, "churn_rate": 0.01, "straggler_fraction": 0.1})
+        assert spec.dynamics["rewire_every"] == 50
+
+    def test_unknown_dynamics_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown dynamics keys"):
+            fast_spec(dynamics={"rewire_interval": 50})
+
+    def test_with_updates_carries_dynamics(self):
+        spec = fast_spec().with_updates(dynamics={"churn_rate": 0.05})
+        assert spec.dynamics == {"churn_rate": 0.05}
+
+    def test_out_of_range_dynamics_values_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="churn_rate"):
+            fast_spec(dynamics={"churn_rate": 2.0})
+
+    def test_min_active_above_fleet_size_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="min_active"):
+            fast_spec(num_agents=6, dynamics={"churn_rate": 0.1, "min_active": 10})

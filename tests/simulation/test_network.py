@@ -93,6 +93,47 @@ class TestFaultInjection:
             assert net.send(0, 1, "x", i)
         assert net.messages_dropped == 0
 
+    def test_full_partition_drops_everything(self):
+        # The closed upper bound models a fully partitioned link: every
+        # message is accepted for sending but none is ever delivered.
+        net = Network(2, drop_probability=1.0, rng=np.random.default_rng(0))
+        for i in range(20):
+            assert not net.send(0, 1, "x", i)
+        assert net.messages_dropped == 20
+        assert net.pending(1) == 0
+
+
+class TestAgentRoster:
+    def test_sends_to_departed_agents_are_rejected(self):
+        net = Network(3)
+        net.set_active_mask(np.array([True, False, True]))
+        assert not net.send(0, 1, "x", 1)  # departed recipient
+        assert not net.send(1, 0, "x", 1)  # departed sender
+        assert net.send(0, 2, "x", 1)
+        assert net.messages_rejected == 2
+        assert net.messages_sent == 1
+        assert net.traffic_summary()["messages_rejected"] == 2
+
+    def test_departure_discards_pending_messages(self):
+        net = Network(2)
+        net.send(0, 1, "x", 1)
+        net.set_active_mask(np.array([True, False]))
+        net.set_active_mask(None)  # agent 1 returns...
+        assert net.receive(1, "x") == []  # ...to an empty mailbox
+
+    def test_none_restores_everyone(self):
+        net = Network(2)
+        net.set_active_mask(np.array([True, False]))
+        assert not net.is_active(1)
+        net.set_active_mask(None)
+        assert net.is_active(1)
+        assert net.send(0, 1, "x", 1)
+
+    def test_mask_shape_validated(self):
+        net = Network(3)
+        with pytest.raises(ValueError):
+            net.set_active_mask(np.array([True, False]))
+
 
 class TestAccounting:
     def test_message_and_float_counters(self):

@@ -87,3 +87,84 @@ class TestLearningProgress:
         algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4, sigma=0.0)
         history = run_decentralized(algorithm, 25)
         assert history.losses[-1] < history.losses[0]
+
+
+class TestTimingAndEvents:
+    def test_wall_clock_recorded_every_evaluation(
+        self, tiny_dataset, tiny_model, full_topology_4
+    ):
+        algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4)
+        history = run_decentralized(algorithm, 3)
+        assert all(r.wall_clock_seconds is not None for r in history.records)
+        assert all(r.wall_clock_seconds >= 0.0 for r in history.records)
+        assert history.total_wall_clock() > 0.0
+
+    def test_strided_evaluation_accumulates_time_and_events(
+        self, tiny_dataset, tiny_model
+    ):
+        from repro.topology.schedule import churn_schedule
+        from repro.topology.graphs import fully_connected_graph
+
+        schedule = churn_schedule(fully_connected_graph(4), churn_rate=0.4, seed=1)
+        algorithm = make_algorithm(tiny_dataset, tiny_model, schedule)
+        history = run_decentralized(
+            algorithm, 6, evaluation=EvaluationConfig(eval_every=3)
+        )
+        # Records at rounds 1, 3 and 6; the round-3 record carries round 2-3
+        # events and seconds, the round-6 record rounds 4-6.
+        assert [r.round for r in history.records] == [1, 3, 6]
+        recorded = [e for r in history.records for e in r.topology_events]
+        # Schedule rounds are 0-based; recorded events use the records'
+        # 1-based numbering.
+        direct = [
+            {**e.as_dict(), "round": t + 1}
+            for t in range(6)
+            for e in schedule.events_at(t)
+        ]
+        assert recorded == direct
+        assert all(r.active_agents is not None for r in history.records)
+        for record in history.records:
+            for event in record.topology_events:
+                assert event["round"] <= record.round
+
+    def test_second_run_renumbers_events_from_one(self, tiny_dataset, tiny_model):
+        from repro.topology.schedule import straggler_schedule
+        from repro.topology.graphs import fully_connected_graph
+
+        schedule = straggler_schedule(
+            fully_connected_graph(4), straggler_fraction=0.3, seed=0
+        )
+        algorithm = make_algorithm(tiny_dataset, tiny_model, schedule)
+        run_decentralized(algorithm, 3)
+        second = run_decentralized(algorithm, 3)
+        # The schedule numbers these rounds 3..5, but within the second
+        # run's history they must align with its 1-based records.
+        assert [r.round for r in second.records] == [1, 2, 3]
+        for record in second.records:
+            for event in record.topology_events:
+                assert 1 <= event["round"] <= record.round
+        assert second.metadata["topology"] == "fully_connected"
+
+    def test_stale_events_from_manual_rounds_are_discarded(
+        self, tiny_dataset, tiny_model
+    ):
+        from repro.topology.schedule import straggler_schedule
+        from repro.topology.graphs import fully_connected_graph
+
+        schedule = straggler_schedule(
+            fully_connected_graph(4), straggler_fraction=0.3, seed=0
+        )
+        algorithm = make_algorithm(tiny_dataset, tiny_model, schedule)
+        for _ in range(2):
+            algorithm.run_round()  # events buffered outside any runner
+        history = run_decentralized(algorithm, 2)
+        for record in history.records:
+            for event in record.topology_events:
+                assert 1 <= event["round"] <= record.round
+
+    def test_static_run_has_no_events(self, tiny_dataset, tiny_model, full_topology_4):
+        algorithm = make_algorithm(tiny_dataset, tiny_model, full_topology_4)
+        history = run_decentralized(algorithm, 2)
+        assert history.topology_events == []
+        assert history.event_counts() == {}
+        assert "dynamics" not in history.metadata
