@@ -6,10 +6,18 @@ Usage::
     python examples/reproduce_paper_figures.py --figure 4 --agents 10 --epsilon 0.7
     python examples/reproduce_paper_figures.py --table 1 --topology ring --agents 10 --epsilon 0.1
     python examples/reproduce_paper_figures.py --figure 1 --scale paper   # full-size (slow)
+    python examples/reproduce_paper_figures.py --figure 1 --scale paper --runs runs/ --workers 4
 
 By default the reduced "fast" scale is used so a panel completes in seconds;
 ``--scale paper`` switches to the paper's CNN models, batch size 250 and full
 round counts (hours on a laptop — provided for completeness).
+
+With ``--runs DIR`` the panel goes through the experiment orchestrator
+instead of the in-process harness: each algorithm becomes a job in a
+content-addressed run directory, executed on a ``--workers``-sized process
+pool with periodic checkpoints — so a killed full-scale regeneration resumes
+from where it stopped (bit-identically) instead of restarting from round 0,
+and re-running a finished panel just re-renders the stored histories.
 """
 
 from __future__ import annotations
@@ -21,10 +29,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.experiments import (
+    ExperimentGrid,
     format_loss_curves,
     paper_figure_spec,
     paper_table_spec,
     run_comparison,
+    run_grid,
 )
 
 
@@ -38,6 +48,15 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--topology", default="fully_connected", help="topology for --table runs")
     parser.add_argument("--rounds", type=int, default=None, help="override the number of communication rounds")
     parser.add_argument("--scale", choices=("fast", "paper"), default="fast", help="experiment scale")
+    parser.add_argument(
+        "--runs",
+        default=None,
+        help="run-store directory: execute through the orchestrator "
+        "(durable, resumable, cached) instead of in-process",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, help="process-pool size with --runs (default 1)"
+    )
     return parser.parse_args()
 
 
@@ -54,9 +73,15 @@ def main() -> None:
         spec = spec.with_updates(num_rounds=args.rounds)
 
     print(f"running {title} at scale '{args.scale}' ({spec.num_rounds} rounds)...\n")
-    histories = run_comparison(
-        spec, progress_callback=None
-    )
+    if args.runs is not None:
+        # One job per algorithm in a content-addressed run store: finished
+        # algorithms are served from disk, interrupted ones resume from
+        # their latest checkpoint, pending ones fan out over the pool.
+        grid = ExperimentGrid(base=spec, algorithms=list(spec.algorithms))
+        results = run_grid(grid, args.runs, workers=args.workers)
+        histories = {result.job.algorithm: result.history for result in results}
+    else:
+        histories = run_comparison(spec, progress_callback=None)
     print(format_loss_curves(histories, title=f"{title}: average training loss per round", max_rows=12))
     print("\nfinal test accuracy:")
     for name, history in histories.items():

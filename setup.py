@@ -11,14 +11,20 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-pdsl",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of PDSL (ICDCS 2025): Shapley-weighted, differentially "
         "private decentralized stochastic learning, with dense and sparse "
-        "gossip engines"
+        "gossip engines and a resumable parallel experiment orchestrator"
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": [
+            # Durable/resumable experiment grids: run, resume, status, report.
+            "repro-run=repro.experiments.cli:main",
+        ],
+    },
     python_requires=">=3.10",
     install_requires=[
         "numpy",

@@ -68,6 +68,20 @@ class DPNetFleet(DecentralizedAlgorithm):
     def previous_gradient(self, value) -> None:
         self.previous_gradient_state = self._as_state_matrix(value)
 
+    def _extra_state(self):
+        return {
+            "tracking_state": self.tracking_state.copy(),
+            "previous_gradient_state": self.previous_gradient_state.copy(),
+            "initialized": self._initialized,
+        }
+
+    def _load_extra_state(self, payload) -> None:
+        self.tracking_state = self._as_state_matrix(payload["tracking_state"])
+        self.previous_gradient_state = self._as_state_matrix(
+            payload["previous_gradient_state"]
+        )
+        self._initialized = bool(payload["initialized"])
+
     def _perturbed_local_gradient(self, agent: int, params: np.ndarray) -> np.ndarray:
         """A fresh clipped + noised local gradient at the given parameters."""
         batch = self.samplers[agent].next_batch()

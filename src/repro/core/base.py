@@ -638,3 +638,135 @@ class DecentralizedAlgorithm:
     def privacy_spent(self) -> Tuple[float, float]:
         """Cumulative (epsilon, delta) recorded by the accountant (advanced composition)."""
         return self.accountant.total()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    #: Bump when the state-dict layout changes so old checkpoints fail with a
+    #: clear error instead of silently restoring garbage.
+    STATE_FORMAT = 1
+
+    def state_dict(self) -> Dict[str, object]:
+        """Everything needed to resume this run **bit-identically**.
+
+        Captures the fleet matrices (parameters, momentum), the position of
+        every per-agent random stream (batch samplers, DP noise mechanisms,
+        algorithm-level generators), the privacy accountant's events, the
+        network's round counter and traffic totals, and the round count —
+        which *is* the :class:`~repro.topology.schedule.TopologySchedule`
+        position, because schedules are pure functions of ``(seed, round)``
+        and recompute any round's graph exactly.  Subclasses contribute
+        their own matrices through :meth:`_extra_state`.
+
+        Call only at a round boundary (between :meth:`run_round` calls):
+        mid-round mailbox contents are not captured.  The returned dict owns
+        copies of every array, so later training does not mutate it; it is
+        picklable for on-disk checkpoints (see
+        :mod:`repro.simulation.checkpoint`).
+        """
+        return {
+            "state_format": self.STATE_FORMAT,
+            "algorithm": self.name,
+            "num_agents": self.num_agents,
+            "dimension": self.dimension,
+            "rounds_completed": self.rounds_completed,
+            "state": self.state.copy(),
+            "momentum_state": self.momentum_state.copy(),
+            "rng_state": self._rng.bit_generator.state,
+            "sampler_states": [sampler.state_dict() for sampler in self.samplers],
+            "mechanism_rng_states": [
+                mechanism.rng.bit_generator.state for mechanism in self.mechanisms
+            ],
+            "agent_rng_states": [
+                generator.bit_generator.state for generator in self.agent_rngs
+            ],
+            "accountant_events": self.accountant.state_dict(),
+            "network": self.network.state_dict(),
+            "pending_events": [
+                (event.round, event.kind, dict(event.detail))
+                for event in self.pending_events
+            ],
+            "extra": self._extra_state(),
+        }
+
+    def load_state_dict(self, payload: Dict[str, object]) -> None:
+        """Restore a state captured by :meth:`state_dict`.
+
+        The algorithm must have been constructed identically to the one that
+        produced the payload (same model, topology/schedule, shards and
+        config — in the experiment layer, the same spec): this method
+        restores *state*, not *structure*, and validates the identity checks
+        it can (algorithm name, fleet shape, stream counts).  After the call
+        the next :meth:`run_round` continues the interrupted trajectory bit
+        for bit.
+        """
+        fmt = payload.get("state_format")
+        if fmt != self.STATE_FORMAT:
+            raise ValueError(
+                f"checkpoint state format {fmt!r} does not match this code's "
+                f"format {self.STATE_FORMAT}"
+            )
+        if payload["algorithm"] != self.name:
+            raise ValueError(
+                f"checkpoint was written by algorithm {payload['algorithm']!r}, "
+                f"cannot restore into {self.name!r}"
+            )
+        if (payload["num_agents"], payload["dimension"]) != (
+            self.num_agents,
+            self.dimension,
+        ):
+            raise ValueError(
+                f"checkpoint fleet shape ({payload['num_agents']}, "
+                f"{payload['dimension']}) does not match this algorithm's "
+                f"({self.num_agents}, {self.dimension})"
+            )
+        for key, expected in (
+            ("sampler_states", len(self.samplers)),
+            ("mechanism_rng_states", len(self.mechanisms)),
+            ("agent_rng_states", len(self.agent_rngs)),
+        ):
+            if len(payload[key]) != expected:
+                raise ValueError(
+                    f"checkpoint has {len(payload[key])} {key}, expected {expected}"
+                )
+        self.state = self._as_state_matrix(payload["state"])
+        self.momentum_state = self._as_state_matrix(payload["momentum_state"])
+        self._rng.bit_generator.state = payload["rng_state"]
+        for sampler, sampler_state in zip(self.samplers, payload["sampler_states"]):
+            sampler.load_state_dict(sampler_state)
+        for mechanism, rng_state in zip(
+            self.mechanisms, payload["mechanism_rng_states"]
+        ):
+            mechanism.rng.bit_generator.state = rng_state
+        for generator, rng_state in zip(self.agent_rngs, payload["agent_rng_states"]):
+            generator.bit_generator.state = rng_state
+        self.accountant.load_state_dict(payload["accountant_events"])
+        self.network.load_state_dict(payload["network"])
+        self.pending_events = [
+            TopologyEvent(round=int(r), kind=str(kind), detail=dict(detail))
+            for r, kind, detail in payload["pending_events"]
+        ]
+        self.rounds_completed = int(payload["rounds_completed"])
+        # Per-round participation state is refreshed by _begin_round before
+        # the next round touches it; reset to the static default meanwhile.
+        self.active_mask = np.ones(self.num_agents, dtype=bool)
+        self.active_agents = list(range(self.num_agents))
+        self._all_active = True
+        self._load_extra_state(payload.get("extra", {}))
+
+    def _extra_state(self) -> Dict[str, object]:
+        """Subclass hook: algorithm-specific resumable state.
+
+        The base class covers parameters, momentum and every stream; an
+        algorithm with additional per-agent matrices (e.g. DP-NET-FLEET's
+        gradient-tracking variables) returns them here as copies.
+        """
+        return {}
+
+    def _load_extra_state(self, payload: Dict[str, object]) -> None:
+        """Subclass hook: restore what :meth:`_extra_state` captured."""
+        if payload:
+            raise ValueError(
+                f"checkpoint carries extra state {sorted(payload)} but "
+                f"{type(self).__name__} does not define _load_extra_state()"
+            )

@@ -77,6 +77,26 @@ class PDSL(DecentralizedAlgorithm):
         self.last_shapley: List[Dict[int, float]] = [{} for _ in range(self.num_agents)]
         self.last_weights: List[Dict[int, float]] = [{} for _ in range(self.num_agents)]
 
+    def _extra_state(self) -> Dict[str, object]:
+        # The Shapley diagnostics do not influence the trajectory (the
+        # permutation streams live in agent_rngs, captured by the base
+        # class), but a resumed run should report the same "most recent
+        # weights" an uninterrupted one would.
+        return {
+            "last_shapley": [dict(entry) for entry in self.last_shapley],
+            "last_weights": [dict(entry) for entry in self.last_weights],
+        }
+
+    def _load_extra_state(self, payload: Dict[str, object]) -> None:
+        self.last_shapley = [
+            {int(k): float(v) for k, v in entry.items()}
+            for entry in payload["last_shapley"]
+        ]
+        self.last_weights = [
+            {int(k): float(v) for k, v in entry.items()}
+            for entry in payload["last_weights"]
+        ]
+
     # ------------------------------------------------------------------
     # Shapley helpers
     # ------------------------------------------------------------------

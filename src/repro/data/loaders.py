@@ -10,7 +10,7 @@ evaluations within the round.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -52,6 +52,24 @@ class BatchSampler:
         )
         self._draws += 1
         return self.dataset.inputs[idx], self.dataset.labels[idx]
+
+    def state_dict(self) -> Dict[str, object]:
+        """The sampler's resumable state: RNG stream position and draw count.
+
+        The dataset itself is *not* captured — a resumed run rebuilds the
+        identical shards from the experiment seed — only the stream state
+        that determines which batch comes next.
+        """
+        return {"rng_state": self.rng.bit_generator.state, "draws": self._draws}
+
+    def load_state_dict(self, payload: Dict[str, object]) -> None:
+        """Restore a state captured by :meth:`state_dict`.
+
+        After this call the sampler's next batch is exactly the batch the
+        original sampler would have drawn next.
+        """
+        self.rng.bit_generator.state = payload["rng_state"]
+        self._draws = int(payload["draws"])
 
 
 def batch_iterator(

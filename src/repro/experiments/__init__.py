@@ -2,21 +2,31 @@
 
 * :mod:`repro.experiments.specs` — declarative experiment specifications and
   the paper presets (Figures 1–6, Tables I–II) plus scaled-down "fast"
-  variants used by the benchmark suite;
+  variants used by the benchmark suite, and :class:`ExperimentGrid`
+  campaigns (algorithms x seeds x overrides);
 * :mod:`repro.experiments.harness` — building algorithm instances and running
   head-to-head comparisons;
-* :mod:`repro.experiments.report` — formatting loss curves and accuracy
-  tables in the same layout the paper uses.
+* :mod:`repro.experiments.orchestrator` — durable, resumable, parallel grid
+  execution over a content-addressed run-directory store (the ``repro-run``
+  CLI in :mod:`repro.experiments.cli` is its console surface);
+* :mod:`repro.experiments.report` — formatting loss curves, accuracy tables
+  and multi-seed mean±std summaries in the same layout the paper uses.
 """
 
 from repro.experiments.specs import (
     ALGORITHM_NAMES,
+    ExperimentGrid,
+    ExperimentJob,
     ExperimentSpec,
     cifar_like_spec,
     fast_spec,
+    grid_from_dict,
+    grid_to_dict,
     mnist_like_spec,
     paper_figure_spec,
     paper_table_spec,
+    spec_from_dict,
+    spec_to_dict,
 )
 from repro.experiments.harness import (
     build_algorithm,
@@ -24,9 +34,19 @@ from repro.experiments.harness import (
     run_comparison,
     run_single,
 )
+from repro.experiments.orchestrator import (
+    JobResult,
+    RunStore,
+    job_hash,
+    report_rows,
+    run_grid,
+    run_job,
+)
 from repro.experiments.report import (
     accuracy_table_rows,
+    aggregate_cells,
     format_accuracy_table,
+    format_cell_summary,
     format_loss_curves,
     loss_curve_series,
 )
@@ -34,6 +54,12 @@ from repro.experiments.report import (
 __all__ = [
     "ALGORITHM_NAMES",
     "ExperimentSpec",
+    "ExperimentGrid",
+    "ExperimentJob",
+    "spec_to_dict",
+    "spec_from_dict",
+    "grid_to_dict",
+    "grid_from_dict",
     "fast_spec",
     "mnist_like_spec",
     "cifar_like_spec",
@@ -43,8 +69,16 @@ __all__ = [
     "build_experiment_components",
     "run_comparison",
     "run_single",
+    "JobResult",
+    "RunStore",
+    "job_hash",
+    "report_rows",
+    "run_grid",
+    "run_job",
     "loss_curve_series",
     "format_loss_curves",
     "accuracy_table_rows",
     "format_accuracy_table",
+    "aggregate_cells",
+    "format_cell_summary",
 ]

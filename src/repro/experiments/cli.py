@@ -1,0 +1,201 @@
+"""``repro-run`` — the command-line surface of the experiment orchestrator.
+
+One spec file (JSON, the :func:`~repro.experiments.specs.grid_from_dict`
+format) describes a whole campaign; four subcommands drive it::
+
+    repro-run run    spec.json --runs runs/ --workers 4   # execute the grid
+    repro-run resume spec.json --runs runs/ --workers 4   # continue after a kill
+    repro-run status spec.json --runs runs/               # per-job store state
+    repro-run report spec.json --runs runs/               # mean±std over seeds
+
+``run`` and ``resume`` are the same operation — the run store makes
+execution idempotent (done cells are skipped, partial cells resume from
+their latest checkpoint bit-identically) — both verbs exist so scripts read
+naturally.  A spec file is either a bare
+:class:`~repro.experiments.specs.ExperimentSpec` dict or::
+
+    {
+      "base": {"name": "sweep", "dataset": "classification", ...},
+      "algorithms": ["PDSL", "DP-DPSGD"],
+      "seeds": [7, 8, 9],
+      "overrides": [{}, {"topology": "ring"}]
+    }
+
+Exit status is 0 when every addressed job is done (for ``run``/``resume``:
+after this invocation), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.experiments.orchestrator import (
+    DEFAULT_CHECKPOINT_EVERY,
+    RunStore,
+    job_hash,
+    report_rows,
+    run_grid,
+)
+from repro.experiments.report import format_cell_summary
+from repro.experiments.specs import ExperimentGrid, grid_from_dict
+
+__all__ = ["main", "load_grid_file"]
+
+
+def load_grid_file(path: str) -> ExperimentGrid:
+    """Parse a campaign spec file into a validated :class:`ExperimentGrid`."""
+    spec_path = Path(path)
+    if not spec_path.exists():
+        raise FileNotFoundError(f"spec file not found: {spec_path}")
+    try:
+        payload = json.loads(spec_path.read_text())
+    except ValueError as error:
+        raise ValueError(f"{spec_path} is not valid JSON: {error}") from error
+    return grid_from_dict(payload)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Durable, resumable, parallel experiment grids for the "
+        "PDSL reproduction.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("spec", help="campaign spec file (JSON grid declaration)")
+        sub.add_argument(
+            "--runs",
+            default="runs",
+            help="run-store root directory (default: ./runs)",
+        )
+
+    for verb in ("run", "resume"):
+        sub = subparsers.add_parser(
+            verb,
+            help=(
+                "execute the grid (skip done cells, resume partial ones)"
+                if verb == "run"
+                else "alias of run: continue an interrupted campaign"
+            ),
+        )
+        add_common(sub)
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="process-pool size for pending jobs (default: 1, serial)",
+        )
+        sub.add_argument(
+            "--checkpoint-every",
+            type=int,
+            default=DEFAULT_CHECKPOINT_EVERY,
+            help="rounds between run snapshots (default: %(default)s)",
+        )
+        sub.add_argument(
+            "--max-rounds-per-job",
+            type=int,
+            default=None,
+            help="stop each job after this many rounds this invocation "
+            "(testing/smoke hook; leaves partial cells to resume)",
+        )
+
+    add_common(subparsers.add_parser("status", help="per-job store status table"))
+    add_common(
+        subparsers.add_parser(
+            "report", help="aggregate finished cells into mean±std tables"
+        )
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    grid = load_grid_file(args.spec)
+    print(
+        f"{len(grid)} job(s): {len(grid.algorithms)} algorithm(s) x "
+        f"{len(grid.seeds)} seed(s) x {len(grid.overrides)} override(s) "
+        f"-> {args.runs}"
+    )
+    results = run_grid(
+        grid,
+        args.runs,
+        workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        max_rounds_per_job=args.max_rounds_per_job,
+        strict=False,
+    )
+    for result in results:
+        rounds = len(result.history.records) if result.history else "-"
+        line = f"  [{result.status:>7s}] {result.job_id}  {result.job.describe()}"
+        if result.error:
+            line += f"  ({result.error})"
+        print(line, f"records={rounds}" if result.history else "")
+    done = [r for r in results if r.status in ("done", "cached")]
+    print(f"{len(done)}/{len(results)} job(s) complete")
+    if len(done) == len(results):
+        print()
+        print(format_cell_summary(report_rows(results)))
+        return 0
+    return 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    grid = load_grid_file(args.spec)
+    store = RunStore(args.runs)
+    print(f"{'job':<18s}{'status':<10s}{'rounds':>7s}  description")
+    all_done = True
+    for job in grid.jobs():
+        status = store.read_status(job)
+        state = str(status.get("status", "pending"))
+        if state != "done":
+            all_done = False
+        rounds = status.get("rounds_completed", "-")
+        print(f"{job_hash(job):<18s}{state:<10s}{rounds!s:>7s}  {job.describe()}")
+    return 0 if all_done else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    grid = load_grid_file(args.spec)
+    store = RunStore(args.runs)
+    rows = []
+    missing: List[str] = []
+    for job in grid.jobs():
+        history = (
+            store.load_history(job)
+            if store.read_status(job).get("status") == "done"
+            else None
+        )
+        if history is None:
+            missing.append(job.describe())
+        else:
+            rows.append((job.algorithm, job.cell, history))
+    if rows:
+        print(format_cell_summary(rows))
+    if missing:
+        print(f"\n{len(missing)} job(s) not finished yet:")
+        for description in missing:
+            print(f"  {description}")
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-run`` console script."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command in ("run", "resume"):
+            return _cmd_run(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        return _cmd_report(args)
+    except (ValueError, FileNotFoundError, RuntimeError) as error:
+        print(f"repro-run: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI smoke
+    raise SystemExit(main())

@@ -55,6 +55,7 @@ __all__ = [
     "ExperimentComponents",
     "build_experiment_components",
     "build_algorithm",
+    "evaluation_for_spec",
     "run_single",
     "run_comparison",
 ]
@@ -261,6 +262,21 @@ def build_algorithm(
     raise ValueError(f"unknown algorithm: {name}")
 
 
+def evaluation_for_spec(components: ExperimentComponents) -> EvaluationConfig:
+    """The evaluation policy every execution path derives from a spec.
+
+    Shared by :func:`run_single` and the experiment orchestrator's
+    :func:`~repro.experiments.orchestrator.run_job`, so an orchestrated cell
+    evaluates exactly like an in-process harness run — which is what lets
+    the two produce identical histories for the same spec.
+    """
+    return EvaluationConfig(
+        eval_every=components.spec.eval_every,
+        test_data=components.test,
+        loss_samples_per_agent=128,
+    )
+
+
 def run_single(
     name: str,
     components: ExperimentComponents,
@@ -270,11 +286,7 @@ def run_single(
     """Build and run one algorithm for the spec's number of rounds."""
     spec = components.spec
     algorithm = build_algorithm(name, components, sigma=sigma)
-    evaluation = EvaluationConfig(
-        eval_every=spec.eval_every,
-        test_data=components.test,
-        loss_samples_per_agent=128,
-    )
+    evaluation = evaluation_for_spec(components)
     history = run_decentralized(
         algorithm, spec.num_rounds, evaluation=evaluation, progress_callback=progress_callback
     )

@@ -5,6 +5,16 @@ persists :class:`~repro.simulation.metrics.TrainingHistory` objects and whole
 comparison grids as JSON so results can be archived, diffed across code
 versions, and re-rendered into the paper-style tables without re-running the
 training.
+
+All writes are **atomic** (temporary file + :func:`os.replace`, via
+:mod:`repro.simulation.checkpoint`): an interrupted save — a killed sweep, a
+full disk, Ctrl-C mid-write — can never leave a truncated or corrupt JSON
+behind; the previous complete file, if any, survives.
+
+The dict round-trip itself (:func:`history_to_dict` /
+:func:`history_from_dict`) lives in :mod:`repro.simulation.metrics` so the
+run-session checkpointing can use it without importing the experiment layer;
+it is re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
@@ -13,7 +23,12 @@ import json
 from pathlib import Path
 from typing import Dict, Mapping, Union
 
-from repro.simulation.metrics import RoundRecord, TrainingHistory
+from repro.simulation.checkpoint import atomic_write_text
+from repro.simulation.metrics import (
+    TrainingHistory,
+    history_from_dict,
+    history_to_dict,
+)
 
 __all__ = [
     "history_to_dict",
@@ -25,60 +40,15 @@ __all__ = [
 PathLike = Union[str, Path]
 
 
-def history_to_dict(history: TrainingHistory) -> Dict[str, object]:
-    """JSON-serialisable representation of a training history (round-trippable)."""
-    return {
-        "algorithm": history.algorithm,
-        "metadata": dict(history.metadata),
-        "final_test_accuracy": history.final_test_accuracy,
-        "records": [
-            {
-                "round": record.round,
-                "average_train_loss": record.average_train_loss,
-                "test_accuracy": record.test_accuracy,
-                "consensus": record.consensus,
-                "extra": dict(record.extra),
-                "wall_clock_seconds": record.wall_clock_seconds,
-                "active_agents": record.active_agents,
-                "topology_events": [dict(e) for e in record.topology_events],
-            }
-            for record in history.records
-        ],
-    }
-
-
-def history_from_dict(payload: Mapping[str, object]) -> TrainingHistory:
-    """Inverse of :func:`history_to_dict`."""
-    if "algorithm" not in payload or "records" not in payload:
-        raise ValueError("payload is missing required keys 'algorithm' / 'records'")
-    history = TrainingHistory(
-        algorithm=str(payload["algorithm"]),
-        metadata=dict(payload.get("metadata", {})),
-        final_test_accuracy=payload.get("final_test_accuracy"),
-    )
-    for item in payload["records"]:
-        history.append(
-            RoundRecord(
-                round=int(item["round"]),
-                average_train_loss=float(item["average_train_loss"]),
-                test_accuracy=item.get("test_accuracy"),
-                consensus=item.get("consensus"),
-                extra=dict(item.get("extra", {})),
-                wall_clock_seconds=item.get("wall_clock_seconds"),
-                active_agents=item.get("active_agents"),
-                topology_events=[dict(e) for e in item.get("topology_events", [])],
-            )
-        )
-    return history
-
-
 def save_histories(histories: Mapping[str, TrainingHistory], path: PathLike) -> Path:
-    """Write a ``{name: history}`` mapping (one comparison run) to a JSON file."""
+    """Write a ``{name: history}`` mapping (one comparison run) to a JSON file.
+
+    The write is atomic: readers observe either the previous complete file or
+    the new one, never a partial write.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     payload = {name: history_to_dict(history) for name, history in histories.items()}
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return path
+    return atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def load_histories(path: PathLike) -> Dict[str, TrainingHistory]:

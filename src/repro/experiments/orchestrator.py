@@ -1,0 +1,378 @@
+"""Durable, parallel execution of experiment grids.
+
+The paper's headline artefacts are comparison grids — algorithms x
+topologies x privacy budgets x seeds — and this module is the execution
+layer for them: every cell of an :class:`~repro.experiments.specs.ExperimentGrid`
+becomes an :class:`~repro.experiments.specs.ExperimentJob` with a
+**content-addressed run directory**, executed through a resumable
+:class:`~repro.simulation.runner.RunSession`, optionally fanned out over a
+``ProcessPoolExecutor``.
+
+Run-directory layout (under the store root)::
+
+    runs/
+      <job hash>/                 # sha256 of the job's canonical config (first 16 hex chars)
+        spec.json                 # {"algorithm": ..., "spec": {...}} (the hash preimage)
+        status.json               # {"status": pending|running|partial|done|failed, ...}
+        history.json              # the finished TrainingHistory (done jobs only)
+        checkpoints/
+          round_000040.ckpt       # RunSession snapshots (pruned once done)
+
+The hash covers every field that influences the trajectory (the full spec
+plus the algorithm name), so:
+
+* re-running a grid **skips** every cell whose directory is already
+  ``done`` (the stored history is returned as-is);
+* a killed run leaves ``partial`` directories whose latest checkpoint is
+  picked up on the next invocation and **resumed bit-identically** — a
+  resumed cell's history equals the uninterrupted run's;
+* changing any hyper-parameter changes the hash, landing the run in a fresh
+  directory instead of silently mixing configurations.
+
+Every file write is atomic (temp file + ``os.replace``), so interrupts never
+leave corrupt JSON or checkpoints behind.  Parallel execution is
+process-based because the workload is NumPy-bound: each job is seeded by its
+own spec, touches only its own run directory, and returns its history to the
+parent — jobs share nothing, so the pool needs no locking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.harness import (
+    build_algorithm,
+    build_experiment_components,
+    evaluation_for_spec,
+)
+from repro.experiments.specs import ExperimentGrid, ExperimentJob, spec_to_dict
+from repro.simulation.checkpoint import atomic_write_text, latest_checkpoint, list_checkpoints
+from repro.simulation.metrics import (
+    TrainingHistory,
+    history_from_dict,
+    history_to_dict,
+)
+from repro.simulation.runner import RunSession
+
+__all__ = [
+    "job_config",
+    "job_hash",
+    "RunStore",
+    "JobResult",
+    "run_job",
+    "run_grid",
+    "report_rows",
+]
+
+PathLike = Union[str, Path]
+
+#: Default snapshot cadence for orchestrated runs (rounds between checkpoints).
+DEFAULT_CHECKPOINT_EVERY = 5
+
+
+def job_config(job: ExperimentJob) -> Dict[str, object]:
+    """The canonical configuration a job's run directory is addressed by."""
+    return {"algorithm": job.algorithm, "spec": spec_to_dict(job.spec)}
+
+
+def job_hash(job: ExperimentJob) -> str:
+    """Content address of a job: sha256 over its canonical JSON config.
+
+    Any change that could alter the trajectory — a hyper-parameter, the
+    topology, the seed, the algorithm — changes the hash; cosmetic identity
+    (dict ordering) does not, because the JSON is key-sorted.  The digest is
+    truncated to its first 16 hex characters (64 bits) for readable
+    directory names; :meth:`RunStore.prepare` pins the full config in
+    ``spec.json`` and rejects a mismatched directory, so even a truncated
+    collision cannot silently mix two configurations.
+    """
+    canonical = json.dumps(job_config(job), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+class RunStore:
+    """The run-directory tree: one content-addressed directory per job."""
+
+    SPEC_FILE = "spec.json"
+    STATUS_FILE = "status.json"
+    HISTORY_FILE = "history.json"
+    CHECKPOINT_DIR = "checkpoints"
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+
+    # -- paths ----------------------------------------------------------
+    def job_dir(self, job: ExperimentJob) -> Path:
+        return self.root / job_hash(job)
+
+    def checkpoints_dir(self, job: ExperimentJob) -> Path:
+        return self.job_dir(job) / self.CHECKPOINT_DIR
+
+    # -- lifecycle ------------------------------------------------------
+    def prepare(self, job: ExperimentJob) -> Path:
+        """Create the job's directory and pin its config (idempotent).
+
+        If the directory already exists, the stored config must match the
+        job's — a mismatch means a hash collision or a hand-edited
+        directory, either of which would silently corrupt results.
+        """
+        directory = self.job_dir(job)
+        self.checkpoints_dir(job).mkdir(parents=True, exist_ok=True)
+        spec_path = directory / self.SPEC_FILE
+        config = job_config(job)
+        if spec_path.exists():
+            stored = json.loads(spec_path.read_text())
+            if stored != config:
+                raise ValueError(
+                    f"run directory {directory} already holds a different "
+                    "configuration — refusing to overwrite it"
+                )
+        else:
+            atomic_write_text(spec_path, json.dumps(config, indent=2, sort_keys=True))
+        return directory
+
+    def read_status(self, job: ExperimentJob) -> Dict[str, object]:
+        """The job's status record (``{"status": "pending"}`` when absent).
+
+        A corrupt status file — the one artifact written outside the
+        session's atomic checkpoint path would never be, but defence in
+        depth — degrades to ``pending`` so the job simply re-runs.
+        """
+        path = self.job_dir(job) / self.STATUS_FILE
+        if not path.exists():
+            return {"status": "pending"}
+        try:
+            payload = json.loads(path.read_text())
+        except (ValueError, OSError):
+            return {"status": "pending"}
+        if not isinstance(payload, dict) or "status" not in payload:
+            return {"status": "pending"}
+        return payload
+
+    def write_status(self, job: ExperimentJob, status: str, **extra: object) -> None:
+        payload = {"status": status, "updated_at": time.time(), **extra}
+        atomic_write_text(
+            self.job_dir(job) / self.STATUS_FILE,
+            json.dumps(payload, indent=2, sort_keys=True),
+        )
+
+    # -- results --------------------------------------------------------
+    def save_history(self, job: ExperimentJob, history: TrainingHistory) -> Path:
+        path = self.job_dir(job) / self.HISTORY_FILE
+        return atomic_write_text(
+            path, json.dumps(history_to_dict(history), indent=2, sort_keys=True)
+        )
+
+    def load_history(self, job: ExperimentJob) -> Optional[TrainingHistory]:
+        path = self.job_dir(job) / self.HISTORY_FILE
+        if not path.exists():
+            return None
+        return history_from_dict(json.loads(path.read_text()))
+
+    def latest_checkpoint(self, job: ExperimentJob) -> Optional[Path]:
+        return latest_checkpoint(self.checkpoints_dir(job))
+
+    def prune_checkpoints(self, job: ExperimentJob, keep: int = 0) -> None:
+        """Drop all but the newest ``keep`` checkpoints (finished jobs keep none)."""
+        if keep < 0:
+            raise ValueError("keep must be non-negative")
+        checkpoints = list_checkpoints(self.checkpoints_dir(job))
+        for path in checkpoints[: max(len(checkpoints) - keep, 0)]:
+            path.unlink(missing_ok=True)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one grid cell.
+
+    ``status`` is ``"done"`` (ran to completion), ``"cached"`` (a previous
+    run's stored history was reused without executing anything),
+    ``"partial"`` (interrupted by ``max_rounds_per_job``; a checkpoint holds
+    the progress) or ``"failed"``.  ``history`` is present for done/cached.
+    """
+
+    job: ExperimentJob
+    job_id: str
+    status: str
+    history: Optional[TrainingHistory] = None
+    error: Optional[str] = None
+
+
+def run_job(
+    job: ExperimentJob,
+    store: RunStore,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    max_rounds: Optional[int] = None,
+) -> Optional[TrainingHistory]:
+    """Execute (or resume, or skip) one job inside its run directory.
+
+    * ``done`` directories return the stored history without running;
+    * a directory with checkpoints resumes from the latest one;
+    * otherwise the run starts fresh.
+
+    ``max_rounds`` caps the rounds executed in this call (the forced-interrupt
+    hook used by tests and the CI smoke job); when the cap stops the run
+    early, a checkpoint is written, status becomes ``partial`` and ``None``
+    is returned.
+    """
+    status = store.read_status(job)
+    if status.get("status") == "done":
+        history = store.load_history(job)
+        if history is not None:
+            return history
+        # A "done" marker without its history is an inconsistent directory
+        # (e.g. manual deletion); fall through and re-run from checkpoints.
+    store.prepare(job)
+
+    spec = job.spec
+    try:
+        components = build_experiment_components(spec)
+        algorithm = build_algorithm(job.algorithm, components)
+        evaluation = evaluation_for_spec(components)
+        checkpoint = store.latest_checkpoint(job)
+        if checkpoint is not None:
+            session = RunSession.resume(
+                algorithm,
+                checkpoint,
+                evaluation=evaluation,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=store.checkpoints_dir(job),
+            )
+        else:
+            session = RunSession(
+                algorithm,
+                spec.num_rounds,
+                evaluation=evaluation,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=store.checkpoints_dir(job),
+            )
+            history = session.start()
+            history.metadata["spec"] = spec.name
+            history.metadata["dirichlet_alpha"] = spec.dirichlet_alpha
+
+        store.write_status(job, "running", rounds_completed=session.rounds_done)
+        session.run(max_rounds=max_rounds)
+    except Exception as error:
+        store.write_status(job, "failed", error=f"{type(error).__name__}: {error}")
+        raise
+    # KeyboardInterrupt/SystemExit propagate untouched: an interrupt is not
+    # a failure — the directory stays "running" (exactly like a SIGKILL) and
+    # the next invocation resumes it from its latest checkpoint.
+    if not session.done:
+        session.checkpoint()
+        store.write_status(job, "partial", rounds_completed=session.rounds_done)
+        return None
+    history = session.finish()
+    store.save_history(job, history)
+    store.write_status(job, "done", rounds_completed=session.rounds_done)
+    store.prune_checkpoints(job)
+    return history
+
+
+def _run_job_worker(
+    args: Tuple[str, ExperimentJob, int, Optional[int]],
+) -> Tuple[str, str, Optional[Dict[str, object]], Optional[str]]:
+    """Pool entry point: run one job, return a picklable summary.
+
+    Histories travel back as plain dicts (the same JSON form the store
+    persists) so the parent does not depend on object identity across
+    process boundaries.
+    """
+    root, job, checkpoint_every, max_rounds = args
+    store = RunStore(root)
+    job_id = job_hash(job)
+    try:
+        history = run_job(
+            job, store, checkpoint_every=checkpoint_every, max_rounds=max_rounds
+        )
+    except Exception as error:
+        # Job failures are data, not control flow: the parent decides (via
+        # strict=) whether to raise.  KeyboardInterrupt/SystemExit are NOT
+        # caught — Ctrl-C must abort the campaign, not mark jobs failed and
+        # march on through the rest of the grid.
+        return job_id, "failed", None, f"{type(error).__name__}: {error}"
+    if history is None:
+        return job_id, "partial", None, None
+    return job_id, "done", history_to_dict(history), None
+
+
+def run_grid(
+    grid: ExperimentGrid,
+    root: PathLike,
+    workers: int = 1,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    max_rounds_per_job: Optional[int] = None,
+    jobs: Optional[Sequence[ExperimentJob]] = None,
+    strict: bool = True,
+) -> List[JobResult]:
+    """Execute a grid against a run store, in parallel when ``workers > 1``.
+
+    Completed cells are served from the store without running; pending and
+    partial cells execute (resuming from their latest checkpoint) on a
+    ``ProcessPoolExecutor`` with ``workers`` processes — each job re-seeds
+    itself from its own spec, so placement on workers cannot change any
+    trajectory.  Results come back in job order.  With ``strict`` (the
+    default) a failed job raises after every job has been given its chance;
+    ``strict=False`` returns failures as :class:`JobResult` entries instead.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    store = RunStore(root)
+    all_jobs = list(jobs) if jobs is not None else grid.jobs()
+    results: Dict[int, JobResult] = {}
+    pending: List[Tuple[int, ExperimentJob]] = []
+    for index, job in enumerate(all_jobs):
+        job_id = job_hash(job)
+        if store.read_status(job).get("status") == "done":
+            history = store.load_history(job)
+            if history is not None:
+                results[index] = JobResult(job, job_id, "cached", history)
+                continue
+        pending.append((index, job))
+
+    payloads = [
+        (str(store.root), job, checkpoint_every, max_rounds_per_job)
+        for _, job in pending
+    ]
+    if workers == 1 or len(pending) <= 1:
+        outcomes = [_run_job_worker(payload) for payload in payloads]
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending))) as pool:
+            outcomes = list(pool.map(_run_job_worker, payloads))
+
+    for (index, job), (job_id, status, history_payload, error) in zip(
+        pending, outcomes
+    ):
+        history = (
+            history_from_dict(history_payload) if history_payload is not None else None
+        )
+        results[index] = JobResult(job, job_id, status, history, error)
+
+    ordered = [results[index] for index in range(len(all_jobs))]
+    if strict:
+        failed = [r for r in ordered if r.status == "failed"]
+        if failed:
+            summary = "; ".join(f"{r.job.describe()}: {r.error}" for r in failed)
+            raise RuntimeError(f"{len(failed)} grid job(s) failed: {summary}")
+    return ordered
+
+
+def report_rows(
+    results: Sequence[JobResult],
+) -> List[Tuple[str, str, TrainingHistory]]:
+    """``(algorithm, cell, history)`` rows for the report layer's aggregation.
+
+    Cells without a history yet (partial / failed jobs) are omitted — the
+    report covers what has actually finished.
+    """
+    return [
+        (result.job.algorithm, result.job.cell, result.history)
+        for result in results
+        if result.history is not None
+    ]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.simulation.metrics import TrainingHistory
 
 __all__ = [
@@ -19,6 +21,8 @@ __all__ = [
     "format_accuracy_table",
     "runtime_summary_rows",
     "format_runtime_table",
+    "aggregate_cells",
+    "format_cell_summary",
 ]
 
 
@@ -96,6 +100,72 @@ def format_runtime_table(
             f"{name:<14s}{int(row['rounds']):>8d}{row['total_seconds']:>14.3f}"
             f"{row['seconds_per_round']:>12.4f}{int(row['events']):>9d}"
             f"{final_loss:>13.4f}"
+        )
+    return "\n".join(lines)
+
+
+def aggregate_cells(
+    rows: Iterable[Tuple[str, str, TrainingHistory]],
+) -> Dict[Tuple[str, str], Dict[str, float]]:
+    """Aggregate multi-seed grid results into per-cell mean±std statistics.
+
+    ``rows`` holds ``(algorithm, cell, history)`` triples — one per seed, as
+    produced by :func:`repro.experiments.orchestrator.report_rows` — and the
+    result maps ``(algorithm, cell)`` to ``{"seeds", "final_loss_mean",
+    "final_loss_std", "final_accuracy_mean", "final_accuracy_std"}``.
+    Accuracy statistics appear only when every seed of the cell recorded a
+    final test accuracy; the standard deviation is the population std
+    (``ddof=0`` — the seeds *are* the replication set being summarised).
+    """
+    grouped: Dict[Tuple[str, str], List[TrainingHistory]] = {}
+    for algorithm, cell, history in rows:
+        grouped.setdefault((algorithm, cell), []).append(history)
+    aggregated: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for key, histories in grouped.items():
+        losses = np.array([history.final_loss() for history in histories])
+        stats: Dict[str, float] = {
+            "seeds": float(len(histories)),
+            "final_loss_mean": float(losses.mean()),
+            "final_loss_std": float(losses.std()),
+        }
+        accuracies = [history.final_test_accuracy for history in histories]
+        if all(accuracy is not None for accuracy in accuracies):
+            observed = np.array([float(a) for a in accuracies])
+            stats["final_accuracy_mean"] = float(observed.mean())
+            stats["final_accuracy_std"] = float(observed.std())
+        aggregated[key] = stats
+    return aggregated
+
+
+def format_cell_summary(
+    rows: Iterable[Tuple[str, str, TrainingHistory]],
+    caption: str = "Grid summary (mean±std over seeds)",
+) -> str:
+    """Render the multi-seed aggregation as a plain-text table.
+
+    One row per ``(cell, algorithm)`` pair, sorted by cell then algorithm,
+    with ``mean±std`` columns for the final loss and (when recorded) the
+    final test accuracy.
+    """
+    aggregated = aggregate_cells(rows)
+    lines = [
+        caption,
+        f"{'cell':<38s}{'method':<14s}{'seeds':>6s}{'final loss':>20s}"
+        f"{'final accuracy':>20s}",
+    ]
+    for (algorithm, cell), stats in sorted(
+        aggregated.items(), key=lambda item: (item[0][1], item[0][0])
+    ):
+        loss = f"{stats['final_loss_mean']:.4f}±{stats['final_loss_std']:.4f}"
+        if "final_accuracy_mean" in stats:
+            accuracy = (
+                f"{stats['final_accuracy_mean']:.3f}±{stats['final_accuracy_std']:.3f}"
+            )
+        else:
+            accuracy = "-"
+        lines.append(
+            f"{cell[:37]:<38s}{algorithm:<14s}{int(stats['seeds']):>6d}"
+            f"{loss:>20s}{accuracy:>20s}"
         )
     return "\n".join(lines)
 

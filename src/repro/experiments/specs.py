@@ -21,14 +21,21 @@ the full-size settings remain available by passing ``scale="paper"``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+import json
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.topology.schedule import validate_dynamics
 
 __all__ = [
     "ALGORITHM_NAMES",
     "ExperimentSpec",
+    "ExperimentJob",
+    "ExperimentGrid",
+    "spec_to_dict",
+    "spec_from_dict",
+    "grid_to_dict",
+    "grid_from_dict",
     "fast_spec",
     "mnist_like_spec",
     "cifar_like_spec",
@@ -56,6 +63,9 @@ _PAPER_EPSILONS: Dict[str, Tuple[float, ...]] = {
     "mnist": (0.08, 0.1, 0.3),
     "cifar": (0.5, 0.7, 1.0),
 }
+
+#: Every algorithm the harness can instantiate (paper set + ablation extras).
+_VALID_ALGORITHMS: Tuple[str, ...] = ALGORITHM_NAMES + ("D-PSGD", "DMSGD")
 
 #: Paper figure index -> (dataset family, topology).
 _PAPER_FIGURES: Dict[int, Tuple[str, str]] = {
@@ -115,7 +125,7 @@ class ExperimentSpec:
             raise ValueError("need at least two agents")
         if self.num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
-        unknown = [a for a in self.algorithms if a not in ALGORITHM_NAMES + ("D-PSGD", "DMSGD")]
+        unknown = [a for a in self.algorithms if a not in _VALID_ALGORITHMS]
         if unknown:
             raise ValueError(f"unknown algorithms: {unknown}")
         validate_dynamics(self.dynamics, num_agents=self.num_agents)
@@ -326,3 +336,211 @@ def paper_table_spec(
     else:
         raise ValueError("table must be 1 (MNIST) or 2 (CIFAR)")
     return spec.with_updates(name=f"table{table}_{topology}_M{num_agents}_eps{epsilon}")
+
+
+# ---------------------------------------------------------------------------
+# Spec serialisation and experiment grids
+# ---------------------------------------------------------------------------
+
+_SPEC_FIELDS: Tuple[str, ...] = tuple(f.name for f in dataclass_fields(ExperimentSpec))
+
+#: Grid overrides may vary any spec field except these: ``seed`` has its own
+#: axis, ``name`` is derived per cell, and ``algorithms`` has its own axis
+#: (one job per algorithm).
+_RESERVED_OVERRIDE_KEYS = frozenset({"seed", "name", "algorithms"})
+
+
+def spec_to_dict(spec: ExperimentSpec) -> Dict[str, object]:
+    """JSON-serialisable form of a spec (inverse of :func:`spec_from_dict`).
+
+    Field order follows the dataclass declaration, so the canonical JSON of
+    a spec — and therefore a job's content hash — is stable.
+    """
+    payload: Dict[str, object] = {}
+    for name in _SPEC_FIELDS:
+        value = getattr(spec, name)
+        if name == "algorithms":
+            value = list(value)
+        elif name == "dynamics" and value is not None:
+            value = dict(value)
+        payload[name] = value
+    return payload
+
+
+def spec_from_dict(payload: Mapping[str, object]) -> ExperimentSpec:
+    """Rebuild a spec from :func:`spec_to_dict` output (strict about keys)."""
+    if "name" not in payload:
+        raise ValueError("a spec dict requires at least a 'name'")
+    unknown = sorted(set(payload) - set(_SPEC_FIELDS))
+    if unknown:
+        raise ValueError(
+            f"unknown spec fields: {unknown}; expected a subset of "
+            f"{sorted(_SPEC_FIELDS)}"
+        )
+    return ExperimentSpec(**dict(payload))
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One cell of an experiment grid: a fully resolved spec plus one algorithm.
+
+    ``cell`` groups jobs that differ only by seed (the replication axis) so
+    the report layer can aggregate multi-seed cells into mean±std rows.
+    """
+
+    spec: ExperimentSpec
+    algorithm: str
+    cell: str
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+    def describe(self) -> str:
+        return f"{self.algorithm} @ {self.cell} (seed {self.seed})"
+
+
+def _override_label(override: Mapping[str, object]) -> str:
+    return ",".join(f"{key}={override[key]}" for key in sorted(override))
+
+
+@dataclass
+class ExperimentGrid:
+    """A declarative experiment campaign: ``algorithms x seeds x overrides``.
+
+    ``base`` supplies every default; each override dict patches a subset of
+    spec fields (a new topology, privacy budget, round count, ...); each
+    seed replicates every cell.  The full cross product is validated and
+    expanded **at construction time** — duplicate seeds, duplicate
+    overrides, reserved or unknown override keys, and invalid resulting
+    specs (e.g. a non-positive ``num_rounds``) are all rejected here, with
+    the offending entry named, instead of failing mid-campaign.
+    """
+
+    base: ExperimentSpec
+    algorithms: Optional[Sequence[str]] = None
+    seeds: Optional[Sequence[int]] = None
+    overrides: Optional[Sequence[Mapping[str, object]]] = None
+
+    def __post_init__(self) -> None:
+        self.algorithms = (
+            list(self.base.algorithms) if self.algorithms is None else list(self.algorithms)
+        )
+        self.seeds = [self.base.seed] if self.seeds is None else [int(s) for s in self.seeds]
+        self.overrides = (
+            [{}] if self.overrides is None else [dict(o) for o in self.overrides]
+        )
+        if not self.algorithms:
+            raise ValueError("an experiment grid needs at least one algorithm")
+        if not self.seeds:
+            raise ValueError("an experiment grid needs at least one seed")
+        if not self.overrides:
+            raise ValueError(
+                "overrides must contain at least one entry ({} runs the base spec)"
+            )
+        unknown = [a for a in self.algorithms if a not in _VALID_ALGORITHMS]
+        if unknown:
+            raise ValueError(f"unknown algorithms: {unknown}")
+        duplicate_algorithms = sorted(
+            {a for a in self.algorithms if self.algorithms.count(a) > 1}
+        )
+        if duplicate_algorithms:
+            raise ValueError(f"duplicate algorithms in grid: {duplicate_algorithms}")
+        duplicate_seeds = sorted({s for s in self.seeds if self.seeds.count(s) > 1})
+        if duplicate_seeds:
+            raise ValueError(
+                f"duplicate seeds in grid: {duplicate_seeds} — each seed is one "
+                "replication; repeating it would run (and average) the identical "
+                "trajectory twice"
+            )
+        seen_overrides: Dict[str, int] = {}
+        for index, override in enumerate(self.overrides):
+            reserved = sorted(set(override) & _RESERVED_OVERRIDE_KEYS)
+            if reserved:
+                raise ValueError(
+                    f"override #{index} sets reserved keys {reserved}: 'seed' and "
+                    "'algorithms' are grid axes, 'name' is derived per cell"
+                )
+            unknown_keys = sorted(set(override) - set(_SPEC_FIELDS))
+            if unknown_keys:
+                raise ValueError(
+                    f"override #{index} has unknown spec fields: {unknown_keys}"
+                )
+            key = json.dumps(override, sort_keys=True, default=str)
+            if key in seen_overrides:
+                raise ValueError(
+                    f"override #{index} duplicates override #{seen_overrides[key]}: "
+                    f"{override!r}"
+                )
+            seen_overrides[key] = index
+        # Expand eagerly so an invalid grid point (e.g. num_rounds <= 0, an
+        # unknown topology name combined with the base) fails at parse time
+        # with the offending cell named.
+        self._jobs: List[ExperimentJob] = []
+        for index, override in enumerate(self.overrides):
+            cell = (
+                self.base.name
+                if not override
+                else f"{self.base.name}+{_override_label(override)}"
+            )
+            for seed in self.seeds:
+                for algorithm in self.algorithms:
+                    # Each job's spec names only its own algorithm: the
+                    # grid's roster must not leak into the spec (and hence
+                    # into the job's content hash), or adding one algorithm
+                    # to a campaign would re-address — and retrain — every
+                    # already-finished cell.
+                    try:
+                        spec = self.base.with_updates(
+                            **override, seed=seed, name=cell, algorithms=[algorithm]
+                        )
+                    except (TypeError, ValueError) as error:
+                        raise ValueError(
+                            f"invalid grid point (override #{index} {override!r}, "
+                            f"seed {seed}): {error}"
+                        ) from error
+                    self._jobs.append(
+                        ExperimentJob(spec=spec, algorithm=algorithm, cell=cell)
+                    )
+
+    def jobs(self) -> List[ExperimentJob]:
+        """The expanded cross product, in deterministic (override, seed, algorithm) order."""
+        return list(self._jobs)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+
+def grid_to_dict(grid: ExperimentGrid) -> Dict[str, object]:
+    """JSON-serialisable form of a grid (inverse of :func:`grid_from_dict`)."""
+    return {
+        "base": spec_to_dict(grid.base),
+        "algorithms": list(grid.algorithms),
+        "seeds": list(grid.seeds),
+        "overrides": [dict(o) for o in grid.overrides],
+    }
+
+
+def grid_from_dict(payload: Mapping[str, object]) -> ExperimentGrid:
+    """Parse a grid declaration (the ``repro-run`` spec-file format).
+
+    Accepts either the full form ``{"base": {...spec...}, "algorithms":
+    [...], "seeds": [...], "overrides": [{...}]}`` or a bare spec dict
+    (shorthand for a one-cell grid over the spec's own algorithms and seed).
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError("a grid declaration must be a JSON object")
+    if "base" not in payload:
+        return ExperimentGrid(base=spec_from_dict(payload))
+    unknown = sorted(set(payload) - {"base", "algorithms", "seeds", "overrides"})
+    if unknown:
+        raise ValueError(
+            f"unknown grid keys: {unknown}; expected 'base', 'algorithms', "
+            "'seeds', 'overrides'"
+        )
+    return ExperimentGrid(
+        base=spec_from_dict(payload["base"]),
+        algorithms=payload.get("algorithms"),
+        seeds=payload.get("seeds"),
+        overrides=payload.get("overrides"),
+    )

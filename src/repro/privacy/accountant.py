@@ -87,6 +87,14 @@ class PrivacyAccountant:
     def reset(self) -> None:
         self.events.clear()
 
+    def state_dict(self) -> List[Tuple[float, float]]:
+        """The recorded per-round events, for run checkpoints."""
+        return [tuple(event) for event in self.events]
+
+    def load_state_dict(self, events: List[Tuple[float, float]]) -> None:
+        """Restore events captured by :meth:`state_dict` (replaces any current ones)."""
+        self.events = [(float(eps), float(delta)) for eps, delta in events]
+
     def total_basic(self) -> Tuple[float, float]:
         """Composed budget under basic (sequential) composition.
 

@@ -8,13 +8,33 @@ gradients over a communication graph.  This package provides that substrate:
 * :class:`Metrics` containers (:class:`RoundRecord`, :class:`TrainingHistory`)
   recording the quantities the paper plots (average training loss per round,
   test accuracy, consensus distance);
-* :func:`run_decentralized` — the round loop: step the algorithm, evaluate,
-  record.
+* :class:`RunSession` — the round loop as an explicit lifecycle
+  (start/step/checkpoint/finish) with a :class:`CallbackBus` for round
+  events and bit-identical checkpoint/resume;
+* :func:`run_decentralized` — the one-call wrapper: step the algorithm,
+  evaluate, record.
 """
 
+from repro.simulation.checkpoint import (
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.simulation.network import Message, Network
-from repro.simulation.metrics import RoundRecord, TrainingHistory, consensus_distance
-from repro.simulation.runner import EvaluationConfig, run_decentralized
+from repro.simulation.metrics import (
+    RoundRecord,
+    TrainingHistory,
+    consensus_distance,
+    histories_equal,
+    history_from_dict,
+    history_to_dict,
+)
+from repro.simulation.runner import (
+    CallbackBus,
+    EvaluationConfig,
+    RunSession,
+    run_decentralized,
+)
 
 __all__ = [
     "Message",
@@ -22,6 +42,14 @@ __all__ = [
     "RoundRecord",
     "TrainingHistory",
     "consensus_distance",
+    "histories_equal",
+    "history_from_dict",
+    "history_to_dict",
+    "latest_checkpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "CallbackBus",
     "EvaluationConfig",
+    "RunSession",
     "run_decentralized",
 ]

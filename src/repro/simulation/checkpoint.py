@@ -1,0 +1,147 @@
+"""Durable run state: atomic file writes and training checkpoints.
+
+Two concerns live here because they share one invariant — **an interrupt can
+never leave a corrupt artifact behind**:
+
+* :func:`atomic_write_bytes` / :func:`atomic_write_text` write to a temporary
+  file in the destination directory and promote it with :func:`os.replace`,
+  so readers only ever observe the old complete file or the new complete
+  file, never a torn write.  Every JSON the experiment layer persists
+  (histories, run-store specs and statuses) goes through these.
+* :func:`save_checkpoint` / :func:`load_checkpoint` persist the state a
+  :class:`~repro.simulation.runner.RunSession` needs to resume a training
+  run **bit-identically**: the algorithm's
+  :meth:`~repro.core.base.DecentralizedAlgorithm.state_dict` (fleet matrices
+  and every per-agent RNG stream), the partial
+  :class:`~repro.simulation.metrics.TrainingHistory`, and the session's
+  bookkeeping.  Checkpoints are pickled, not JSON: exact float64 and
+  bit-generator round-trips are what make a resumed trajectory identical to
+  an uninterrupted one, and the payload contains NumPy arrays throughout.
+  They are local, trusted artifacts (the run directory is produced and
+  consumed by the same experiment pipeline); never load a checkpoint from an
+  untrusted source.
+
+Checkpoint files inside a run directory follow the ``round_<NNNNNN>.ckpt``
+naming scheme so :func:`latest_checkpoint` can find the resume point without
+any side index.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "save_checkpoint",
+    "load_checkpoint",
+    "checkpoint_path",
+    "latest_checkpoint",
+    "list_checkpoints",
+]
+
+PathLike = Union[str, Path]
+
+#: Version stamp embedded in every checkpoint so a future layout change can
+#: detect (and refuse, with a clear error) files written by older code.
+CHECKPOINT_FORMAT = 1
+
+_CHECKPOINT_NAME = re.compile(r"^round_(\d+)\.ckpt$")
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> Path:
+    """Write ``data`` to ``path`` so readers never see a partial file.
+
+    The bytes go to a temporary file in the same directory (same filesystem,
+    so the final :func:`os.replace` is atomic); the temporary is fsynced and
+    then promoted over ``path`` in one step.  On any failure the temporary is
+    removed and ``path`` is left untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # mkstemp creates the file 0600; give the promoted artifact the
+        # ordinary umask-governed mode a plain open() would have, so saved
+        # histories stay readable to whoever could read them before.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Atomic counterpart of ``Path.write_text`` (UTF-8)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def save_checkpoint(path: PathLike, payload: Dict[str, object]) -> Path:
+    """Persist a checkpoint payload atomically.
+
+    ``payload`` is whatever the caller needs to resume (for training runs:
+    ``algorithm_state``, ``history`` and ``session`` — see
+    :meth:`repro.simulation.runner.RunSession.checkpoint`); this function
+    adds the ``format`` stamp and guarantees the write is all-or-nothing.
+    """
+    stamped = {"format": CHECKPOINT_FORMAT, **payload}
+    return atomic_write_bytes(path, pickle.dumps(stamped, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def load_checkpoint(path: PathLike) -> Dict[str, object]:
+    """Read a checkpoint written by :func:`save_checkpoint` (format-checked)."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        payload = pickle.load(handle)
+    if not isinstance(payload, dict) or "format" not in payload:
+        raise ValueError(f"{path} is not a run checkpoint")
+    if payload["format"] != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"{path} has checkpoint format {payload['format']!r}; "
+            f"this code reads format {CHECKPOINT_FORMAT}"
+        )
+    return payload
+
+
+def checkpoint_path(directory: PathLike, rounds_done: int) -> Path:
+    """Canonical file name for the checkpoint taken after ``rounds_done`` rounds."""
+    if rounds_done < 0:
+        raise ValueError("rounds_done must be non-negative")
+    return Path(directory) / f"round_{rounds_done:06d}.ckpt"
+
+
+def list_checkpoints(directory: PathLike) -> List[Path]:
+    """All checkpoint files in ``directory``, oldest (fewest rounds) first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = [
+        (int(match.group(1)), entry)
+        for entry in directory.iterdir()
+        if (match := _CHECKPOINT_NAME.match(entry.name)) is not None
+    ]
+    return [entry for _, entry in sorted(found)]
+
+
+def latest_checkpoint(directory: PathLike) -> Optional[Path]:
+    """The most advanced checkpoint in ``directory`` (``None`` when empty)."""
+    checkpoints = list_checkpoints(directory)
+    return checkpoints[-1] if checkpoints else None

@@ -10,11 +10,18 @@ gossip component.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["RoundRecord", "TrainingHistory", "consensus_distance"]
+__all__ = [
+    "RoundRecord",
+    "TrainingHistory",
+    "consensus_distance",
+    "history_to_dict",
+    "history_from_dict",
+    "histories_equal",
+]
 
 
 def consensus_distance(parameter_vectors: Sequence[np.ndarray]) -> float:
@@ -145,3 +152,90 @@ class TrainingHistory:
             "active_agents": [r.active_agents for r in self.records],
             "topology_events": self.topology_events,
         }
+
+
+def history_to_dict(history: TrainingHistory) -> Dict[str, object]:
+    """JSON-serialisable representation of a training history (round-trippable).
+
+    Unlike :meth:`TrainingHistory.to_dict` (a flattened view for reports),
+    this form preserves every :class:`RoundRecord` field and is the inverse
+    of :func:`history_from_dict`; it is what run checkpoints and the
+    experiment store persist.
+    """
+    return {
+        "algorithm": history.algorithm,
+        "metadata": dict(history.metadata),
+        "final_test_accuracy": history.final_test_accuracy,
+        "records": [
+            {
+                "round": record.round,
+                "average_train_loss": record.average_train_loss,
+                "test_accuracy": record.test_accuracy,
+                "consensus": record.consensus,
+                "extra": dict(record.extra),
+                "wall_clock_seconds": record.wall_clock_seconds,
+                "active_agents": record.active_agents,
+                "topology_events": [dict(e) for e in record.topology_events],
+            }
+            for record in history.records
+        ],
+    }
+
+
+def history_from_dict(payload: Mapping[str, object]) -> TrainingHistory:
+    """Inverse of :func:`history_to_dict`."""
+    if "algorithm" not in payload or "records" not in payload:
+        raise ValueError("payload is missing required keys 'algorithm' / 'records'")
+    history = TrainingHistory(
+        algorithm=str(payload["algorithm"]),
+        metadata=dict(payload.get("metadata", {})),
+        final_test_accuracy=payload.get("final_test_accuracy"),
+    )
+    for item in payload["records"]:
+        history.append(
+            RoundRecord(
+                round=int(item["round"]),
+                average_train_loss=float(item["average_train_loss"]),
+                test_accuracy=item.get("test_accuracy"),
+                consensus=item.get("consensus"),
+                extra=dict(item.get("extra", {})),
+                wall_clock_seconds=item.get("wall_clock_seconds"),
+                active_agents=item.get("active_agents"),
+                topology_events=[dict(e) for e in item.get("topology_events", [])],
+            )
+        )
+    return history
+
+
+def histories_equal(
+    a: TrainingHistory, b: TrainingHistory, include_timing: bool = False
+) -> bool:
+    """Whether two histories record the same deterministic trajectory.
+
+    Compares every reproducible field exactly — round numbers, losses,
+    accuracies, consensus, active-agent counts, topology events, metadata
+    and the final test accuracy.  ``wall_clock_seconds`` is excluded by
+    default: it is the one field that legitimately differs between an
+    uninterrupted run and a checkpoint-resumed one (or between two machines),
+    while everything else must match bit for bit.
+    """
+    if a.algorithm != b.algorithm or len(a) != len(b):
+        return False
+    if a.final_test_accuracy != b.final_test_accuracy:
+        return False
+    if dict(a.metadata) != dict(b.metadata):
+        return False
+    for rec_a, rec_b in zip(a.records, b.records):
+        if (
+            rec_a.round != rec_b.round
+            or rec_a.average_train_loss != rec_b.average_train_loss
+            or rec_a.test_accuracy != rec_b.test_accuracy
+            or rec_a.consensus != rec_b.consensus
+            or rec_a.active_agents != rec_b.active_agents
+            or dict(rec_a.extra) != dict(rec_b.extra)
+            or rec_a.topology_events != rec_b.topology_events
+        ):
+            return False
+        if include_timing and rec_a.wall_clock_seconds != rec_b.wall_clock_seconds:
+            return False
+    return True

@@ -227,3 +227,47 @@ class Network:
             "floats_sent": self.floats_sent,
             "traffic_by_tag": dict(self.traffic_by_tag),
         }
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Resumable network state: round counter, traffic totals, drop RNG.
+
+        Checkpoints are taken at round boundaries, where the synchronous
+        algorithms have drained every mailbox — so only the counters and the
+        fault-injection RNG stream (when drops are enabled) need capturing,
+        and a resumed run's traffic statistics continue exactly where the
+        interrupted run's left off.
+        """
+        return {
+            "round": self._round,
+            "messages_sent": self.messages_sent,
+            "messages_dropped": self.messages_dropped,
+            "messages_rejected": self.messages_rejected,
+            "floats_sent": self.floats_sent,
+            "traffic_by_tag": dict(self.traffic_by_tag),
+            "rng_state": None if self.rng is None else self.rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, payload: Dict[str, Any]) -> None:
+        """Restore a state captured by :meth:`state_dict`.
+
+        Pending mailboxes are cleared (they were empty at capture time) and
+        the active-agent roster is left for the next round's schedule pull.
+        """
+        self._round = int(payload["round"])
+        self.messages_sent = int(payload["messages_sent"])
+        self.messages_dropped = int(payload["messages_dropped"])
+        self.messages_rejected = int(payload["messages_rejected"])
+        self.floats_sent = int(payload["floats_sent"])
+        self.traffic_by_tag = defaultdict(int)
+        self.traffic_by_tag.update(payload["traffic_by_tag"])
+        if payload["rng_state"] is not None:
+            if self.rng is None:
+                raise ValueError(
+                    "checkpoint carries a drop RNG stream but this network has "
+                    "no rng (was it rebuilt with drop_probability=0?)"
+                )
+            self.rng.bit_generator.state = payload["rng_state"]
+        self.clear()

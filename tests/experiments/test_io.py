@@ -69,3 +69,33 @@ class TestFileRoundTrip:
         path.write_text(json.dumps([1, 2, 3]))
         with pytest.raises(ValueError):
             load_histories(path)
+
+
+class TestAtomicWrites:
+    def test_save_leaves_no_temporaries(self, tmp_path):
+        target = tmp_path / "results" / "run.json"
+        save_histories({"X": make_history("X")}, target)
+        names = {p.name for p in target.parent.iterdir()}
+        assert names == {"run.json"}
+
+    def test_failed_write_preserves_previous_file(self, tmp_path):
+        target = tmp_path / "run.json"
+        save_histories({"X": make_history("X")}, target)
+        before = target.read_text()
+
+        class Unserializable:
+            pass
+
+        bad = make_history("Y")
+        bad.metadata["payload"] = Unserializable()  # json.dumps will raise
+        with pytest.raises(TypeError):
+            save_histories({"Y": bad}, target)
+        # The old complete file survives and no temp files linger.
+        assert target.read_text() == before
+        assert {p.name for p in tmp_path.iterdir()} == {"run.json"}
+
+    def test_atomic_write_text_round_trip(self, tmp_path):
+        from repro.simulation.checkpoint import atomic_write_text
+
+        path = atomic_write_text(tmp_path / "deep" / "file.txt", "payload")
+        assert path.read_text() == "payload"

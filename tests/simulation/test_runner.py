@@ -168,3 +168,131 @@ class TestTimingAndEvents:
         assert history.topology_events == []
         assert history.event_counts() == {}
         assert "dynamics" not in history.metadata
+
+
+class TestRunSession:
+    def test_stepwise_equals_one_call(self, tiny_dataset, tiny_model, full_topology_4):
+        from repro.simulation.metrics import histories_equal
+        from repro.simulation.runner import RunSession
+
+        one_call = run_decentralized(
+            make_algorithm(tiny_dataset, tiny_model, full_topology_4),
+            4,
+            EvaluationConfig(test_data=tiny_dataset),
+        )
+        session = RunSession(
+            make_algorithm(tiny_dataset, tiny_model, full_topology_4),
+            4,
+            EvaluationConfig(test_data=tiny_dataset),
+        )
+        while not session.done:
+            session.step()
+        stepwise = session.finish()
+        assert histories_equal(one_call, stepwise)
+
+    def test_bus_event_sequence(self, tiny_dataset, tiny_model, full_topology_4):
+        from repro.simulation.runner import RunSession
+
+        events = []
+        session = RunSession(
+            make_algorithm(tiny_dataset, tiny_model, full_topology_4),
+            3,
+            EvaluationConfig(eval_every=2),
+        )
+        session.bus.subscribe(lambda event, payload: events.append(event))
+        session.run()
+        # rounds 1 (always recorded), 2 (eval_every), 3 (final)
+        assert events == [
+            "start",
+            "round",
+            "record",
+            "round",
+            "record",
+            "round",
+            "record",
+            "finish",
+        ]
+
+    def test_checkpoint_events_and_files(
+        self, tiny_dataset, tiny_model, full_topology_4, tmp_path
+    ):
+        from repro.simulation.checkpoint import list_checkpoints
+        from repro.simulation.runner import RunSession
+
+        checkpoints = []
+        session = RunSession(
+            make_algorithm(tiny_dataset, tiny_model, full_topology_4),
+            5,
+            checkpoint_every=2,
+            checkpoint_dir=tmp_path,
+        )
+        session.bus.subscribe(
+            lambda event, payload: checkpoints.append(payload["round"])
+            if event == "checkpoint"
+            else None
+        )
+        session.run()
+        assert checkpoints == [2, 4]
+        assert [p.name for p in list_checkpoints(tmp_path)] == [
+            "round_000002.ckpt",
+            "round_000004.ckpt",
+        ]
+
+    def test_run_max_rounds_hands_back_control(
+        self, tiny_dataset, tiny_model, full_topology_4
+    ):
+        from repro.simulation.runner import RunSession
+
+        session = RunSession(
+            make_algorithm(tiny_dataset, tiny_model, full_topology_4), 5
+        )
+        partial = session.run(max_rounds=2)
+        assert session.rounds_done == 2 and not session.done
+        assert len(partial) == 2  # rounds 1 and 2 recorded (eval_every=1)
+        session.run()
+        assert session.done and len(session.history) == 5
+
+    def test_step_after_done_raises(self, tiny_dataset, tiny_model, full_topology_4):
+        from repro.simulation.runner import RunSession
+
+        session = RunSession(
+            make_algorithm(tiny_dataset, tiny_model, full_topology_4), 1
+        )
+        session.run()
+        with pytest.raises(RuntimeError, match="already been executed"):
+            session.step()
+
+    def test_finish_before_done_raises(
+        self, tiny_dataset, tiny_model, full_topology_4
+    ):
+        from repro.simulation.runner import RunSession
+
+        session = RunSession(
+            make_algorithm(tiny_dataset, tiny_model, full_topology_4), 3
+        )
+        session.run(max_rounds=1)
+        with pytest.raises(RuntimeError, match="still pending"):
+            session.finish()
+
+    def test_checkpoint_every_requires_directory(
+        self, tiny_dataset, tiny_model, full_topology_4
+    ):
+        from repro.simulation.runner import RunSession
+
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            RunSession(
+                make_algorithm(tiny_dataset, tiny_model, full_topology_4),
+                3,
+                checkpoint_every=2,
+            )
+
+    def test_resume_rejects_incomplete_payload(
+        self, tiny_dataset, tiny_model, full_topology_4
+    ):
+        from repro.simulation.runner import RunSession
+
+        with pytest.raises(ValueError, match="missing"):
+            RunSession.resume(
+                make_algorithm(tiny_dataset, tiny_model, full_topology_4),
+                {"history": {}},
+            )
