@@ -1,19 +1,13 @@
 """Micro-benchmark: per-round overhead of a dynamic-topology schedule.
 
-A rewiring schedule holds each graph for ``rewire_every`` rounds, so the
-snapshot LRU cache should make the steady-state per-round cost of
-``operator_at(t)`` a dictionary lookup, while a naive implementation would
-re-run graph assembly + Metropolis–Hastings weighting + validation +
-operator construction every round.  This benchmark times both against the
-same round sequence on a ring at N in {256, 1024} and asserts the cached
-path is at least 5x cheaper per round at N = 1024 — the headroom that makes
-per-round topology consultation affordable inside the training loop.
+Thin pytest wrapper over the registered ``topology/dynamic-cache`` suite
+(:class:`repro.bench.suites.DynamicTopologyCacheSuite`): the snapshot LRU
+cache vs a naive rebuild on the same round sequence, plus the fully-dynamic
+worst case (fresh straggler mask every round, every round a genuine cache
+miss).  Cache bookkeeping (misses = ceil(rounds / period)) is asserted
+inside the suite; the ≥5x floor at N = 1024 routes through the shared guard.
 
-Also printed (unasserted): the fully-dynamic worst case (fresh straggler
-mask every round, so every round is a genuine cache miss), i.e. the price
-of actually *changing* the graph each round rather than consulting it.
-
-Environment knobs:
+Environment knobs (shared with ``repro-bench``):
 
 * ``REPRO_BENCH_DYNTOPO_AGENTS`` — comma-separated fleet sizes
   (default "256,1024");
@@ -24,103 +18,31 @@ Environment knobs:
 
 from __future__ import annotations
 
-import os
-import time
-from typing import Dict, List
-
-from repro.topology.graphs import ring_graph
-from repro.topology.schedule import (
-    DynamicTopologySchedule,
-    periodic_rewiring_schedule,
-    straggler_schedule,
-)
-
-SPEEDUP_FLOOR_AT_1024 = 5.0
-
-
-def agent_counts() -> List[int]:
-    raw = os.environ.get("REPRO_BENCH_DYNTOPO_AGENTS", "256,1024")
-    return [int(part) for part in raw.split(",") if part.strip()]
-
-
-def timed_rounds() -> int:
-    return max(2, int(os.environ.get("REPRO_BENCH_DYNTOPO_ROUNDS", 60)))
-
-
-def rewire_period() -> int:
-    return max(1, int(os.environ.get("REPRO_BENCH_DYNTOPO_PERIOD", 20)))
-
-
-def seconds_per_round(schedule: DynamicTopologySchedule, rounds: int) -> float:
-    start = time.perf_counter()
-    for t in range(rounds):
-        schedule.operator_at(t)
-    return (time.perf_counter() - start) / rounds
-
-
-class NaiveRebuildSchedule(DynamicTopologySchedule):
-    """The same schedule semantics with the snapshot cache defeated.
-
-    Every ``topology_at`` call rebuilds the round's graph, mixing matrix and
-    operator from scratch — what the engine would pay without the LRU.
-    """
-
-    def topology_at(self, round_index: int):
-        return self._build(self._key_at(round_index))
+from repro.bench.registry import assert_floor, run_benchmark
+from repro.bench.suites import DynamicTopologyCacheSuite
 
 
 def test_bench_micro_dynamic_topology_cache_speedup():
-    rounds = timed_rounds()
-    period = rewire_period()
-    results: Dict[int, Dict[str, float]] = {}
-
-    for num_agents in agent_counts():
-        base = ring_graph(num_agents)
-        cached = periodic_rewiring_schedule(base, rewire_every=period, seed=0)
-        naive = NaiveRebuildSchedule(base, rewire_every=period, seed=0)
-        worst_case = straggler_schedule(base, straggler_fraction=0.1, seed=0)
-
-        # Warm-up: prime allocators and the scipy/networkx code paths on a
-        # throwaway schedule so neither measured variant pays cold-start
-        # costs for the other.
-        seconds_per_round(
-            NaiveRebuildSchedule(base, rewire_every=1, seed=99), min(rounds, 5)
-        )
-
-        cached_time = seconds_per_round(cached, rounds)
-        naive_time = seconds_per_round(naive, rounds)
-        worst_time = seconds_per_round(worst_case, rounds)
-        # Epochs are visited contiguously, so the cache builds each distinct
-        # graph exactly once: misses = ceil(rounds / period).
-        info = cached.cache_info()
-        assert info["misses"] == -(-rounds // period)
-        assert info["hits"] + info["misses"] == rounds
-        results[num_agents] = {
-            "cached": cached_time,
-            "naive": naive_time,
-            "worst": worst_time,
-            "speedup": naive_time / cached_time,
-        }
+    suite = DynamicTopologyCacheSuite()
+    result = run_benchmark(suite)
 
     print()
     print("=" * 78)
     print(
         f"dynamic-topology micro-benchmark: seconds per operator_at(t) "
-        f"(ring, rewire every {period} rounds, {rounds} rounds timed)"
+        f"(ring, rewire every {suite.period} rounds, {suite.rounds} rounds timed)"
     )
     print(
         f"{'agents':>8s} {'cached':>12s} {'naive rebuild':>14s} "
         f"{'speedup':>9s} {'all-miss (stragglers)':>22s}"
     )
-    for num_agents, row in results.items():
+    for num_agents in suite.agent_counts:
+        metrics = result.metrics
         print(
-            f"{num_agents:>8d} {row['cached']:>12.3e} {row['naive']:>14.3e} "
-            f"{row['speedup']:>8.1f}x {row['worst']:>22.3e}"
+            f"{num_agents:>8d} {metrics[f'cached_s@{num_agents}']:>12.3e} "
+            f"{metrics[f'naive_s@{num_agents}']:>14.3e} "
+            f"{metrics[f'speedup@{num_agents}']:>8.1f}x "
+            f"{metrics[f'allmiss_s@{num_agents}']:>22.3e}"
         )
 
-    for num_agents, row in results.items():
-        if num_agents >= 1024:
-            assert row["speedup"] >= SPEEDUP_FLOOR_AT_1024, (
-                f"operator cache speedup {row['speedup']:.1f}x at "
-                f"N={num_agents} fell below the {SPEEDUP_FLOOR_AT_1024}x floor"
-            )
+    assert_floor(result)

@@ -1,25 +1,15 @@
 """Micro-benchmark: process-pool grid execution vs serial execution.
 
-The orchestrator's pitch is that a comparison grid — independent,
-seed-isolated jobs — parallelises embarrassingly: on a machine with ``W``
-idle cores, a ``W``-worker pool should cut the wall clock by close to
-``W``x.  This benchmark runs the same fresh grid twice (serial store,
-pooled store), asserts the results are identical cell by cell
-(placement on workers must never change a trajectory), and times both.
+Thin pytest wrapper over the registered ``orchestrator/pool`` suite
+(:class:`repro.bench.suites.OrchestratorPoolSuite`): the same fresh grid run
+three ways (serial store, pooled store, warm second pass over the serial
+store), with serial == pooled histories and a faster-than-training warm pass
+asserted cell by cell inside the suite.  The ≥2x floor with 4 workers routes
+through the shared guard — it arms only with ≥4 CPUs available and a ≥1s
+serial pass, so a 1-2 core CI runner or a reduced-scale smoke run reports
+the ratio without asserting it.
 
-The speedup floor (>= 2x with 4 workers on an 8-job grid) only *arms* when
-(a) the machine actually has >= 4 CPUs available — on a 1-2 core CI runner
-the pool cannot beat serial execution — and (b) the serial pass is long
-enough (>= 1s) for the parallel work to amortize pool startup/dispatch
-overhead; at the reduced scales the CI smoke step uses, per-job work is
-milliseconds and the ratio is reported without being asserted, exactly
-like the other micro-benchmarks only arm their floors at full scale.
-
-Also measured (unasserted): the warm second pass over the serial store —
-every cell served from ``history.json`` without training — i.e. the price
-of re-entering a finished campaign.
-
-Environment knobs:
+Environment knobs (shared with ``repro-bench``):
 
 * ``REPRO_BENCH_ORCH_JOBS``    — grid size (default 8 = 2 algorithms x 4 seeds);
 * ``REPRO_BENCH_ORCH_ROUNDS``  — rounds per job (default 150);
@@ -29,114 +19,26 @@ Environment knobs:
 
 from __future__ import annotations
 
-import os
-import time
-
-from repro.experiments.orchestrator import run_grid
-from repro.experiments.specs import ExperimentGrid, fast_spec
-from repro.simulation.metrics import histories_equal
-
-SPEEDUP_FLOOR = 2.0
-
-#: Minimum serial wall clock for the floor to arm: below this, pool
-#: startup/dispatch overhead dominates and the ratio measures the
-#: harness, not the orchestrator.
-MIN_SERIAL_SECONDS = 1.0
+from repro.bench.guard import available_cpus
+from repro.bench.registry import assert_floor, run_benchmark
+from repro.bench.suites import OrchestratorPoolSuite
 
 
-def num_jobs() -> int:
-    return max(2, int(os.environ.get("REPRO_BENCH_ORCH_JOBS", 8)))
+def test_bench_micro_orchestrator_pool_speedup():
+    suite = OrchestratorPoolSuite()
+    result = run_benchmark(suite)
+    metrics = result.metrics
 
-
-def rounds_per_job() -> int:
-    return max(1, int(os.environ.get("REPRO_BENCH_ORCH_ROUNDS", 150)))
-
-
-def fleet_size() -> int:
-    return max(2, int(os.environ.get("REPRO_BENCH_ORCH_AGENTS", 12)))
-
-
-def pool_workers() -> int:
-    return max(2, int(os.environ.get("REPRO_BENCH_ORCH_WORKERS", 4)))
-
-
-def available_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        return os.cpu_count() or 1
-
-
-def build_grid() -> ExperimentGrid:
-    """2 algorithms x (jobs/2) seeds: the paper's comparison shape."""
-    algorithms = ["DMSGD", "DP-DPSGD"]
-    seeds = list(range(7, 7 + num_jobs() // len(algorithms)))
-    base = fast_spec(
-        num_agents=fleet_size(),
-        num_rounds=rounds_per_job(),
-        algorithms=algorithms,
-    )
-    # Strided evaluation keeps the benchmark training-bound rather than
-    # evaluation-bound, like a real sweep.
-    base = base.with_updates(eval_every=max(1, rounds_per_job() // 3))
-    return ExperimentGrid(base=base, algorithms=algorithms, seeds=seeds)
-
-
-def test_bench_micro_orchestrator_pool_speedup(tmp_path):
-    workers = pool_workers()
-    cpus = available_cpus()
-
-    serial_grid, pooled_grid = build_grid(), build_grid()
-    jobs = len(serial_grid)
-
-    started = time.perf_counter()
-    serial = run_grid(serial_grid, tmp_path / "serial", workers=1)
-    serial_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    pooled = run_grid(pooled_grid, tmp_path / "pooled", workers=workers)
-    pooled_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    cached = run_grid(serial_grid, tmp_path / "serial", workers=1)
-    cached_seconds = time.perf_counter() - started
-
-    # Correctness before speed: worker placement must not change any cell,
-    # and the warm pass must serve the identical stored histories.
-    assert [r.status for r in serial] == ["done"] * jobs
-    assert [r.status for r in pooled] == ["done"] * jobs
-    assert [r.status for r in cached] == ["cached"] * jobs
-    for a, b in zip(serial, pooled):
-        assert histories_equal(a.history, b.history)
-    for a, b in zip(serial, cached):
-        assert histories_equal(a.history, b.history)
-
-    speedup = serial_seconds / pooled_seconds if pooled_seconds > 0 else float("inf")
     print()
     print(
-        f"orchestrator grid: {jobs} jobs x {rounds_per_job()} rounds, "
-        f"M={fleet_size()}, {workers} workers, {cpus} CPUs available"
+        f"orchestrator grid: {suite.jobs} jobs x {suite.rounds} rounds, "
+        f"M={suite.agents}, {suite.workers} workers, {available_cpus()} CPUs "
+        "available"
     )
     print(
-        f"  serial  {serial_seconds:8.2f}s\n"
-        f"  pooled  {pooled_seconds:8.2f}s   ({speedup:5.2f}x)\n"
-        f"  cached  {cached_seconds:8.2f}s   (warm store, no training)"
+        f"  serial  {metrics['serial_s']:8.2f}s\n"
+        f"  pooled  {metrics['pooled_s']:8.2f}s   ({metrics['speedup']:5.2f}x)\n"
+        f"  cached  {metrics['cached_s']:8.2f}s   (warm store, no training)"
     )
 
-    assert cached_seconds < serial_seconds, "cached pass should skip all training"
-    if cpus >= workers and serial_seconds >= MIN_SERIAL_SECONDS:
-        assert speedup >= SPEEDUP_FLOOR, (
-            f"{workers}-worker pool over {jobs} jobs only reached "
-            f"{speedup:.2f}x (floor {SPEEDUP_FLOOR}x with {cpus} CPUs)"
-        )
-    elif cpus < workers:
-        print(
-            f"  floor not armed: {cpus} CPU(s) < {workers} workers "
-            f"(needs >= {workers} CPUs to assert >= {SPEEDUP_FLOOR}x)"
-        )
-    else:
-        print(
-            f"  floor not armed: serial pass {serial_seconds:.2f}s < "
-            f"{MIN_SERIAL_SECONDS:.0f}s (reduced scale; pool overhead would "
-            "dominate the ratio)"
-        )
+    assert_floor(result)

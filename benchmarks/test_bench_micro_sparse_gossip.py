@@ -1,26 +1,13 @@
 """Micro-benchmark: dense vs sparse (CSR) gossip mixing at fleet scale.
 
-Times one gossip application ``W @ X`` under both storage formats of the
-:class:`~repro.topology.mixing.MixingOperator` on ring and torus topologies
-at N in {1024, 4096} agents.  The dense kernel touches all N^2 matrix
-entries; the CSR kernel touches only the nnz = O(N) stored weights, so on a
-ring at N = 4096 it skips ~16.7M of the ~16.7M + 12k entries and the
-speedup compounds with every extra gossip step (MUFFLIATO's multi-hop
-rounds, DP-NET-FLEET's model + tracking mixes).
+Thin pytest wrapper over the registered ``gossip/sparse`` suite
+(:class:`repro.bench.suites.SparseGossipSuite`): one gossip application
+``W @ X`` under both storage formats on ring and torus topologies, with a
+raw-BLAS reference column and bit-identity between the kernels asserted at
+every measured size inside the suite itself.  The ≥10x floor on the ring at
+4096 agents routes through the shared guard (full scale + CPUs + signal).
 
-The speedup is asserted to be at least 10x on the ring at 4096 agents — the
-scaling headroom the sparse backend exists to provide.  Bit-identical
-results between the two kernels are asserted at every measured size, so the
-benchmark cannot silently drift into comparing different computations.
-
-A third, unasserted column times the raw BLAS ``W @ X`` on the dense
-matrix.  The dense kernel deliberately forgoes BLAS (whose blocked/FMA
-accumulation would break the bit-identical contract with CSR) at a
-several-fold cost, so the BLAS column is the honest "fastest possible
-dense" reference — the CSR kernel must and does beat it by well over the
-asserted floor too.
-
-Environment knobs:
+Environment knobs (shared with ``repro-bench``):
 
 * ``REPRO_BENCH_SPARSE_AGENTS`` — comma-separated agent counts
   (default "1024,4096"); torus cells round each count to a square grid;
@@ -33,104 +20,46 @@ Environment knobs:
 from __future__ import annotations
 
 import math
-import os
 import time
-from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.topology.graphs import Topology, ring_graph, torus_graph
-from repro.topology.mixing import spectral_gap
-
-SPEEDUP_FLOOR_AT_4096 = 10.0
-
-
-def sparse_agent_counts() -> List[int]:
-    raw = os.environ.get("REPRO_BENCH_SPARSE_AGENTS", "1024,4096")
-    return [int(part) for part in raw.split(",") if part.strip()]
-
-
-def timed_rounds() -> int:
-    return max(1, int(os.environ.get("REPRO_BENCH_SPARSE_ROUNDS", 2)))
-
-
-def state_dimension() -> int:
-    return max(1, int(os.environ.get("REPRO_BENCH_SPARSE_DIM", 64)))
-
-
-def build_topologies(num_agents: int) -> List[Tuple[str, Topology]]:
-    side = max(3, int(round(math.sqrt(num_agents))))
-    return [
-        (f"ring/{num_agents}", ring_graph(num_agents)),
-        (f"torus/{side * side}", torus_graph(side)),
-    ]
-
-
-def seconds_per_apply(apply, state: np.ndarray, rounds: int) -> float:
-    apply(state)  # warm-up: primes caches / allocators
-    start = time.perf_counter()
-    for _ in range(rounds):
-        apply(state)
-    return (time.perf_counter() - start) / rounds
+from repro.bench.registry import assert_floor, run_benchmark
+from repro.bench.suites import SparseGossipSuite
 
 
 def test_bench_micro_sparse_gossip_speedup():
-    rounds = timed_rounds()
-    dimension = state_dimension()
-    results: Dict[str, Dict[str, float]] = {}
-    ring_speedup_by_size: Dict[int, float] = {}
+    suite = SparseGossipSuite()
+    result = run_benchmark(suite)
 
-    for num_agents in sparse_agent_counts():
-        for label, topology in build_topologies(num_agents):
-            dense_op = topology.mixing_operator("dense")
-            csr_op = topology.mixing_operator("csr")
-            dense_w = dense_op.toarray()
-            rng = np.random.default_rng(0)
-            state = rng.normal(size=(topology.num_agents, dimension))
-
-            # The benchmark is only meaningful if both kernels compute the
-            # same gossip step — and the sparse backend's contract is that
-            # they agree bit for bit.
-            np.testing.assert_array_equal(dense_op.apply(state), csr_op.apply(state))
-
-            dense_time = seconds_per_apply(dense_op.apply, state, rounds)
-            csr_time = seconds_per_apply(csr_op.apply, state, rounds)
-            blas_time = seconds_per_apply(lambda x: dense_w @ x, state, rounds)
-            results[label] = {
-                "nnz": csr_op.nnz,
-                "dense": dense_time,
-                "blas": blas_time,
-                "csr": csr_time,
-                "speedup": dense_time / csr_time,
-                "speedup_blas": blas_time / csr_time,
-            }
-            if label.startswith("ring/"):
-                ring_speedup_by_size[num_agents] = dense_time / csr_time
-
+    labels = [
+        label
+        for num_agents in suite.agent_counts
+        for label in suite.topology_labels(num_agents)
+    ]
     print()
     print("=" * 84)
     print(
-        f"sparse gossip micro-benchmark: seconds per W @ X apply (d = {dimension})"
+        f"sparse gossip micro-benchmark: seconds per W @ X apply "
+        f"(d = {suite.dimension})"
     )
     print(
         f"{'topology':>14s} {'nnz':>10s} {'dense':>12s} {'blas-ref':>12s} "
         f"{'csr':>12s} {'speedup':>9s} {'vs blas':>9s}"
     )
-    for label, row in results.items():
+    for label in labels:
+        metrics = result.metrics
         print(
-            f"{label:>14s} {int(row['nnz']):>10d} {row['dense']:>12.5f} "
-            f"{row['blas']:>12.5f} {row['csr']:>12.5f} "
-            f"{row['speedup']:>8.1f}x {row['speedup_blas']:>8.1f}x"
+            f"{label:>14s} {int(metrics[f'nnz@{label}']):>10d} "
+            f"{metrics[f'dense_s@{label}']:>12.5f} "
+            f"{metrics[f'blas_s@{label}']:>12.5f} "
+            f"{metrics[f'csr_s@{label}']:>12.5f} "
+            f"{metrics[f'speedup@{label}']:>8.1f}x "
+            f"{metrics[f'blas_s@{label}'] / metrics[f'csr_s@{label}']:>8.1f}x"
         )
 
-    # Only the fleet-scale speedup is asserted: at small N both kernels
-    # finish within scheduler noise and a wall-clock floor would be flaky.
-    largest = max(ring_speedup_by_size)
-    if largest >= 4096:
-        assert ring_speedup_by_size[largest] >= SPEEDUP_FLOOR_AT_4096, (
-            f"expected >= {SPEEDUP_FLOOR_AT_4096}x sparse speedup on the ring at "
-            f"{largest} agents, got {ring_speedup_by_size[largest]:.1f}x"
-        )
+    # The fleet-scale ring floor, armed through the shared guard only.
+    assert_floor(result)
 
 
 def test_bench_sparse_spectral_diagnostics_at_scale():
@@ -140,7 +69,10 @@ def test_bench_sparse_spectral_diagnostics_at_scale():
     path must produce the ring's analytic gap in a small fraction of the
     benchmark budget.
     """
-    num_agents = max(sparse_agent_counts())
+    from repro.topology.graphs import ring_graph
+    from repro.topology.mixing import spectral_gap
+
+    num_agents = max(SparseGossipSuite().agent_counts)
     topology = ring_graph(num_agents, sparse=True)
     start = time.perf_counter()
     gap = spectral_gap(topology.mixing_matrix)

@@ -11,11 +11,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-pdsl",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of PDSL (ICDCS 2025): Shapley-weighted, differentially "
         "private decentralized stochastic learning, with dense and sparse "
-        "gossip engines and a resumable parallel experiment orchestrator"
+        "gossip engines, a resumable parallel experiment orchestrator and a "
+        "first-class benchmark harness"
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
@@ -23,6 +24,8 @@ setup(
         "console_scripts": [
             # Durable/resumable experiment grids: run, resume, status, report.
             "repro-run=repro.experiments.cli:main",
+            # Benchmark suites, BENCH_<n>.json artifacts, regression gate.
+            "repro-bench=repro.bench.cli:main",
         ],
     },
     python_requires=">=3.10",

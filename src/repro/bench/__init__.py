@@ -1,0 +1,51 @@
+"""First-class benchmarking: registered suites, perf artifacts, regression gate.
+
+The subsystem has four layers (see ``docs/BENCHMARKING.md`` for the user
+guide):
+
+* :mod:`repro.bench.timer` / :mod:`repro.bench.guard` — shared measurement
+  (wall clock + peak RSS, repeat-with-min) and the uniform "arm the floor?"
+  guard every speed assertion routes through;
+* :mod:`repro.bench.registry` — the ``@benchmark`` registry and the
+  setup/run/teardown suite lifecycle;
+* :mod:`repro.bench.suites` — the registered suites covering the hot paths
+  (engines, gossip kernels, topology cache, orchestrator pool, checkpoints,
+  Shapley, DP noise);
+* :mod:`repro.bench.artifact` / :mod:`repro.bench.report` /
+  :mod:`repro.bench.cli` — schema-versioned ``BENCH_<n>.json`` artifacts,
+  the markdown performance page, and the ``repro-bench`` CLI
+  (``list`` / ``run`` / ``compare`` / ``report``).
+"""
+
+from repro.bench.guard import FloorDecision, arm_floor, available_cpus
+from repro.bench.registry import (
+    Benchmark,
+    BenchResult,
+    FloorSpec,
+    assert_floor,
+    benchmark,
+    check_floor,
+    create_benchmark,
+    registered_benchmarks,
+    run_benchmark,
+    select_benchmarks,
+)
+from repro.bench.timer import Measurement, Timer
+
+__all__ = [
+    "Benchmark",
+    "BenchResult",
+    "FloorSpec",
+    "FloorDecision",
+    "Measurement",
+    "Timer",
+    "arm_floor",
+    "assert_floor",
+    "available_cpus",
+    "benchmark",
+    "check_floor",
+    "create_benchmark",
+    "registered_benchmarks",
+    "run_benchmark",
+    "select_benchmarks",
+]

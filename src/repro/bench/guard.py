@@ -1,0 +1,90 @@
+"""The shared "arm the floor?" guard for benchmark assertions.
+
+Speed floors ("the vectorized engine must be ≥5x faster at 256 agents")
+turn benchmarks into regression tests — but a wall-clock assertion is only
+meaningful when the measurement is trustworthy.  Three conditions gate
+every floor in the suite, uniformly, instead of ad-hoc per-file copies:
+
+* **full scale** — reduced-scale smoke runs (CI's small ``REPRO_BENCH_*``
+  settings) measure correctness, not headroom; the floor arms only when the
+  benchmark ran at the scale the floor was calibrated for;
+* **enough CPUs** — comparisons that need parallel hardware (the
+  orchestrator's process pool) or simply a core to themselves cannot beat
+  their baseline on a 1-CPU machine, so each floor declares the CPUs it
+  needs;
+* **enough signal** — when the *baseline* side of the comparison completes
+  in microseconds, the ratio measures timer noise and dispatch overhead,
+  not the optimisation; the floor arms only once the baseline measurement
+  exceeds a per-floor minimum duration.
+
+A disarmed floor is not a silent skip: :func:`arm_floor` returns the reason,
+and both the pytest wrappers and ``repro-bench`` print it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FloorDecision", "available_cpus", "arm_floor"]
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware on Linux)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class FloorDecision:
+    """Whether a speed floor should be asserted, and why (not)."""
+
+    armed: bool
+    reason: str
+
+    def __bool__(self) -> bool:
+        return self.armed
+
+
+def arm_floor(
+    *,
+    full_scale: bool,
+    min_cpus: int = 2,
+    baseline_seconds: Optional[float] = None,
+    min_baseline_seconds: float = 0.0,
+) -> FloorDecision:
+    """Decide whether a benchmark's speed floor should be asserted.
+
+    Parameters
+    ----------
+    full_scale:
+        ``True`` when the benchmark ran at the scale the floor was
+        calibrated for (e.g. "the agent sweep reached N = 4096").  Reduced
+        smoke scales never arm.
+    min_cpus:
+        Minimum CPUs the comparison needs to be fair (default 2: one for
+        the benchmark, one for the rest of the machine; pool benchmarks
+        pass their worker count).
+    baseline_seconds:
+        Measured duration of the comparison's *slow* side, when there is
+        one.  ``None`` skips the signal check.
+    min_baseline_seconds:
+        The baseline duration below which the ratio is considered noise.
+    """
+    if not full_scale:
+        return FloorDecision(False, "reduced scale (floor calibrated for full scale)")
+    cpus = available_cpus()
+    if cpus < min_cpus:
+        return FloorDecision(
+            False, f"only {cpus} CPU(s) available (floor needs >= {min_cpus})"
+        )
+    if baseline_seconds is not None and baseline_seconds < min_baseline_seconds:
+        return FloorDecision(
+            False,
+            f"baseline measurement {baseline_seconds:.3f}s < "
+            f"{min_baseline_seconds:.3f}s (too short to assert a ratio)",
+        )
+    return FloorDecision(True, "armed")

@@ -1,0 +1,638 @@
+"""The registered benchmark suites.
+
+Each suite packages one hot path of the system behind the
+:class:`~repro.bench.registry.Benchmark` lifecycle:
+
+* ``engine/round`` — loop vs vectorized engine, seconds per DP-DPSGD round;
+* ``gossip/sparse`` — dense vs CSR gossip kernels (bit-identity checked);
+* ``gossip/scaling-sweep`` — auto-backend ``W @ X`` across fleet sizes;
+* ``topology/dynamic-cache`` — schedule snapshot LRU vs naive rebuild;
+* ``orchestrator/pool`` — process-pool grid vs serial (plus warm store);
+* ``checkpoint/roundtrip`` — ``state_dict`` → save → load → restore;
+* ``game/shapley-mc`` — the vectorized Monte-Carlo Shapley estimator;
+* ``privacy/noise-rows`` — batched per-owner Gaussian noise rows.
+
+Scales resolve from the same ``REPRO_BENCH_*`` environment knobs the pytest
+wrappers under ``benchmarks/`` have always used, so one configuration drives
+both surfaces; :data:`SMOKE_SCALE` is the reduced setting CI applies via
+``repro-bench run --scale smoke``.  Suites embed their correctness checks
+(bit-identical kernels, serial-vs-pooled history equality, cache
+bookkeeping): a benchmark that silently compares different computations is
+worse than no benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import shutil
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bench.registry import Benchmark, FloorSpec, benchmark
+
+__all__ = [
+    "SMOKE_SCALE",
+    "apply_scale",
+    "EngineRoundSuite",
+    "SparseGossipSuite",
+    "GossipScalingSweepSuite",
+    "DynamicTopologyCacheSuite",
+    "OrchestratorPoolSuite",
+    "CheckpointRoundtripSuite",
+    "MonteCarloShapleySuite",
+    "NoiseRowsSuite",
+]
+
+#: Reduced-scale knob values for CI smoke runs: every suite executes every
+#: code path in seconds, and every floor stays disarmed (the shared guard
+#: sees the reduced scale).  Applied with :func:`apply_scale`.
+SMOKE_SCALE: Dict[str, str] = {
+    "REPRO_BENCH_ENGINE_AGENTS": "16,64",
+    "REPRO_BENCH_ENGINE_ROUNDS": "1",
+    "REPRO_BENCH_SPARSE_AGENTS": "256",
+    "REPRO_BENCH_SPARSE_ROUNDS": "1",
+    "REPRO_BENCH_DYNTOPO_AGENTS": "128",
+    "REPRO_BENCH_DYNTOPO_ROUNDS": "20",
+    "REPRO_BENCH_DYNTOPO_PERIOD": "5",
+    "REPRO_BENCH_ORCH_JOBS": "4",
+    "REPRO_BENCH_ORCH_ROUNDS": "8",
+    "REPRO_BENCH_ORCH_AGENTS": "5",
+    "REPRO_BENCH_CKPT_AGENTS": "16",
+    "REPRO_BENCH_CKPT_ROUNDS": "2",
+    "REPRO_BENCH_SHAPLEY_PLAYERS": "8",
+    "REPRO_BENCH_SHAPLEY_PERMS": "50",
+    "REPRO_BENCH_NOISE_AGENTS": "256",
+    "REPRO_BENCH_NOISE_DIM": "32",
+    "REPRO_BENCH_SWEEP_AGENTS": "64,256",
+}
+
+
+def apply_scale(scale: Dict[str, str]) -> None:
+    """Install scale knobs into the environment (explicit settings win)."""
+    for key, value in scale.items():
+        os.environ.setdefault(key, value)
+
+
+def _env_ints(name: str, default: str) -> List[int]:
+    raw = os.environ.get(name, default)
+    return [int(part) for part in raw.split(",") if part.strip()]
+
+
+def _env_int(name: str, default: int, minimum: int = 1) -> int:
+    return max(minimum, int(os.environ.get(name, default)))
+
+
+def _timed(apply, *args, rounds: int = 1, warm: bool = True) -> float:
+    """Best-effort seconds per call: one warm-up, then ``rounds`` timed calls."""
+    if warm:
+        apply(*args)
+    started = time.perf_counter()
+    for _ in range(rounds):
+        apply(*args)
+    return (time.perf_counter() - started) / rounds
+
+
+# ---------------------------------------------------------------------------
+# engine/round
+# ---------------------------------------------------------------------------
+@benchmark
+class EngineRoundSuite(Benchmark):
+    """Loop vs vectorized engine: seconds per DP-DPSGD communication round."""
+
+    name = "engine/round"
+    description = "loop vs vectorized engine, seconds per DP-DPSGD round"
+    floor = FloorSpec(
+        metric="speedup", minimum=5.0, min_cpus=2, min_baseline_seconds=0.2
+    )
+    default_repeats = 1
+    default_warmup = False
+    FULL_SCALE_AGENTS = 256
+
+    def __init__(self) -> None:
+        self.agent_counts = _env_ints("REPRO_BENCH_ENGINE_AGENTS", "16,64,256")
+        self.rounds = _env_int("REPRO_BENCH_ENGINE_ROUNDS", 2)
+
+    def params(self) -> Dict[str, object]:
+        return {"agents": self.agent_counts, "rounds": self.rounds}
+
+    @staticmethod
+    def build(num_agents: int, backend: str):
+        """One DP-DPSGD instance on the synthetic classification task."""
+        from repro.baselines import DPDPSGD
+        from repro.core.config import AlgorithmConfig
+        from repro.data.partition import partition_iid
+        from repro.data.synthetic import make_classification_dataset
+        from repro.nn.zoo import make_linear_classifier
+        from repro.topology.graphs import fully_connected_graph
+
+        data = make_classification_dataset(
+            num_samples=max(2048, 8 * num_agents),
+            num_features=16,
+            num_classes=4,
+            cluster_std=1.0,
+            seed=0,
+        )
+        shards = partition_iid(data, num_agents, np.random.default_rng(0)).shards
+        topology = fully_connected_graph(num_agents)
+        model = make_linear_classifier(16, 4, seed=0)
+        config = AlgorithmConfig(
+            learning_rate=0.05,
+            sigma=0.5,
+            clip_threshold=1.0,
+            batch_size=8,
+            seed=0,
+            backend=backend,
+        )
+        return DPDPSGD(model, topology, shards, config)
+
+    def run(self) -> Dict[str, float]:
+        metrics: Dict[str, float] = {}
+        for num_agents in self.agent_counts:
+            loop_s = _timed(
+                self.build(num_agents, "loop").run_round, rounds=self.rounds
+            )
+            vec_s = _timed(
+                self.build(num_agents, "vectorized").run_round, rounds=self.rounds
+            )
+            metrics[f"loop_s@{num_agents}"] = loop_s
+            metrics[f"vectorized_s@{num_agents}"] = vec_s
+            metrics[f"speedup@{num_agents}"] = loop_s / vec_s
+        largest = max(self.agent_counts)
+        metrics["speedup"] = metrics[f"speedup@{largest}"]
+        return metrics
+
+    def floor_context(self, metrics: Dict[str, float]) -> Tuple[bool, Optional[float]]:
+        largest = max(self.agent_counts)
+        baseline = metrics.get(f"loop_s@{largest}")
+        total = None if baseline is None else baseline * self.rounds
+        return largest >= self.FULL_SCALE_AGENTS, total
+
+
+# ---------------------------------------------------------------------------
+# gossip/sparse
+# ---------------------------------------------------------------------------
+@benchmark
+class SparseGossipSuite(Benchmark):
+    """Dense vs CSR mixing kernels (bit-identity asserted every run)."""
+
+    name = "gossip/sparse"
+    description = "dense vs CSR gossip kernels, seconds per W @ X apply"
+    floor = FloorSpec(
+        metric="speedup", minimum=10.0, min_cpus=2, min_baseline_seconds=0.05
+    )
+    default_repeats = 1
+    default_warmup = False
+    FULL_SCALE_AGENTS = 4096
+
+    def __init__(self) -> None:
+        self.agent_counts = _env_ints("REPRO_BENCH_SPARSE_AGENTS", "1024,4096")
+        self.rounds = _env_int("REPRO_BENCH_SPARSE_ROUNDS", 2)
+        self.dimension = _env_int("REPRO_BENCH_SPARSE_DIM", 64)
+
+    def params(self) -> Dict[str, object]:
+        return {
+            "agents": self.agent_counts,
+            "rounds": self.rounds,
+            "dimension": self.dimension,
+        }
+
+    @staticmethod
+    def topology_labels(num_agents: int) -> List[str]:
+        """Metric-key labels for one agent count — string math, no graphs built."""
+        side = max(3, int(round(math.sqrt(num_agents))))
+        return [f"ring/{num_agents}", f"torus/{side * side}"]
+
+    @staticmethod
+    def build_topologies(num_agents: int):
+        from repro.topology.graphs import ring_graph, torus_graph
+
+        ring_label, torus_label = SparseGossipSuite.topology_labels(num_agents)
+        side = max(3, int(round(math.sqrt(num_agents))))
+        return [
+            (ring_label, ring_graph(num_agents)),
+            (torus_label, torus_graph(side)),
+        ]
+
+    def run(self) -> Dict[str, float]:
+        metrics: Dict[str, float] = {}
+        for num_agents in self.agent_counts:
+            for label, topology in self.build_topologies(num_agents):
+                dense_op = topology.mixing_operator("dense")
+                csr_op = topology.mixing_operator("csr")
+                dense_w = dense_op.toarray()
+                rng = np.random.default_rng(0)
+                state = rng.normal(size=(topology.num_agents, self.dimension))
+                # The comparison is only meaningful while both kernels compute
+                # the same gossip step, bit for bit.
+                np.testing.assert_array_equal(
+                    dense_op.apply(state), csr_op.apply(state)
+                )
+                dense_s = _timed(dense_op.apply, state, rounds=self.rounds)
+                csr_s = _timed(csr_op.apply, state, rounds=self.rounds)
+                blas_s = _timed(lambda x: dense_w @ x, state, rounds=self.rounds)
+                metrics[f"nnz@{label}"] = float(csr_op.nnz)
+                metrics[f"dense_s@{label}"] = dense_s
+                metrics[f"blas_s@{label}"] = blas_s
+                metrics[f"csr_s@{label}"] = csr_s
+                metrics[f"speedup@{label}"] = dense_s / csr_s
+        largest = max(self.agent_counts)
+        metrics["speedup"] = metrics[f"speedup@ring/{largest}"]
+        return metrics
+
+    def floor_context(self, metrics: Dict[str, float]) -> Tuple[bool, Optional[float]]:
+        largest = max(self.agent_counts)
+        baseline = metrics.get(f"dense_s@ring/{largest}")
+        total = None if baseline is None else baseline * self.rounds
+        return largest >= self.FULL_SCALE_AGENTS, total
+
+
+# ---------------------------------------------------------------------------
+# gossip/scaling-sweep
+# ---------------------------------------------------------------------------
+@benchmark
+class GossipScalingSweepSuite(Benchmark):
+    """Auto-backend gossip across fleet sizes (the engine's default path)."""
+
+    name = "gossip/scaling-sweep"
+    description = "auto-selected mixing backend, W @ X seconds across N"
+    default_repeats = 3
+
+    def __init__(self) -> None:
+        self.agent_counts = _env_ints("REPRO_BENCH_SWEEP_AGENTS", "256,1024,4096")
+        self.dimension = _env_int("REPRO_BENCH_SPARSE_DIM", 64)
+        self._cases: List[Tuple[int, object, np.ndarray]] = []
+
+    def params(self) -> Dict[str, object]:
+        return {"agents": self.agent_counts, "dimension": self.dimension}
+
+    def setup(self) -> None:
+        # Graph/operator construction is O(N^2) at the top of the sweep and
+        # is not what this suite measures — build once, outside the timed
+        # lifecycle, so repeats denoise the apply timings instead of
+        # re-timing construction.
+        from repro.topology.graphs import ring_graph
+
+        self._cases = []
+        for num_agents in self.agent_counts:
+            operator = ring_graph(num_agents).mixing_operator()  # auto format
+            state = np.random.default_rng(0).normal(
+                size=(num_agents, self.dimension)
+            )
+            self._cases.append((num_agents, operator, state))
+
+    def teardown(self) -> None:
+        self._cases = []
+
+    def run(self) -> Dict[str, float]:
+        metrics: Dict[str, float] = {}
+        for num_agents, operator, state in self._cases:
+            metrics[f"seconds@{num_agents}"] = _timed(operator.apply, state)
+            metrics[f"nnz@{num_agents}"] = float(operator.nnz)
+        return metrics
+
+
+# ---------------------------------------------------------------------------
+# topology/dynamic-cache
+# ---------------------------------------------------------------------------
+@benchmark
+class DynamicTopologyCacheSuite(Benchmark):
+    """Snapshot LRU vs naive rebuild: seconds per ``operator_at(t)``."""
+
+    name = "topology/dynamic-cache"
+    description = "schedule snapshot LRU vs naive rebuild, seconds per round"
+    floor = FloorSpec(
+        metric="speedup", minimum=5.0, min_cpus=2, min_baseline_seconds=0.05
+    )
+    default_repeats = 1
+    default_warmup = False
+    FULL_SCALE_AGENTS = 1024
+
+    def __init__(self) -> None:
+        self.agent_counts = _env_ints("REPRO_BENCH_DYNTOPO_AGENTS", "256,1024")
+        self.rounds = _env_int("REPRO_BENCH_DYNTOPO_ROUNDS", 60, minimum=2)
+        self.period = _env_int("REPRO_BENCH_DYNTOPO_PERIOD", 20)
+
+    def params(self) -> Dict[str, object]:
+        return {
+            "agents": self.agent_counts,
+            "rounds": self.rounds,
+            "period": self.period,
+        }
+
+    @staticmethod
+    def naive(base, rewire_every: int, seed: int):
+        """A schedule with the snapshot cache defeated: rebuild every round."""
+        from repro.topology.schedule import DynamicTopologySchedule
+
+        class NaiveRebuildSchedule(DynamicTopologySchedule):
+            def topology_at(self, round_index: int):
+                return self._build(self._key_at(round_index))
+
+        return NaiveRebuildSchedule(base, rewire_every=rewire_every, seed=seed)
+
+    @staticmethod
+    def _seconds_per_round(schedule, rounds: int) -> float:
+        started = time.perf_counter()
+        for t in range(rounds):
+            schedule.operator_at(t)
+        return (time.perf_counter() - started) / rounds
+
+    def run(self) -> Dict[str, float]:
+        from repro.topology.graphs import ring_graph
+        from repro.topology.schedule import (
+            periodic_rewiring_schedule,
+            straggler_schedule,
+        )
+
+        metrics: Dict[str, float] = {}
+        for num_agents in self.agent_counts:
+            base = ring_graph(num_agents)
+            cached = periodic_rewiring_schedule(
+                base, rewire_every=self.period, seed=0
+            )
+            naive = self.naive(base, rewire_every=self.period, seed=0)
+            worst = straggler_schedule(base, straggler_fraction=0.1, seed=0)
+            # Prime allocators and the scipy/networkx code paths on a
+            # throwaway schedule so neither measured variant pays cold-start
+            # costs for the other.
+            self._seconds_per_round(
+                self.naive(base, rewire_every=1, seed=99), min(self.rounds, 5)
+            )
+            cached_s = self._seconds_per_round(cached, self.rounds)
+            naive_s = self._seconds_per_round(naive, self.rounds)
+            worst_s = self._seconds_per_round(worst, self.rounds)
+            # Epochs are visited contiguously, so the cache builds each
+            # distinct graph exactly once: misses = ceil(rounds / period).
+            info = cached.cache_info()
+            assert info["misses"] == -(-self.rounds // self.period)
+            assert info["hits"] + info["misses"] == self.rounds
+            metrics[f"cached_s@{num_agents}"] = cached_s
+            metrics[f"naive_s@{num_agents}"] = naive_s
+            metrics[f"allmiss_s@{num_agents}"] = worst_s
+            metrics[f"speedup@{num_agents}"] = naive_s / cached_s
+        largest = max(self.agent_counts)
+        metrics["speedup"] = metrics[f"speedup@{largest}"]
+        return metrics
+
+    def floor_context(self, metrics: Dict[str, float]) -> Tuple[bool, Optional[float]]:
+        largest = max(self.agent_counts)
+        baseline = metrics.get(f"naive_s@{largest}")
+        total = None if baseline is None else baseline * self.rounds
+        return largest >= self.FULL_SCALE_AGENTS, total
+
+
+# ---------------------------------------------------------------------------
+# orchestrator/pool
+# ---------------------------------------------------------------------------
+@benchmark
+class OrchestratorPoolSuite(Benchmark):
+    """Serial vs pooled grid execution (identical histories asserted)."""
+
+    name = "orchestrator/pool"
+    description = "process-pool grid vs serial execution, plus the warm store"
+    floor = FloorSpec(
+        metric="speedup", minimum=2.0, min_cpus=4, min_baseline_seconds=1.0
+    )
+    default_repeats = 1
+    default_warmup = False
+
+    def __init__(self) -> None:
+        self.jobs = _env_int("REPRO_BENCH_ORCH_JOBS", 8, minimum=2)
+        self.rounds = _env_int("REPRO_BENCH_ORCH_ROUNDS", 150)
+        self.agents = _env_int("REPRO_BENCH_ORCH_AGENTS", 12, minimum=2)
+        self.workers = _env_int("REPRO_BENCH_ORCH_WORKERS", 4, minimum=2)
+        self._root: Optional[str] = None
+
+    def params(self) -> Dict[str, object]:
+        # Deliberately excludes the host CPU count: params are the
+        # *comparability key* for `repro-bench compare` and the host is
+        # already recorded in the artifact's `host` block — keying on CPUs
+        # would exempt this suite from the gate across machines.
+        return {
+            "jobs": self.jobs,
+            "rounds": self.rounds,
+            "agents": self.agents,
+            "workers": self.workers,
+        }
+
+    def build_grid(self):
+        """2 algorithms x (jobs/2) seeds: the paper's comparison shape."""
+        from repro.experiments.specs import ExperimentGrid, fast_spec
+
+        algorithms = ["DMSGD", "DP-DPSGD"]
+        seeds = list(range(7, 7 + self.jobs // len(algorithms)))
+        base = fast_spec(
+            num_agents=self.agents,
+            num_rounds=self.rounds,
+            algorithms=algorithms,
+        )
+        # Strided evaluation keeps the benchmark training-bound rather than
+        # evaluation-bound, like a real sweep.
+        base = base.with_updates(eval_every=max(1, self.rounds // 3))
+        return ExperimentGrid(base=base, algorithms=algorithms, seeds=seeds)
+
+    def setup(self) -> None:
+        self._root = tempfile.mkdtemp(prefix="repro-bench-orch-")
+
+    def teardown(self) -> None:
+        if self._root is not None:
+            shutil.rmtree(self._root, ignore_errors=True)
+            self._root = None
+
+    def run(self) -> Dict[str, float]:
+        from pathlib import Path
+
+        from repro.experiments.orchestrator import run_grid
+        from repro.simulation.metrics import histories_equal
+
+        assert self._root is not None, "setup() must run first"
+        root = Path(self._root)
+        # Fresh stores every call so repeats never hit a warm directory.
+        for stale in root.iterdir():
+            shutil.rmtree(stale, ignore_errors=True)
+
+        started = time.perf_counter()
+        serial = run_grid(self.build_grid(), root / "serial", workers=1)
+        serial_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        pooled = run_grid(self.build_grid(), root / "pooled", workers=self.workers)
+        pooled_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        cached = run_grid(self.build_grid(), root / "serial", workers=1)
+        cached_s = time.perf_counter() - started
+
+        # Correctness before speed: worker placement must not change any
+        # cell, and the warm pass must serve the identical stored histories.
+        assert [r.status for r in serial] == ["done"] * self.jobs
+        assert [r.status for r in pooled] == ["done"] * self.jobs
+        assert [r.status for r in cached] == ["cached"] * self.jobs
+        for a, b in zip(serial, pooled):
+            assert histories_equal(a.history, b.history)
+        for a, b in zip(serial, cached):
+            assert histories_equal(a.history, b.history)
+        assert cached_s < serial_s, "cached pass should skip all training"
+
+        return {
+            "serial_s": serial_s,
+            "pooled_s": pooled_s,
+            "cached_s": cached_s,
+            "speedup": serial_s / pooled_s if pooled_s > 0 else float("inf"),
+        }
+
+    def floor_context(self, metrics: Dict[str, float]) -> Tuple[bool, Optional[float]]:
+        return True, metrics.get("serial_s")
+
+
+# ---------------------------------------------------------------------------
+# checkpoint/roundtrip
+# ---------------------------------------------------------------------------
+@benchmark
+class CheckpointRoundtripSuite(Benchmark):
+    """``state_dict`` → ``save_checkpoint`` → ``load_checkpoint`` → restore."""
+
+    name = "checkpoint/roundtrip"
+    description = "checkpoint save/load round-trip of a trained fleet"
+    default_repeats = 3
+
+    def __init__(self) -> None:
+        self.agents = _env_int("REPRO_BENCH_CKPT_AGENTS", 64, minimum=2)
+        self.trained_rounds = _env_int("REPRO_BENCH_CKPT_ROUNDS", 2)
+        self._algorithm = None
+        self._dir: Optional[str] = None
+
+    def params(self) -> Dict[str, object]:
+        return {"agents": self.agents, "trained_rounds": self.trained_rounds}
+
+    def setup(self) -> None:
+        self._algorithm = EngineRoundSuite.build(self.agents, "vectorized")
+        for _ in range(self.trained_rounds):
+            self._algorithm.run_round()
+        self._dir = tempfile.mkdtemp(prefix="repro-bench-ckpt-")
+
+    def teardown(self) -> None:
+        self._algorithm = None
+        if self._dir is not None:
+            shutil.rmtree(self._dir, ignore_errors=True)
+            self._dir = None
+
+    def run(self) -> Dict[str, float]:
+        import os as _os
+
+        from repro.simulation.checkpoint import load_checkpoint, save_checkpoint
+
+        assert self._algorithm is not None and self._dir is not None
+        path = _os.path.join(self._dir, "round_000002.ckpt")
+
+        started = time.perf_counter()
+        state = self._algorithm.state_dict()
+        save_checkpoint(path, {"algorithm_state": state})
+        save_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        payload = load_checkpoint(path)
+        self._algorithm.load_state_dict(payload["algorithm_state"])
+        load_s = time.perf_counter() - started
+
+        return {
+            "save_s": save_s,
+            "load_s": load_s,
+            "roundtrip_s": save_s + load_s,
+            "checkpoint_bytes": float(_os.path.getsize(path)),
+        }
+
+
+# ---------------------------------------------------------------------------
+# game/shapley-mc
+# ---------------------------------------------------------------------------
+@benchmark
+class MonteCarloShapleySuite(Benchmark):
+    """The vectorized permutation-sampling Shapley estimator."""
+
+    name = "game/shapley-mc"
+    description = "Monte-Carlo Shapley over a synthetic cooperative game"
+    default_repeats = 3
+
+    def __init__(self) -> None:
+        self.players = _env_int("REPRO_BENCH_SHAPLEY_PLAYERS", 12, minimum=2)
+        self.permutations = _env_int("REPRO_BENCH_SHAPLEY_PERMS", 200)
+        self._weights: Optional[np.ndarray] = None
+
+    def params(self) -> Dict[str, object]:
+        return {"players": self.players, "permutations": self.permutations}
+
+    def setup(self) -> None:
+        self._weights = np.random.default_rng(3).normal(size=self.players) ** 2
+
+    def run(self) -> Dict[str, float]:
+        from repro.game.cooperative import CooperativeGame
+        from repro.game.shapley import monte_carlo_shapley
+
+        weights = self._weights
+        assert weights is not None
+
+        def characteristic(coalition) -> float:
+            members = np.fromiter(coalition, dtype=np.int64)
+            linear = float(weights[members].sum())
+            return linear + 0.01 * len(members) ** 2  # superadditive interaction
+
+        # A fresh game per call: memoisation must not carry across repeats,
+        # or the repeated timings would measure the cache, not the estimator.
+        game = CooperativeGame(list(range(self.players)), characteristic)
+        monte_carlo_shapley(game, self.permutations, np.random.default_rng(0))
+        return {
+            "unique_coalitions": float(game.num_evaluations),
+            "permutations": float(self.permutations),
+        }
+
+
+# ---------------------------------------------------------------------------
+# privacy/noise-rows
+# ---------------------------------------------------------------------------
+@benchmark
+class NoiseRowsSuite(Benchmark):
+    """Batched row-wise clip + Gaussian noise at fleet width."""
+
+    name = "privacy/noise-rows"
+    description = "batched Gaussian noise rows (the per-round privatize path)"
+    default_repeats = 3
+
+    def __init__(self) -> None:
+        self.agents = _env_int("REPRO_BENCH_NOISE_AGENTS", 4096, minimum=2)
+        self.dimension = _env_int("REPRO_BENCH_NOISE_DIM", 64)
+        self._matrix: Optional[np.ndarray] = None
+
+    def params(self) -> Dict[str, object]:
+        return {"agents": self.agents, "dimension": self.dimension}
+
+    def setup(self) -> None:
+        from repro.privacy.mechanisms import GaussianMechanism
+
+        matrix = np.random.default_rng(0).normal(size=(self.agents, self.dimension))
+        clipper = GaussianMechanism(
+            sigma=0.0, rng=np.random.default_rng(0), clip_threshold=1.0
+        )
+        self._matrix = np.stack([clipper.clip(row) for row in matrix])
+
+    def run(self) -> Dict[str, float]:
+        from repro.privacy.mechanisms import GaussianMechanism
+
+        clipped = self._matrix
+        assert clipped is not None
+        mechanism = GaussianMechanism(
+            sigma=0.5, rng=np.random.default_rng(0), clip_threshold=1.0
+        )
+        started = time.perf_counter()
+        mechanism.add_noise_rows(clipped)
+        batched_s = time.perf_counter() - started
+        return {
+            "batched_s": batched_s,
+            "rows_per_second": (
+                self.agents / batched_s if batched_s > 0 else float("inf")
+            ),
+        }

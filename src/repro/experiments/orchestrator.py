@@ -109,9 +109,11 @@ class RunStore:
 
     # -- paths ----------------------------------------------------------
     def job_dir(self, job: ExperimentJob) -> Path:
+        """The job's content-addressed run directory (``<root>/<job hash>``)."""
         return self.root / job_hash(job)
 
     def checkpoints_dir(self, job: ExperimentJob) -> Path:
+        """Where the job's ``round_<NNNNNN>.ckpt`` snapshots live."""
         return self.job_dir(job) / self.CHECKPOINT_DIR
 
     # -- lifecycle ------------------------------------------------------
@@ -156,6 +158,7 @@ class RunStore:
         return payload
 
     def write_status(self, job: ExperimentJob, status: str, **extra: object) -> None:
+        """Atomically record the job's lifecycle state (plus a timestamp)."""
         payload = {"status": status, "updated_at": time.time(), **extra}
         atomic_write_text(
             self.job_dir(job) / self.STATUS_FILE,
@@ -164,18 +167,21 @@ class RunStore:
 
     # -- results --------------------------------------------------------
     def save_history(self, job: ExperimentJob, history: TrainingHistory) -> Path:
+        """Persist the finished history atomically as ``history.json``."""
         path = self.job_dir(job) / self.HISTORY_FILE
         return atomic_write_text(
             path, json.dumps(history_to_dict(history), indent=2, sort_keys=True)
         )
 
     def load_history(self, job: ExperimentJob) -> Optional[TrainingHistory]:
+        """The stored finished history, or ``None`` when the job never completed."""
         path = self.job_dir(job) / self.HISTORY_FILE
         if not path.exists():
             return None
         return history_from_dict(json.loads(path.read_text()))
 
     def latest_checkpoint(self, job: ExperimentJob) -> Optional[Path]:
+        """The job's most advanced checkpoint file (``None`` when there is none)."""
         return latest_checkpoint(self.checkpoints_dir(job))
 
     def prune_checkpoints(self, job: ExperimentJob, keep: int = 0) -> None:

@@ -120,9 +120,11 @@ class CallbackBus:
         return callback
 
     def unsubscribe(self, callback: Callable[[str, Dict[str, object]], None]) -> None:
+        """Remove a previously subscribed callback (``ValueError`` if absent)."""
         self._subscribers.remove(callback)
 
     def emit(self, event: str, **payload: object) -> None:
+        """Deliver ``(event, payload)`` to every subscriber, in subscription order."""
         for callback in list(self._subscribers):
             callback(event, payload)
 
@@ -199,6 +201,7 @@ class RunSession:
 
     @property
     def remaining_rounds(self) -> int:
+        """Rounds still to execute before the run is complete."""
         return self.num_rounds - self._rounds_done
 
     @property

@@ -143,6 +143,7 @@ class TopologySchedule:
 
     @property
     def num_agents(self) -> int:
+        """Number of constructed agents (constant: snapshots cover all ``N``)."""
         return self.base.num_agents
 
     # -- subclass interface --------------------------------------------

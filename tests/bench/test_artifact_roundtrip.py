@@ -1,0 +1,223 @@
+"""BENCH artifact schema round-trip and regression-threshold math."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.artifact import (
+    ARTIFACT_SCHEMA,
+    ARTIFACT_VERSION,
+    compare_artifacts,
+    comparison_exit_code,
+    format_comparison,
+    load_artifact,
+    results_to_artifact,
+    write_artifact,
+)
+from repro.bench.registry import BenchResult
+
+
+def make_result(
+    name: str,
+    best: float,
+    floored: bool = False,
+    params: dict | None = None,
+    metrics: dict | None = None,
+    floor_value: float = 7.0,
+    floor_armed: bool = True,
+) -> BenchResult:
+    floor = None
+    if floored:
+        floor = {
+            "metric": "speedup",
+            "minimum": 5.0,
+            "value": floor_value,
+            "armed": floor_armed,
+            "reason": "armed" if floor_armed else "only 1 CPU(s) available",
+            "passed": floor_value >= 5.0 if floor_armed else None,
+        }
+    return BenchResult(
+        name=name,
+        description=f"{name} probe",
+        wall_seconds=[best, best * 1.1],
+        best_seconds=best,
+        mean_seconds=best * 1.05,
+        std_seconds=best * 0.05,
+        rss_peak_bytes=64 * 1024 * 1024,
+        repeats=2,
+        warmup=True,
+        metrics=dict(metrics or {"speedup": 7.0}),
+        params=dict(params or {"agents": [256]}),
+        floor=floor,
+    )
+
+
+def artifact_for(suites: list[BenchResult]) -> dict:
+    return results_to_artifact(suites)
+
+
+class TestSchemaRoundtrip:
+    def test_run_write_load_roundtrip(self, tmp_path):
+        artifact = artifact_for(
+            [make_result("a/one", 0.5, floored=True), make_result("b/two", 0.01)]
+        )
+        path = tmp_path / "BENCH_test.json"
+        write_artifact(path, artifact)
+        loaded = load_artifact(path)
+        assert loaded["schema"] == ARTIFACT_SCHEMA
+        assert loaded["schema_version"] == ARTIFACT_VERSION
+        assert set(loaded["suites"]) == {"a/one", "b/two"}
+        suite = loaded["suites"]["a/one"]
+        assert suite["best_seconds"] == 0.5
+        assert suite["metrics"]["speedup"] == 7.0
+        assert suite["floor"]["minimum"] == 5.0
+        assert loaded["host"]["cpus"] >= 1
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_artifact(path)
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text(json.dumps({"schema": "something-else", "suites": {}}))
+        with pytest.raises(ValueError, match="not a repro-bench artifact"):
+            load_artifact(path)
+
+    def test_load_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        payload = artifact_for([make_result("a/one", 0.5)])
+        payload["schema_version"] = ARTIFACT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema version"):
+            load_artifact(path)
+
+
+class TestCompareThresholds:
+    def compare(self, old_best: float, new_best: float, floored: bool = True, **kw):
+        old = artifact_for([make_result("s/probe", old_best, floored=floored)])
+        new = artifact_for([make_result("s/probe", new_best, floored=floored)])
+        comparison = compare_artifacts(old, new, **kw)
+        (row,) = comparison.rows
+        return comparison, row
+
+    def test_within_warn_threshold_is_ok(self):
+        comparison, row = self.compare(1.0, 1.08)
+        assert row.status == "ok"
+        assert comparison_exit_code(comparison) == 0
+
+    def test_beyond_warn_threshold_warns(self):
+        comparison, row = self.compare(1.0, 1.15)
+        assert row.status == "warn"
+        assert row.delta == pytest.approx(0.15)
+        assert comparison_exit_code(comparison) == 0
+
+    def test_beyond_fail_threshold_fails_floored_suites(self):
+        comparison, row = self.compare(1.0, 1.30)
+        assert row.status == "fail"
+        assert comparison.failures == [row]
+        assert comparison_exit_code(comparison) == 1
+
+    def test_beyond_fail_threshold_only_warns_informational_suites(self):
+        comparison, row = self.compare(1.0, 2.0, floored=False)
+        assert row.status == "warn"
+        assert comparison_exit_code(comparison) == 0
+
+    def test_noise_floor_protects_tiny_baselines(self):
+        # +100% on a 1 ms baseline: under the 5 ms noise floor, never a fail.
+        comparison, row = self.compare(0.001, 0.002)
+        assert row.status == "warn"
+        assert comparison_exit_code(comparison) == 0
+
+    def test_improvement_is_labelled_faster(self):
+        _, row = self.compare(1.0, 0.5)
+        assert row.status == "faster"
+
+    def test_custom_thresholds(self):
+        _, row = self.compare(1.0, 1.30, warn_threshold=0.4, fail_threshold=0.5)
+        assert row.status == "ok"
+        with pytest.raises(ValueError, match="warn_threshold"):
+            self.compare(1.0, 1.0, warn_threshold=0.5, fail_threshold=0.1)
+
+    def test_param_mismatch_is_skipped(self):
+        old = artifact_for(
+            [make_result("s/probe", 1.0, params={"agents": [4096]})]
+        )
+        new = artifact_for(
+            [make_result("s/probe", 99.0, params={"agents": [64]})]
+        )
+        (row,) = compare_artifacts(old, new).rows
+        assert row.status == "skipped"
+        assert "parameters differ" in row.note
+
+    def test_suite_present_in_only_one_artifact_is_skipped(self):
+        old = artifact_for([make_result("s/old-only", 1.0)])
+        new = artifact_for([make_result("s/new-only", 1.0)])
+        comparison = compare_artifacts(old, new)
+        assert [row.status for row in comparison.rows] == ["skipped", "skipped"]
+        assert comparison_exit_code(comparison) == 0
+
+    def compare_metric(
+        self, old_value: float, new_value: float, floored: bool = True, **kw
+    ):
+        """Wall clock held flat; only the floor metric (speedup) moves."""
+        old = artifact_for(
+            [make_result("s/probe", 1.0, floored=floored, floor_value=old_value)]
+        )
+        new = artifact_for(
+            [make_result("s/probe", 1.0, floored=floored, floor_value=new_value)]
+        )
+        comparison = compare_artifacts(old, new, **kw)
+        (row,) = comparison.rows
+        return comparison, row
+
+    def test_floor_metric_collapse_fails_despite_flat_wall_clock(self):
+        # The scenario wall-clock gating cannot see: the protected fast
+        # kernel regresses 10x but the suite's total time barely moves.
+        comparison, row = self.compare_metric(1000.0, 100.0)
+        assert row.status == "fail"
+        assert row.metric_drop == pytest.approx(0.9)
+        assert "floor metric 'speedup' dropped" in row.note
+        assert comparison_exit_code(comparison) == 1
+
+    def test_floor_metric_moderate_drop_warns(self):
+        _, row = self.compare_metric(100.0, 85.0)
+        assert row.status == "warn"
+        assert row.metric_drop == pytest.approx(0.15)
+
+    def test_floor_metric_stable_or_improving_is_ok(self):
+        _, row = self.compare_metric(100.0, 98.0)
+        assert row.status == "ok"
+        _, row = self.compare_metric(100.0, 250.0)
+        assert row.status == "ok"
+        assert row.metric_drop == pytest.approx(-1.5)
+
+    def test_floor_metric_gates_even_when_floor_is_disarmed(self):
+        # A 1-CPU baseline records the speedup with armed=false — the ratio
+        # is still comparable and must still protect the kernel.
+        old = artifact_for(
+            [
+                make_result(
+                    "s/probe", 1.0, floored=True, floor_value=900.0, floor_armed=False
+                )
+            ]
+        )
+        new = artifact_for(
+            [
+                make_result(
+                    "s/probe", 1.0, floored=True, floor_value=80.0, floor_armed=False
+                )
+            ]
+        )
+        (row,) = compare_artifacts(old, new).rows
+        assert row.status == "fail"
+
+    def test_format_mentions_thresholds_and_rows(self):
+        comparison, _ = self.compare(1.0, 1.3)
+        text = format_comparison(comparison)
+        assert "s/probe" in text
+        assert "1 failure(s)" in text
+        assert "warn > 10%" in text and "fail > 25%" in text

@@ -1,0 +1,128 @@
+"""Table formatting in ``experiments/report.py``: mean±std, empty/partial cells."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    aggregate_cells,
+    format_accuracy_table,
+    format_cell_summary,
+    format_loss_curves,
+)
+from repro.simulation.metrics import RoundRecord, TrainingHistory
+
+
+def history(
+    algorithm: str,
+    losses: list[float],
+    final_accuracy: float | None = None,
+) -> TrainingHistory:
+    h = TrainingHistory(algorithm=algorithm)
+    for i, loss in enumerate(losses, start=1):
+        h.append(RoundRecord(round=i, average_train_loss=loss))
+    h.final_test_accuracy = final_accuracy
+    return h
+
+
+class TestAggregateCells:
+    def test_mean_and_population_std_over_seeds(self):
+        rows = [
+            ("PDSL", "cell", history("PDSL", [0.5, 0.2], final_accuracy=0.8)),
+            ("PDSL", "cell", history("PDSL", [0.5, 0.4], final_accuracy=0.6)),
+        ]
+        stats = aggregate_cells(rows)[("PDSL", "cell")]
+        assert stats["seeds"] == 2.0
+        assert stats["final_loss_mean"] == pytest.approx(0.3)
+        # Population std (ddof=0): the seeds are the replication set.
+        assert stats["final_loss_std"] == pytest.approx(np.std([0.2, 0.4]))
+        assert stats["final_accuracy_mean"] == pytest.approx(0.7)
+        assert stats["final_accuracy_std"] == pytest.approx(np.std([0.8, 0.6]))
+
+    def test_partial_accuracy_drops_the_accuracy_stats(self):
+        rows = [
+            ("PDSL", "cell", history("PDSL", [0.2], final_accuracy=0.8)),
+            ("PDSL", "cell", history("PDSL", [0.4], final_accuracy=None)),
+        ]
+        stats = aggregate_cells(rows)[("PDSL", "cell")]
+        assert "final_accuracy_mean" not in stats
+        assert "final_accuracy_std" not in stats
+        assert stats["final_loss_mean"] == pytest.approx(0.3)
+
+    def test_empty_rows_aggregate_to_nothing(self):
+        assert aggregate_cells([]) == {}
+
+
+class TestFormatCellSummary:
+    def test_mean_pm_std_rendering(self):
+        rows = [
+            ("PDSL", "ring/M=8", history("PDSL", [0.25], final_accuracy=0.9)),
+            ("PDSL", "ring/M=8", history("PDSL", [0.35], final_accuracy=0.7)),
+        ]
+        text = format_cell_summary(rows)
+        assert "0.3000±0.0500" in text  # final loss mean±std
+        assert "0.800±0.100" in text  # final accuracy mean±std
+        assert "ring/M=8" in text and "PDSL" in text
+
+    def test_missing_accuracy_renders_a_dash(self):
+        rows = [("DMSGD", "cell", history("DMSGD", [0.5], final_accuracy=None))]
+        lines = format_cell_summary(rows).splitlines()
+        assert lines[-1].rstrip().endswith("-")
+
+    def test_empty_input_renders_header_only(self):
+        lines = format_cell_summary([]).splitlines()
+        assert lines[0] == "Grid summary (mean±std over seeds)"
+        assert len(lines) == 2  # caption + column header, no data rows
+
+    def test_rows_sorted_by_cell_then_algorithm(self):
+        rows = [
+            ("Z-ALG", "a-cell", history("Z-ALG", [0.1])),
+            ("A-ALG", "b-cell", history("A-ALG", [0.2])),
+            ("A-ALG", "a-cell", history("A-ALG", [0.3])),
+        ]
+        body = format_cell_summary(rows).splitlines()[2:]
+        order = [(line[:38].strip(), line[38:52].strip()) for line in body]
+        assert order == [
+            ("a-cell", "A-ALG"),
+            ("a-cell", "Z-ALG"),
+            ("b-cell", "A-ALG"),
+        ]
+
+    def test_long_cell_names_are_truncated_not_misaligned(self):
+        long_cell = "x" * 60
+        rows = [("PDSL", long_cell, history("PDSL", [0.1]))]
+        body = format_cell_summary(rows).splitlines()[2]
+        assert long_cell[:37] in body
+        assert long_cell[:38] not in body
+
+
+class TestFormatLossCurves:
+    def test_empty_histories_render_placeholder(self):
+        assert format_loss_curves({}) == "Average training loss per round\n(no results)"
+
+    def test_ragged_series_pad_with_blank_cells(self):
+        histories = {
+            "A": history("A", [0.5, 0.4, 0.3]),
+            "B": history("B", [0.6]),  # shorter series: blank cells, no crash
+        }
+        lines = format_loss_curves(histories).splitlines()
+        assert len(lines) == 2 + 3
+        assert "0.3000" in lines[-1]
+        assert lines[-1].rstrip().endswith("0.3000")  # B's column is blank
+
+    def test_max_rows_strides_but_keeps_last_round(self):
+        histories = {"A": history("A", [float(i) for i in range(10, 0, -1)])}
+        lines = format_loss_curves(histories, max_rows=3).splitlines()
+        assert lines[-1].startswith("   10")  # final round always present
+
+
+class TestFormatAccuracyTable:
+    def test_missing_cells_render_nan(self):
+        table = {
+            "PDSL": {("ring", 8): 0.9},
+            "DMSGD": {},  # algorithm with no finished cells
+        }
+        text = format_accuracy_table(table)
+        assert "0.900" in text
+        assert "nan" in text
