@@ -37,6 +37,6 @@ setup(
         "networkx",
     ],
     extras_require={
-        "test": ["pytest", "pytest-benchmark"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
     },
 )

@@ -26,26 +26,34 @@ class DMSGD(DecentralizedAlgorithm):
     def _step_loop(self, round_index: int) -> None:
         gamma = self.config.learning_rate
         alpha = self.config.momentum
+        communicate = self.gossip_now(round_index)
         batches = self.draw_batches()
 
         provisional: List[np.ndarray] = []
+        shared: List[np.ndarray] = []
         for agent in range(self.num_agents):
             if not self.is_active(agent):
                 # Inactive agents take no step and their momentum does not
                 # decay; the round topology's identity row keeps their model.
                 provisional.append(self.params[agent].copy())
+                shared.append(provisional[agent])
                 continue
             gradient = self.local_gradient(agent, self.params[agent], batches[agent])
             perturbed = self.privatize(agent, gradient)
             self.momenta[agent] = alpha * self.momenta[agent] + perturbed
             provisional.append(self.params[agent] - gamma * self.momenta[agent])
-            neighbors = self.topology.neighbors(agent, include_self=False)
-            self.network.broadcast(agent, neighbors, "model", provisional[agent].copy())
+            if communicate:
+                shared.append(self.gossip_broadcast(agent, "model", provisional[agent]))
+
+        if not communicate:
+            # Off-interval round: purely local steps, nothing on the wire.
+            self.params = provisional
+            return
 
         new_params: List[np.ndarray] = []
         for agent in range(self.num_agents):
-            received = self.network.receive_by_sender(agent, "model")
-            received[agent] = provisional[agent]
+            received = self.gossip_receive(agent, "model")
+            received[agent] = shared[agent]
             acc = np.zeros(self.dimension, dtype=np.float64)
             for j, value in received.items():
                 acc += self.topology.weight(agent, j) * value
@@ -64,5 +72,10 @@ class DMSGD(DecentralizedAlgorithm):
         provisional = self.freeze_inactive_rows(
             self.state - gamma * self.momentum_state, self.state
         )
-        self.record_fleet_exchange("model", self.dimension)
-        self.state = self.mix_rows(provisional)
+        if not self.gossip_now(round_index):
+            self.state = provisional
+            return
+        shared = self.compress_gossip_rows("model", provisional)
+        values, wire_bytes = self.gossip_wire_cost()
+        self.record_fleet_exchange("model", values, wire_bytes)
+        self.state = self.mix_rows(shared)

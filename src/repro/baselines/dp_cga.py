@@ -110,10 +110,15 @@ class DPCGA(DecentralizedAlgorithm):
 
         # Aggregate the returned cross-gradients with the min-norm QP, take a
         # momentum step, and share the provisional model for gossip averaging.
+        # As in PDSL, the gradient exchanges above stay full precision; only
+        # the model gossip goes through the codec and the interval.
+        communicate = self.gossip_now(round_index)
         provisional: List[np.ndarray] = []
+        shared: List[np.ndarray] = []
         for agent in range(self.num_agents):
             if not self.is_active(agent):
                 provisional.append(self.params[agent].copy())
+                shared.append(provisional[agent])
                 continue
             returned: Dict[int, np.ndarray] = self.network.receive_by_sender(agent, "cross_grad")
             returned[agent] = own_perturbed[agent]
@@ -124,14 +129,19 @@ class DPCGA(DecentralizedAlgorithm):
                 combined += weight * grad
             self.momenta[agent] = alpha * self.momenta[agent] + combined
             provisional.append(self.params[agent] - gamma * self.momenta[agent])
-            neighbors = self.topology.neighbors(agent, include_self=False)
-            self.network.broadcast(agent, neighbors, "mix", provisional[agent].copy())
+            if communicate:
+                shared.append(self.gossip_broadcast(agent, "mix", provisional[agent]))
+
+        if not communicate:
+            # Off-interval round: keep the local update, skip the gossip.
+            self.params = provisional
+            return
 
         # Gossip-average the provisional models.
         new_params: List[np.ndarray] = []
         for agent in range(self.num_agents):
-            received = self.network.receive_by_sender(agent, "mix")
-            received[agent] = provisional[agent]
+            received = self.gossip_receive(agent, "mix")
+            received[agent] = shared[agent]
             acc = np.zeros(self.dimension, dtype=np.float64)
             for j, value in received.items():
                 acc += self.topology.weight(agent, j) * value
@@ -178,5 +188,10 @@ class DPCGA(DecentralizedAlgorithm):
         provisional = self.freeze_inactive_rows(
             self.state - gamma * self.momentum_state, self.state
         )
-        self.record_fleet_exchange("mix", self.dimension)
-        self.state = self.mix_rows(provisional)
+        if not self.gossip_now(round_index):
+            self.state = provisional
+            return
+        shared = self.compress_gossip_rows("mix", provisional)
+        values, wire_bytes = self.gossip_wire_cost()
+        self.record_fleet_exchange("mix", values, wire_bytes)
+        self.state = self.mix_rows(shared)

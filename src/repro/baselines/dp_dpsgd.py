@@ -32,22 +32,30 @@ class DPDPSGD(DecentralizedAlgorithm):
         # agents (churn/stragglers) sit the round out: no gradient, no noise
         # draw, no broadcast — their provisional model is just their current
         # one, which the round topology's identity mixing row preserves.
+        communicate = self.gossip_now(round_index)
         provisional: List[np.ndarray] = []
+        shared: List[np.ndarray] = []
         for agent in range(self.num_agents):
             if not self.is_active(agent):
                 provisional.append(self.params[agent].copy())
+                shared.append(provisional[agent])
                 continue
             gradient = self.local_gradient(agent, self.params[agent], batches[agent])
             perturbed = self.privatize(agent, gradient)
             provisional.append(self.params[agent] - gamma * perturbed)
-            neighbors = self.topology.neighbors(agent, include_self=False)
-            self.network.broadcast(agent, neighbors, "model", provisional[agent].copy())
+            if communicate:
+                shared.append(self.gossip_broadcast(agent, "model", provisional[agent]))
+
+        if not communicate:
+            # Off-interval round: purely local steps, nothing on the wire.
+            self.params = provisional
+            return
 
         # Gossip-average the provisional models with the mixing matrix.
         new_params: List[np.ndarray] = []
         for agent in range(self.num_agents):
-            received = self.network.receive_by_sender(agent, "model")
-            received[agent] = provisional[agent]
+            received = self.gossip_receive(agent, "model")
+            received[agent] = shared[agent]
             mixed = np.zeros(self.dimension, dtype=np.float64)
             for j, params in received.items():
                 mixed += self.topology.weight(agent, j) * params
@@ -63,8 +71,13 @@ class DPDPSGD(DecentralizedAlgorithm):
         gradients = self.fleet_gradients(self.state, batches)
         perturbed = self.privatize_rows(gradients)
         provisional = self.state - gamma * perturbed
-        self.record_fleet_exchange("model", self.dimension)
-        self.state = self.mix_rows(provisional)
+        if not self.gossip_now(round_index):
+            self.state = provisional
+            return
+        shared = self.compress_gossip_rows("model", provisional)
+        values, wire_bytes = self.gossip_wire_cost()
+        self.record_fleet_exchange("model", values, wire_bytes)
+        self.state = self.mix_rows(shared)
 
 
 class DPSGDNonPrivate(DPDPSGD):

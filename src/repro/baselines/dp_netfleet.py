@@ -18,7 +18,7 @@ Per communication round each agent:
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -138,24 +138,36 @@ class DPNetFleet(DecentralizedAlgorithm):
         # 2. Exchange models and tracking variables with neighbours.  The
         #    tracking variable is a post-processing of already clipped-and-
         #    perturbed gradients, so no additional noise is required for DP.
-        for agent in range(self.num_agents):
-            neighbors = self.topology.neighbors(agent, include_self=False)
-            payload = (local_params[agent].copy(), self.tracking[agent].copy())
-            self.network.broadcast(agent, neighbors, "state", payload)
+        #    Off-interval rounds exchange nothing: each agent keeps its own
+        #    local model and tracking estimate, and the recursive correction
+        #    below still refreshes the gradient difference.
+        communicate = self.gossip_now(round_index)
+        shared: List[Tuple[np.ndarray, np.ndarray]] = []
+        if communicate:
+            for agent in range(self.num_agents):
+                shared.append(
+                    self.gossip_broadcast(
+                        agent, "state", (local_params[agent], self.tracking[agent])
+                    )
+                )
 
         # 3. Gossip averaging + recursive gradient correction
         #    y_i <- sum_j w_ij y_j + (g_i^{t} - g_i^{t-1}).
         new_params: List[np.ndarray] = []
         new_tracking: List[np.ndarray] = []
         for agent in range(self.num_agents):
-            received = self.network.receive_by_sender(agent, "state")
-            received[agent] = (local_params[agent], self.tracking[agent])
-            params_acc = np.zeros(self.dimension, dtype=np.float64)
-            tracking_acc = np.zeros(self.dimension, dtype=np.float64)
-            for j, (params_j, tracking_j) in received.items():
-                weight = self.topology.weight(agent, j)
-                params_acc += weight * params_j
-                tracking_acc += weight * tracking_j
+            if communicate:
+                received = self.gossip_receive(agent, "state")
+                received[agent] = shared[agent]
+                params_acc = np.zeros(self.dimension, dtype=np.float64)
+                tracking_acc = np.zeros(self.dimension, dtype=np.float64)
+                for j, (params_j, tracking_j) in received.items():
+                    weight = self.topology.weight(agent, j)
+                    params_acc += weight * params_j
+                    tracking_acc += weight * tracking_j
+            else:
+                params_acc = local_params[agent].copy()
+                tracking_acc = self.tracking[agent].copy()
             # Recursive correction with a fresh DP gradient at the mixed model:
             # y_i <- sum_j w_ij y_j + (g_i^{t} - g_i^{t-1}).  Inactive agents
             # draw no fresh gradient; their accumulators already equal their
@@ -189,14 +201,21 @@ class DPNetFleet(DecentralizedAlgorithm):
             local_params = local_params - gamma * corrected
         local_params = self.freeze_inactive_rows(local_params, self.state)
 
-        # 2. One (model, tracking) exchange per directed edge.
-        self.record_fleet_exchange("state", 2 * self.dimension)
-
+        # 2. One (model, tracking) exchange per directed edge; off-interval
+        #    rounds exchange nothing and keep each agent's own estimates.
         # 3. Gossip averaging + recursive gradient correction.  Inactive
         #    agents draw no fresh gradient and keep their tracking state and
         #    previous gradient frozen.
-        mixed_params = self.mix_rows(local_params)
-        mixed_tracking = self.mix_rows(self.tracking_state)
+        if self.gossip_now(round_index):
+            params_shared = self.compress_gossip_rows("state.0", local_params)
+            tracking_shared = self.compress_gossip_rows("state.1", self.tracking_state)
+            values, wire_bytes = self.gossip_wire_cost(2)
+            self.record_fleet_exchange("state", values, wire_bytes)
+            mixed_params = self.mix_rows(params_shared)
+            mixed_tracking = self.mix_rows(tracking_shared)
+        else:
+            mixed_params = local_params
+            mixed_tracking = self.tracking_state
         fresh = self._fresh_fleet_gradients(mixed_params)
         self.tracking_state = self.freeze_inactive_rows(
             mixed_tracking + fresh - self.previous_gradient_state, self.tracking_state

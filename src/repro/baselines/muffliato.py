@@ -32,13 +32,14 @@ class Muffliato(DecentralizedAlgorithm):
 
     def _one_gossip_exchange(self, vectors: List[np.ndarray], tag: str) -> List[np.ndarray]:
         """A single gossip round executed through the message-passing network."""
-        for agent in range(self.num_agents):
-            neighbors = self.topology.neighbors(agent, include_self=False)
-            self.network.broadcast(agent, neighbors, tag, vectors[agent].copy())
+        shared: List[np.ndarray] = [
+            self.gossip_broadcast(agent, tag, vectors[agent])
+            for agent in range(self.num_agents)
+        ]
         mixed: List[np.ndarray] = []
         for agent in range(self.num_agents):
-            received = self.network.receive_by_sender(agent, tag)
-            received[agent] = vectors[agent]
+            received = self.gossip_receive(agent, tag)
+            received[agent] = shared[agent]
             acc = np.zeros(self.dimension, dtype=np.float64)
             for j, value in received.items():
                 acc += self.topology.weight(agent, j) * value
@@ -63,8 +64,11 @@ class Muffliato(DecentralizedAlgorithm):
             updated.append(self.params[agent] - gamma * perturbed)
 
         # Multiple gossip steps for privacy amplification / better consensus.
-        for gossip_round in range(self.config.gossip_steps):
-            updated = self._one_gossip_exchange(updated, tag=f"gossip_{gossip_round}")
+        # Off-interval rounds skip the whole gossip cascade: the perturbed
+        # local step stands alone until the next communication round.
+        if self.gossip_now(round_index):
+            for gossip_round in range(self.config.gossip_steps):
+                updated = self._one_gossip_exchange(updated, tag=f"gossip_{gossip_round}")
 
         self.params = updated
 
@@ -76,7 +80,11 @@ class Muffliato(DecentralizedAlgorithm):
         # Inactive rows are exactly zero in ``perturbed`` and have identity
         # mixing rows, so they ride through the step and gossip unchanged.
         updated = self.state - gamma * perturbed
-        for gossip_round in range(self.config.gossip_steps):
-            self.record_fleet_exchange(f"gossip_{gossip_round}", self.dimension)
-            updated = self.mix_rows(updated)
+        if self.gossip_now(round_index):
+            for gossip_round in range(self.config.gossip_steps):
+                tag = f"gossip_{gossip_round}"
+                shared = self.compress_gossip_rows(tag, updated)
+                values, wire_bytes = self.gossip_wire_cost()
+                self.record_fleet_exchange(tag, values, wire_bytes)
+                updated = self.mix_rows(shared)
         self.state = updated

@@ -5,6 +5,8 @@ Each suite packages one hot path of the system behind the
 
 * ``engine/round`` — loop vs vectorized engine, seconds per DP-DPSGD round;
 * ``gossip/sparse`` — dense vs CSR gossip kernels (bit-identity checked);
+* ``gossip/compressed`` — dense vs top-k vs int8 gossip wire bytes
+  (identity-codec bit-identity checked);
 * ``gossip/scaling-sweep`` — auto-backend ``W @ X`` across fleet sizes;
 * ``topology/dynamic-cache`` — schedule snapshot LRU vs naive rebuild;
 * ``orchestrator/pool`` — process-pool grid vs serial (plus warm store);
@@ -39,6 +41,7 @@ __all__ = [
     "apply_scale",
     "EngineRoundSuite",
     "SparseGossipSuite",
+    "CompressedGossipSuite",
     "GossipScalingSweepSuite",
     "DynamicTopologyCacheSuite",
     "OrchestratorPoolSuite",
@@ -55,6 +58,8 @@ SMOKE_SCALE: Dict[str, str] = {
     "REPRO_BENCH_ENGINE_ROUNDS": "1",
     "REPRO_BENCH_SPARSE_AGENTS": "256",
     "REPRO_BENCH_SPARSE_ROUNDS": "1",
+    "REPRO_BENCH_COMPRESS_AGENTS": "64",
+    "REPRO_BENCH_COMPRESS_ROUNDS": "1",
     "REPRO_BENCH_DYNTOPO_AGENTS": "128",
     "REPRO_BENCH_DYNTOPO_ROUNDS": "20",
     "REPRO_BENCH_DYNTOPO_PERIOD": "5",
@@ -246,6 +251,112 @@ class SparseGossipSuite(Benchmark):
     def floor_context(self, metrics: Dict[str, float]) -> Tuple[bool, Optional[float]]:
         largest = max(self.agent_counts)
         baseline = metrics.get(f"dense_s@ring/{largest}")
+        total = None if baseline is None else baseline * self.rounds
+        return largest >= self.FULL_SCALE_AGENTS, total
+
+
+# ---------------------------------------------------------------------------
+# gossip/compressed
+# ---------------------------------------------------------------------------
+@benchmark
+class CompressedGossipSuite(Benchmark):
+    """Dense vs compressed gossip: wire bytes and seconds per DP-DPSGD round.
+
+    The headline metric is ``bytes_reduction`` — dense network bytes divided
+    by top-k (``k = d // 10``) network bytes on a ring fleet — with int8
+    quantization reported alongside.  The identity codec is also run and
+    asserted bit-identical (states and byte counters) to the uncompressed
+    path, so the compressed engine cannot silently diverge from the
+    trajectory every other suite measures.
+    """
+
+    name = "gossip/compressed"
+    description = "dense vs top-k vs int8 gossip, wire bytes per round"
+    floor = FloorSpec(
+        metric="bytes_reduction", minimum=4.0, min_cpus=1, min_baseline_seconds=0.0
+    )
+    default_repeats = 1
+    default_warmup = False
+    FULL_SCALE_AGENTS = 1024
+
+    def __init__(self) -> None:
+        self.agent_counts = _env_ints("REPRO_BENCH_COMPRESS_AGENTS", "1024")
+        self.rounds = _env_int("REPRO_BENCH_COMPRESS_ROUNDS", 2)
+
+    def params(self) -> Dict[str, object]:
+        return {"agents": self.agent_counts, "rounds": self.rounds}
+
+    @staticmethod
+    def build(num_agents: int, compression: Optional[Dict[str, object]]):
+        """One vectorized DP-DPSGD instance on a ring, optionally compressed."""
+        from repro.baselines import DPDPSGD
+        from repro.core.config import AlgorithmConfig
+        from repro.data.partition import partition_iid
+        from repro.data.synthetic import make_classification_dataset
+        from repro.nn.zoo import make_linear_classifier
+        from repro.topology.graphs import ring_graph
+
+        data = make_classification_dataset(
+            num_samples=max(2048, 8 * num_agents),
+            num_features=16,
+            num_classes=4,
+            cluster_std=1.0,
+            seed=0,
+        )
+        shards = partition_iid(data, num_agents, np.random.default_rng(0)).shards
+        topology = ring_graph(num_agents)
+        model = make_linear_classifier(16, 4, seed=0)
+        config = AlgorithmConfig(
+            learning_rate=0.05,
+            sigma=0.5,
+            clip_threshold=1.0,
+            batch_size=8,
+            seed=0,
+            backend="vectorized",
+            compression=compression,
+        )
+        return DPDPSGD(model, topology, shards, config)
+
+    def _measure(self, num_agents: int, compression) -> Tuple[float, float]:
+        """(seconds per round, network bytes per round) for one variant."""
+        algorithm = self.build(num_agents, compression)
+        seconds = _timed(algorithm.run_round, rounds=self.rounds, warm=False)
+        total_rounds = self.rounds  # no warm-up call above
+        return seconds, algorithm.network.bytes_sent / total_rounds
+
+    def run(self) -> Dict[str, float]:
+        metrics: Dict[str, float] = {}
+        for num_agents in self.agent_counts:
+            # Identity codec must be bit-identical to the uncompressed path:
+            # same trajectory, same float and byte counters.
+            plain = self.build(num_agents, None)
+            identity = self.build(num_agents, {"codec": "identity"})
+            for _ in range(self.rounds):
+                plain.run_round()
+                identity.run_round()
+            np.testing.assert_array_equal(plain.state, identity.state)
+            assert plain.network.floats_sent == identity.network.floats_sent
+            assert plain.network.bytes_sent == identity.network.bytes_sent
+
+            dense_s, dense_b = self._measure(num_agents, None)
+            topk_s, topk_b = self._measure(num_agents, {"codec": "topk"})
+            int8_s, int8_b = self._measure(num_agents, {"codec": "int8"})
+            metrics[f"dense_s@{num_agents}"] = dense_s
+            metrics[f"topk_s@{num_agents}"] = topk_s
+            metrics[f"int8_s@{num_agents}"] = int8_s
+            metrics[f"dense_bytes@{num_agents}"] = dense_b
+            metrics[f"topk_bytes@{num_agents}"] = topk_b
+            metrics[f"int8_bytes@{num_agents}"] = int8_b
+            metrics[f"bytes_reduction@{num_agents}"] = dense_b / topk_b
+            metrics[f"bytes_reduction_int8@{num_agents}"] = dense_b / int8_b
+        largest = max(self.agent_counts)
+        metrics["bytes_reduction"] = metrics[f"bytes_reduction@{largest}"]
+        metrics["bytes_reduction_int8"] = metrics[f"bytes_reduction_int8@{largest}"]
+        return metrics
+
+    def floor_context(self, metrics: Dict[str, float]) -> Tuple[bool, Optional[float]]:
+        largest = max(self.agent_counts)
+        baseline = metrics.get(f"dense_s@{largest}")
         total = None if baseline is None else baseline * self.rounds
         return largest >= self.FULL_SCALE_AGENTS, total
 

@@ -1,0 +1,145 @@
+"""Declarative configuration for compressed gossip.
+
+:class:`CompressionConfig` is the single knob surface threaded from
+:class:`~repro.experiments.specs.ExperimentSpec` through
+:class:`~repro.core.config.AlgorithmConfig` into the engines: which codec
+compresses the gossip payloads (:data:`CODEC_NAMES`), how sparse the
+sparsifying codecs are (``k``), how often agents communicate at all
+(``communication_interval``), whether the quantisation error is carried
+forward by error feedback, and how gossip partners are selected
+(``peer_selection``, mirroring Bagua's ``LowPrecisionDecentralizedAlgorithm``
+``"all"``/``"shift_one"`` modes).
+
+The default config is the *identity*: no compression, every round, all
+neighbours — and the engines treat it as bit-identical to the historical
+uncompressed path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+__all__ = [
+    "CODEC_NAMES",
+    "PEER_SELECTION_MODES",
+    "COMPRESSION_KEYS",
+    "CompressionConfig",
+    "validate_compression",
+]
+
+#: Codec identifiers accepted by :func:`repro.compression.codecs.make_codec`.
+CODEC_NAMES = ("identity", "fp16", "int8", "topk", "randomk")
+
+#: Gossip partner selection modes: ``"all"`` exchanges with every topology
+#: neighbour each communication round; ``"shift_one"`` pairs the fleet up in
+#: a rotating perfect matching (one peer per agent per round).
+PEER_SELECTION_MODES = ("all", "shift_one")
+
+#: Keys accepted in an :class:`~repro.experiments.specs.ExperimentSpec`
+#: ``compression`` mapping (and by :meth:`CompressionConfig.from_mapping`).
+COMPRESSION_KEYS = frozenset(
+    {"codec", "k", "communication_interval", "peer_selection", "error_feedback"}
+)
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """How gossip payloads are compressed and scheduled.
+
+    Attributes
+    ----------
+    codec:
+        One of :data:`CODEC_NAMES`.  ``"identity"`` (the default) transmits
+        full-precision float64 vectors and is bit-identical to the
+        uncompressed path.
+    k:
+        Number of coordinates kept per message by the sparsifying codecs
+        (``"topk"``, ``"randomk"``).  ``None`` defaults to one tenth of the
+        model dimension (at least 1) at codec-construction time.
+    communication_interval:
+        Gossip every ``communication_interval``-th round; in between, agents
+        take purely local steps.  1 (the default) communicates every round.
+    peer_selection:
+        ``"all"`` (default) or ``"shift_one"`` — the latter replaces the
+        configured topology with a rotating perfect matching
+        (:class:`~repro.topology.schedule.ShiftOneSchedule`), so each agent
+        talks to exactly one peer per communication round.
+    error_feedback:
+        Carry each agent's compression error into its next transmission
+        (``e <- (x + e) - C(x + e)``), the standard fix that restores
+        convergence under biased codecs such as top-k.  Ignored by the
+        identity codec, which has no error to feed back.
+    """
+
+    codec: str = "identity"
+    k: Optional[int] = None
+    communication_interval: int = 1
+    peer_selection: str = "all"
+    error_feedback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.codec not in CODEC_NAMES:
+            raise ValueError(
+                f"codec must be one of {CODEC_NAMES}, got {self.codec!r}"
+            )
+        if self.k is not None:
+            if self.codec not in ("topk", "randomk"):
+                raise ValueError(
+                    f"k only applies to the sparsifying codecs "
+                    f"('topk', 'randomk'), not {self.codec!r}"
+                )
+            if int(self.k) < 1:
+                raise ValueError("k must be a positive coordinate count")
+        if int(self.communication_interval) < 1:
+            raise ValueError("communication_interval must be a positive round count")
+        if self.peer_selection not in PEER_SELECTION_MODES:
+            raise ValueError(
+                f"peer_selection must be one of {PEER_SELECTION_MODES}, "
+                f"got {self.peer_selection!r}"
+            )
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether the codec itself is the no-op identity."""
+        return self.codec == "identity"
+
+    @classmethod
+    def from_mapping(
+        cls, mapping: Optional[Mapping[str, object]]
+    ) -> "CompressionConfig":
+        """Build a config from a declarative mapping (``None`` -> defaults)."""
+        if mapping is None:
+            return cls()
+        validate_compression(mapping)
+        return cls(**dict(mapping))
+
+    def as_dict(self) -> Dict[str, object]:
+        """Serialisable form for experiment metadata."""
+        return {
+            "codec": self.codec,
+            "k": self.k,
+            "communication_interval": self.communication_interval,
+            "peer_selection": self.peer_selection,
+            "error_feedback": self.error_feedback,
+        }
+
+
+def validate_compression(compression: Optional[Mapping[str, object]]) -> None:
+    """Raise ``ValueError`` unless the mapping is a valid compression declaration.
+
+    Checks the vocabulary (keys must come from :data:`COMPRESSION_KEYS`) and
+    the value ranges, so an invalid declaration fails at spec construction
+    instead of deep in the harness.  The single source of truth shared by
+    :class:`~repro.experiments.specs.ExperimentSpec` and
+    :class:`~repro.core.config.AlgorithmConfig`.
+    """
+    if not compression:
+        return
+    unknown = sorted(set(compression) - COMPRESSION_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown compression keys: {unknown}; expected a subset of "
+            f"{sorted(COMPRESSION_KEYS)}"
+        )
+    CompressionConfig(**dict(compression))

@@ -1,0 +1,172 @@
+"""Per-agent compression state: error-feedback residuals and sparsifier streams.
+
+One :class:`CompressionState` lives on each algorithm instance (when a lossy
+codec is configured) and owns everything compression adds to the resumable
+state: a residual buffer per agent per gossip *channel* (a channel is one
+logical payload stream, e.g. ``"model"`` or the two halves ``"mix.0"`` /
+``"mix.1"`` of a tuple message) and, for codecs that sample coordinates, one
+dedicated random generator per agent.
+
+The generators are derived from ``(seed, 0xC0DEC, agent)`` — independent of
+the positional ``child_seeds`` array in
+:class:`~repro.core.base.DecentralizedAlgorithm`, whose layout is
+load-bearing for bit-identity of existing runs.
+
+Error feedback implements the standard memory scheme: the transmitted value
+is ``C(x + e)`` and the new residual is ``e' = (x + e) - C(x + e)``, so the
+sum of everything ever transmitted plus the current residual telescopes to
+the sum of everything ever offered — compression introduces no systematic
+drift.
+
+Both engines call into the same row-wise codec kernels —
+:meth:`compress_rows` on the whole fleet matrix, :meth:`compress_row` on a
+single agent's vector — and the two paths are bit-identical per agent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.compression.codecs import Codec
+
+__all__ = ["CompressionState"]
+
+
+class CompressionState:
+    """Residual buffers and sparsifier RNG streams for one algorithm instance."""
+
+    def __init__(
+        self,
+        codec: Codec,
+        num_agents: int,
+        dimension: int,
+        error_feedback: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if num_agents < 1 or dimension < 1:
+            raise ValueError("num_agents and dimension must be positive")
+        self.codec = codec
+        self.num_agents = int(num_agents)
+        self.dimension = int(dimension)
+        self.error_feedback = bool(error_feedback) and not codec.is_identity
+        # Residuals are created lazily per channel: algorithms differ in how
+        # many payload streams they gossip (one for DMSGD, two for PDSL).
+        self._residuals: Dict[str, np.ndarray] = {}
+        self.rngs: Optional[List[np.random.Generator]] = (
+            [
+                np.random.default_rng([int(seed), 0xC0DEC, agent])
+                for agent in range(self.num_agents)
+            ]
+            if codec.uses_rng
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Compression kernels
+    # ------------------------------------------------------------------
+    def _residual_for(self, channel: str) -> Optional[np.ndarray]:
+        if not self.error_feedback:
+            return None
+        residual = self._residuals.get(channel)
+        if residual is None:
+            residual = np.zeros((self.num_agents, self.dimension), dtype=np.float64)
+            self._residuals[channel] = residual
+        return residual
+
+    def compress_rows(
+        self,
+        channel: str,
+        matrix: np.ndarray,
+        active_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Decoded fleet matrix after compressing every (active) agent's row.
+
+        Inactive rows pass through untouched: they transmit nothing, so
+        their residuals stay put and their sparsifier streams are not
+        consumed — exactly like the loop engine, where an inactive agent
+        never reaches its broadcast.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        residual = self._residual_for(channel)
+        if active_mask is None or bool(active_mask.all()):
+            work = matrix + residual if residual is not None else matrix
+            decoded = self.codec.decode_rows(work, self.rngs)
+            if residual is not None:
+                residual[:] = work - decoded
+            return decoded
+        active = np.flatnonzero(active_mask)
+        work = matrix[active]
+        if residual is not None:
+            work = work + residual[active]
+        rngs = None if self.rngs is None else [self.rngs[int(i)] for i in active]
+        decoded = self.codec.decode_rows(work, rngs)
+        out = matrix.copy()
+        out[active] = decoded
+        if residual is not None:
+            residual[active] = work - decoded
+        return out
+
+    def compress_row(self, channel: str, agent: int, vector: np.ndarray) -> np.ndarray:
+        """Decoded value of one agent's vector (loop-engine entry point).
+
+        Routes through the same row-wise kernel as :meth:`compress_rows`, so
+        the two engines produce bit-identical decoded values per agent.
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        residual = self._residual_for(channel)
+        work = vector + residual[agent] if residual is not None else vector
+        rngs = None if self.rngs is None else [self.rngs[agent]]
+        decoded = self.codec.decode_rows(work[None, :], rngs)[0]
+        if residual is not None:
+            residual[agent] = work - decoded
+        return decoded
+
+    def residual(self, channel: str) -> Optional[np.ndarray]:
+        """The channel's ``(num_agents, dimension)`` residual buffer (or ``None``)."""
+        return self._residuals.get(channel)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Resumable compression state: residuals per channel, stream positions."""
+        return {
+            "codec": self.codec.name,
+            "error_feedback": self.error_feedback,
+            "residuals": {
+                channel: buffer.copy() for channel, buffer in self._residuals.items()
+            },
+            "rng_states": (
+                None
+                if self.rngs is None
+                else [rng.bit_generator.state for rng in self.rngs]
+            ),
+        }
+
+    def load_state_dict(self, payload: Dict[str, object]) -> None:
+        """Restore a state captured by :meth:`state_dict`."""
+        if payload["codec"] != self.codec.name:
+            raise ValueError(
+                f"checkpoint compression state was written by codec "
+                f"{payload['codec']!r}, cannot restore into {self.codec.name!r}"
+            )
+        self._residuals = {}
+        for channel, buffer in payload["residuals"].items():
+            buffer = np.asarray(buffer, dtype=np.float64)
+            if buffer.shape != (self.num_agents, self.dimension):
+                raise ValueError(
+                    f"residual buffer for channel {channel!r} has shape "
+                    f"{buffer.shape}, expected ({self.num_agents}, {self.dimension})"
+                )
+            self._residuals[channel] = buffer.copy()
+        rng_states = payload["rng_states"]
+        if rng_states is not None:
+            if self.rngs is None:
+                raise ValueError(
+                    "checkpoint carries sparsifier rng streams but this codec "
+                    "draws no randomness"
+                )
+            for rng, state in zip(self.rngs, rng_states):
+                rng.bit_generator.state = state

@@ -45,6 +45,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union, overload
 
 import numpy as np
 
+from repro.compression.codecs import CompressedPayload, make_codec
+from repro.compression.config import CompressionConfig
+from repro.compression.state import CompressionState
 from repro.core.config import AlgorithmConfig
 from repro.data.dataset import Dataset
 from repro.data.loaders import BatchSampler
@@ -57,7 +60,12 @@ from repro.simulation.metrics import consensus_distance
 from repro.simulation.network import Network
 from repro.topology.graphs import Topology
 from repro.topology.mixing import validate_mixing_matrix
-from repro.topology.schedule import StaticSchedule, TopologyEvent, TopologySchedule
+from repro.topology.schedule import (
+    ShiftOneSchedule,
+    StaticSchedule,
+    TopologyEvent,
+    TopologySchedule,
+)
 
 __all__ = ["AgentRows", "DecentralizedAlgorithm"]
 
@@ -149,6 +157,20 @@ class DecentralizedAlgorithm:
             topology = self.schedule.base
         else:
             self.schedule = StaticSchedule(topology)
+        # Gossip compression: resolve the config once (None means the
+        # bit-identical identity defaults) and, for shift_one peer
+        # selection, replace the schedule with the rotating matching.
+        self.compression_config: CompressionConfig = (
+            getattr(config, "compression", None) or CompressionConfig()
+        )
+        if self.compression_config.peer_selection == "shift_one":
+            if not self.schedule.is_static:
+                raise ValueError(
+                    "peer_selection='shift_one' replaces the topology with a "
+                    "rotating matching and cannot be combined with a dynamic "
+                    "topology schedule"
+                )
+            self.schedule = ShiftOneSchedule(topology)
         if len(shards) != topology.num_agents:
             raise ValueError(
                 f"got {len(shards)} data shards for {topology.num_agents} agents"
@@ -178,6 +200,22 @@ class DecentralizedAlgorithm:
         self.num_agents = topology.num_agents
         self.dimension = model.num_params
         self.sigma = config.resolve_sigma()
+        # The codec compresses gossip payloads; its per-agent error-feedback
+        # residuals and sparsifier streams live in a CompressionState.  The
+        # identity codec carries no state at all, so the legacy path stays
+        # bit-identical (and pays nothing).
+        self.codec = make_codec(self.compression_config, self.dimension)
+        self._compression_state: Optional[CompressionState] = (
+            None
+            if self.codec.is_identity
+            else CompressionState(
+                self.codec,
+                self.num_agents,
+                self.dimension,
+                error_feedback=self.compression_config.error_feedback,
+                seed=config.seed,
+            )
+        )
 
         # Per-round participation state, refreshed by :meth:`_begin_round`
         # from the schedule.  On a static schedule every agent is active in
@@ -540,16 +578,119 @@ class DecentralizedAlgorithm:
         """
         return self.mixing.apply(matrix)
 
-    def record_fleet_exchange(self, tag: str, floats_per_message: int) -> None:
+    def record_fleet_exchange(
+        self,
+        tag: str,
+        floats_per_message: int,
+        bytes_per_message: Optional[int] = None,
+    ) -> None:
         """Account one all-neighbour exchange executed by the vectorized engine.
 
         Mirrors the traffic the loop backend generates for the same phase:
         one message per directed edge, each carrying ``floats_per_message``
-        floats.
+        floats (and ``bytes_per_message`` wire bytes; dense float64 when
+        omitted).
         """
         self.network.record_bulk(
-            tag, self.topology.num_directed_edges, floats_per_message
+            tag, self.topology.num_directed_edges, floats_per_message, bytes_per_message
         )
+
+    # ------------------------------------------------------------------
+    # Compressed gossip
+    # ------------------------------------------------------------------
+    def gossip_now(self, round_index: int) -> bool:
+        """Whether round ``round_index`` is a communication round.
+
+        With ``communication_interval = n``, agents gossip every ``n``-th
+        round (rounds 0, n, 2n, ...) and take purely local steps in between.
+        The interval position is ``rounds_completed % n``, so it rides
+        through checkpoints with the round counter.
+        """
+        return round_index % self.compression_config.communication_interval == 0
+
+    def gossip_wire_cost(self, num_channels: int = 1) -> Tuple[int, int]:
+        """``(values, wire_bytes)`` one gossip message carries under the codec.
+
+        ``num_channels`` counts the logical payload streams in the message
+        (1 for a plain model vector, 2 for a ``(momentum, model)`` tuple).
+        """
+        values, wire_bytes = self.codec.wire_cost(self.dimension)
+        return num_channels * values, num_channels * wire_bytes
+
+    def compress_gossip_rows(self, channel: str, matrix: np.ndarray) -> np.ndarray:
+        """Decoded fleet matrix for one gossip channel (vectorized engine).
+
+        Active rows go through the codec (updating their error-feedback
+        residuals); inactive rows pass through raw, exactly like the loop
+        engine where an inactive agent never reaches its broadcast.  With
+        the identity codec the input is returned unchanged.
+        """
+        if self._compression_state is None:
+            return matrix
+        mask = None if self._all_active else self.active_mask
+        return self._compression_state.compress_rows(channel, matrix, mask)
+
+    def gossip_broadcast(self, agent: int, tag: str, value):
+        """Broadcast one agent's gossip payload and return what consumers mix.
+
+        The loop-engine counterpart of :meth:`compress_gossip_rows` plus
+        :meth:`record_fleet_exchange`: the payload (an array, or a tuple of
+        arrays compressed channel-by-channel as ``"{tag}.{index}"``) is
+        encoded once, sent to every neighbour at its compressed wire size,
+        and the *decoded* value is returned — the gossip semantics are
+        ``x_i <- sum_j w_ij C(x_j)``, with every consumer (the agent itself
+        included) mixing the reconstructed value, which is what makes the
+        vectorized engine's ``W @ decoded`` equivalent.  With the identity
+        codec the original ``value`` comes back and the wire carries plain
+        copies, bit-identical to the historical path.  Inactive agents
+        transmit nothing and get their raw ``value`` back.
+        """
+        if not self.is_active(agent):
+            return value
+        neighbors = self.topology.neighbors(agent, include_self=False)
+        if self._compression_state is None:
+            if isinstance(value, tuple):
+                payload = tuple(np.asarray(part).copy() for part in value)
+            else:
+                payload = value.copy()
+            self.network.broadcast(agent, neighbors, tag, payload)
+            return value
+        if isinstance(value, tuple):
+            decoded = tuple(
+                self._compression_state.compress_row(f"{tag}.{index}", agent, part)
+                for index, part in enumerate(value)
+            )
+            num_channels = len(value)
+        else:
+            decoded = self._compression_state.compress_row(tag, agent, value)
+            num_channels = 1
+        values, wire_bytes = self.gossip_wire_cost(num_channels)
+        self.network.broadcast(
+            agent,
+            neighbors,
+            tag,
+            CompressedPayload(
+                values=decoded,
+                num_values=values,
+                wire_bytes=wire_bytes,
+                codec=self.codec.name,
+            ),
+        )
+        return decoded
+
+    def gossip_receive(self, agent: int, tag: str) -> Dict[int, object]:
+        """Drain one agent's gossip mailbox, unwrapping compressed payloads."""
+        received = self.network.receive_by_sender(agent, tag)
+        if self._compression_state is None:
+            return received
+        return {
+            sender: (
+                payload.values
+                if isinstance(payload, CompressedPayload)
+                else payload
+            )
+            for sender, payload in received.items()
+        }
 
     def draw_batches(self) -> List[Optional[Batch]]:
         """One fresh mini-batch per *active* agent for the current round.
@@ -644,7 +785,9 @@ class DecentralizedAlgorithm:
     # ------------------------------------------------------------------
     #: Bump when the state-dict layout changes so old checkpoints fail with a
     #: clear error instead of silently restoring garbage.
-    STATE_FORMAT = 1
+    #: Format 2 added the gossip-compression state (error-feedback residuals
+    #: and sparsifier streams) and the network's byte counters.
+    STATE_FORMAT = 2
 
     def state_dict(self) -> Dict[str, object]:
         """Everything needed to resume this run **bit-identically**.
@@ -686,6 +829,11 @@ class DecentralizedAlgorithm:
                 (event.round, event.kind, dict(event.detail))
                 for event in self.pending_events
             ],
+            "compression": (
+                None
+                if self._compression_state is None
+                else self._compression_state.state_dict()
+            ),
             "extra": self._extra_state(),
         }
 
@@ -746,6 +894,21 @@ class DecentralizedAlgorithm:
             TopologyEvent(round=int(r), kind=str(kind), detail=dict(detail))
             for r, kind, detail in payload["pending_events"]
         ]
+        compression = payload.get("compression")
+        if self._compression_state is None:
+            if compression is not None:
+                raise ValueError(
+                    f"checkpoint carries compression state (codec "
+                    f"{compression.get('codec')!r}) but this algorithm was "
+                    f"built without a lossy codec"
+                )
+        else:
+            if compression is None:
+                raise ValueError(
+                    f"checkpoint has no compression state but this algorithm "
+                    f"compresses gossip with codec {self.codec.name!r}"
+                )
+            self._compression_state.load_state_dict(compression)
         self.rounds_completed = int(payload["rounds_completed"])
         # Per-round participation state is refreshed by _begin_round before
         # the next round touches it; reset to the static default meanwhile.

@@ -11,8 +11,9 @@ per-round samples, see :meth:`AlgorithmConfig.resolve_sigma`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Mapping, Optional
 
+from repro.compression.config import CompressionConfig
 from repro.privacy.calibration import gaussian_sigma
 
 __all__ = [
@@ -68,6 +69,14 @@ class AlgorithmConfig:
         the O(nnz d) CSR kernel.  The two kernels accumulate in the same
         order and produce bit-identical results, so this is purely a
         performance knob.
+    compression:
+        Gossip compression settings
+        (:class:`~repro.compression.config.CompressionConfig`): codec,
+        sparsity ``k``, ``communication_interval``, peer selection and
+        error feedback.  ``None`` (the default) and the identity config are
+        bit-identical to the historical uncompressed path.  A plain mapping
+        (as carried by :class:`~repro.experiments.specs.ExperimentSpec`) is
+        coerced to a ``CompressionConfig`` here.
     """
 
     learning_rate: float = 0.01
@@ -80,8 +89,18 @@ class AlgorithmConfig:
     seed: int = 0
     backend: str = "vectorized"
     mixing_backend: str = "auto"
+    compression: Optional[CompressionConfig] = None
 
     def __post_init__(self) -> None:
+        if self.compression is not None and not isinstance(
+            self.compression, CompressionConfig
+        ):
+            if not isinstance(self.compression, Mapping):
+                raise ValueError(
+                    "compression must be a CompressionConfig or a mapping of "
+                    f"its fields, got {type(self.compression).__name__}"
+                )
+            self.compression = CompressionConfig.from_mapping(self.compression)
         if self.learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
         if not 0.0 <= self.momentum < 1.0:

@@ -179,12 +179,18 @@ class PDSL(DecentralizedAlgorithm):
                 self.network.send(agent, neighbor, "cross_grad", perturbed)
 
         # Phase 3 — Shapley-weighted aggregation and momentum update (lines 13-21).
+        # The gradient exchanges of phases 1–2 always run at full precision;
+        # only the phase-3/4 gossip of (momentum, model) tuples goes through
+        # the compression codec and the communication interval.
+        communicate = self.gossip_now(round_index)
         provisional: List[Tuple[np.ndarray, np.ndarray]] = []
+        shared: List[Tuple[np.ndarray, np.ndarray]] = []
         for agent in range(self.num_agents):
             if not self.is_active(agent):
                 provisional.append(
                     (self.momenta[agent].copy(), self.params[agent].copy())
                 )
+                shared.append(provisional[agent])
                 continue
             returned = self.network.receive_by_sender(agent, "cross_grad")
             returned[agent] = own_perturbed[agent]
@@ -194,16 +200,23 @@ class PDSL(DecentralizedAlgorithm):
             momentum_hat = alpha * self.momenta[agent] + aggregated
             params_hat = self.params[agent] - gamma * momentum_hat
             provisional.append((momentum_hat, params_hat))
+            if communicate:
+                shared.append(
+                    self.gossip_broadcast(agent, "mix", (momentum_hat, params_hat))
+                )
 
-            neighbors = self.topology.neighbors(agent, include_self=False)
-            self.network.broadcast(agent, neighbors, "mix", (momentum_hat, params_hat))
+        if not communicate:
+            # Off-interval round: keep the local update, skip the gossip.
+            self.momenta = [momentum_hat for momentum_hat, _ in provisional]
+            self.params = [params_hat for _, params_hat in provisional]
+            return
 
         # Phase 4 — gossip averaging of momentum and model (lines 22-24).
         new_momenta: List[np.ndarray] = []
         new_params: List[np.ndarray] = []
         for agent in range(self.num_agents):
-            received_mix = self.network.receive_by_sender(agent, "mix")
-            received_mix[agent] = provisional[agent]
+            received_mix = self.gossip_receive(agent, "mix")
+            received_mix[agent] = shared[agent]
             momentum_acc = np.zeros(self.dimension, dtype=np.float64)
             params_acc = np.zeros(self.dimension, dtype=np.float64)
             for j, (momentum_hat, params_hat) in received_mix.items():
@@ -254,8 +267,16 @@ class PDSL(DecentralizedAlgorithm):
         params_hat = self.freeze_inactive_rows(
             self.state - gamma * momentum_hat, self.state
         )
-        self.record_fleet_exchange("mix", 2 * self.dimension)
+        if not self.gossip_now(round_index):
+            # Off-interval round: keep the local update, skip the gossip.
+            self.momentum_state = momentum_hat
+            self.state = params_hat
+            return
+        momentum_shared = self.compress_gossip_rows("mix.0", momentum_hat)
+        params_shared = self.compress_gossip_rows("mix.1", params_hat)
+        values, wire_bytes = self.gossip_wire_cost(2)
+        self.record_fleet_exchange("mix", values, wire_bytes)
 
         # Phase 4 — gossip averaging as two matrix multiplies.
-        self.momentum_state = self.mix_rows(momentum_hat)
-        self.state = self.mix_rows(params_hat)
+        self.momentum_state = self.mix_rows(momentum_shared)
+        self.state = self.mix_rows(params_shared)

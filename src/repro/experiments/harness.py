@@ -224,6 +224,7 @@ def build_algorithm(
         delta=spec.delta,
         batch_size=spec.batch_size,
         seed=spec.seed,
+        compression=spec.compression,
     )
     model = components.model_factory()
     shards = components.partition.shards

@@ -25,6 +25,7 @@ import json
 from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.compression.config import validate_compression
 from repro.topology.schedule import validate_dynamics
 
 __all__ = [
@@ -89,6 +90,13 @@ class ExperimentSpec:
     :class:`~repro.topology.schedule.DynamicTopologySchedule` by the
     harness and applied identically to every compared algorithm.  ``None``
     (the default) keeps the historical fixed-graph behaviour.
+
+    ``compression`` (optional) compresses the gossip exchanges: a mapping
+    over the :data:`repro.compression.config.COMPRESSION_KEYS` vocabulary,
+    e.g. ``{"codec": "topk", "k": 8, "communication_interval": 2}``, passed
+    through :class:`~repro.core.config.AlgorithmConfig` to every compared
+    algorithm.  ``None`` (the default) keeps the bit-identical
+    full-precision path.
     """
 
     name: str
@@ -115,6 +123,7 @@ class ExperimentSpec:
     algorithms: Sequence[str] = field(default_factory=lambda: list(ALGORITHM_NAMES))
     scale: str = "fast"
     dynamics: Optional[Dict[str, float]] = None
+    compression: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if self.dataset not in ("classification", "mnist", "cifar"):
@@ -129,6 +138,7 @@ class ExperimentSpec:
         if unknown:
             raise ValueError(f"unknown algorithms: {unknown}")
         validate_dynamics(self.dynamics, num_agents=self.num_agents)
+        validate_compression(self.compression)
 
     def with_updates(self, **kwargs) -> "ExperimentSpec":
         from dataclasses import replace
@@ -144,10 +154,12 @@ def fast_spec(
     algorithms: Optional[Sequence[str]] = None,
     seed: int = 7,
     dynamics: Optional[Dict[str, float]] = None,
+    compression: Optional[Dict[str, object]] = None,
 ) -> ExperimentSpec:
     """A small spec (generic Gaussian-cluster data + linear model) for tests and CI."""
     return ExperimentSpec(
         dynamics=dynamics,
+        compression=compression,
         name=f"fast_{topology}_M{num_agents}_eps{epsilon}",
         dataset="classification",
         model="linear",
@@ -362,6 +374,8 @@ def spec_to_dict(spec: ExperimentSpec) -> Dict[str, object]:
         if name == "algorithms":
             value = list(value)
         elif name == "dynamics" and value is not None:
+            value = dict(value)
+        elif name == "compression" and value is not None:
             value = dict(value)
         payload[name] = value
     return payload

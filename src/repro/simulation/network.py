@@ -8,8 +8,12 @@ momentum buffers and models for the gossip step (line 21) — goes through a
 real deployment and lets tests assert on exactly what was transmitted.
 
 Message payloads are kept as opaque objects (typically NumPy arrays); the
-network records per-tag traffic statistics (message counts and float counts)
-so experiments can report communication cost.
+network records per-tag traffic statistics (message counts, float counts and
+wire bytes) so experiments can report communication cost.  A payload wrapped
+in :class:`~repro.compression.codecs.CompressedPayload` is accounted at its
+*encoded* size — the value count and byte count the codec reports — instead
+of the dense float64 size, so compressed-gossip runs show the bandwidth a
+real deployment would pay.
 """
 
 from __future__ import annotations
@@ -19,6 +23,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
+
+from repro.compression.codecs import CompressedPayload
 
 __all__ = ["Message", "Network"]
 
@@ -83,7 +89,9 @@ class Network:
         self.messages_dropped = 0
         self.messages_rejected = 0
         self.floats_sent = 0
+        self.bytes_sent = 0
         self.traffic_by_tag: Dict[str, int] = defaultdict(int)
+        self.bytes_by_tag: Dict[str, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
     # Round bookkeeping
@@ -144,9 +152,16 @@ class Network:
             self.messages_rejected += 1
             return False
         self.messages_sent += 1
-        payload_size = int(np.asarray(payload).size) if isinstance(payload, (np.ndarray, list, tuple)) else 1
+        if isinstance(payload, CompressedPayload):
+            payload_size = int(payload.num_values)
+            payload_bytes = int(payload.wire_bytes)
+        else:
+            payload_size = int(np.asarray(payload).size) if isinstance(payload, (np.ndarray, list, tuple)) else 1
+            payload_bytes = 8 * payload_size
         self.floats_sent += payload_size
+        self.bytes_sent += payload_bytes
         self.traffic_by_tag[tag] += payload_size
+        self.bytes_by_tag[tag] += payload_bytes
         if self.drop_probability > 0.0 and self.rng is not None:
             if self.rng.random() < self.drop_probability:
                 self.messages_dropped += 1
@@ -155,7 +170,13 @@ class Network:
         self._mailboxes[recipient][tag].append(message)
         return True
 
-    def record_bulk(self, tag: str, num_messages: int, floats_per_message: int) -> None:
+    def record_bulk(
+        self,
+        tag: str,
+        num_messages: int,
+        floats_per_message: int,
+        bytes_per_message: Optional[int] = None,
+    ) -> None:
         """Account for an exchange performed outside the mailbox (vectorized engine).
 
         The vectorized backend replaces per-message gossip with whole-fleet
@@ -163,15 +184,23 @@ class Network:
         what the equivalent point-to-point exchange would have recorded, so
         communication-cost reporting is backend independent.  No messages are
         enqueued and fault injection does not apply (the vectorized engine is
-        only used on loss-free networks).
+        only used on loss-free networks).  ``bytes_per_message`` defaults to
+        the dense float64 size (``8 * floats_per_message``); compressed
+        exchanges pass the codec's encoded size instead.
         """
         if not tag:
             raise ValueError("tag must be a non-empty string")
         if num_messages < 0 or floats_per_message < 0:
             raise ValueError("message and float counts must be non-negative")
+        if bytes_per_message is None:
+            bytes_per_message = 8 * int(floats_per_message)
+        if bytes_per_message < 0:
+            raise ValueError("bytes_per_message must be non-negative")
         self.messages_sent += int(num_messages)
         self.floats_sent += int(num_messages) * int(floats_per_message)
+        self.bytes_sent += int(num_messages) * int(bytes_per_message)
         self.traffic_by_tag[tag] += int(num_messages) * int(floats_per_message)
+        self.bytes_by_tag[tag] += int(num_messages) * int(bytes_per_message)
 
     def broadcast(self, sender: int, recipients: List[int], tag: str, payload: Any) -> int:
         """Send the same payload to every recipient; returns the number delivered."""
@@ -225,7 +254,9 @@ class Network:
             "messages_dropped": self.messages_dropped,
             "messages_rejected": self.messages_rejected,
             "floats_sent": self.floats_sent,
+            "bytes_sent": self.bytes_sent,
             "traffic_by_tag": dict(self.traffic_by_tag),
+            "bytes_by_tag": dict(self.bytes_by_tag),
         }
 
     # ------------------------------------------------------------------
@@ -246,7 +277,9 @@ class Network:
             "messages_dropped": self.messages_dropped,
             "messages_rejected": self.messages_rejected,
             "floats_sent": self.floats_sent,
+            "bytes_sent": self.bytes_sent,
             "traffic_by_tag": dict(self.traffic_by_tag),
+            "bytes_by_tag": dict(self.bytes_by_tag),
             "rng_state": None if self.rng is None else self.rng.bit_generator.state,
         }
 
@@ -261,8 +294,18 @@ class Network:
         self.messages_dropped = int(payload["messages_dropped"])
         self.messages_rejected = int(payload["messages_rejected"])
         self.floats_sent = int(payload["floats_sent"])
+        # Checkpoints written before byte accounting existed carried dense
+        # float64 traffic only; reconstruct the equivalent byte totals.
+        self.bytes_sent = int(payload.get("bytes_sent", 8 * self.floats_sent))
         self.traffic_by_tag = defaultdict(int)
         self.traffic_by_tag.update(payload["traffic_by_tag"])
+        self.bytes_by_tag = defaultdict(int)
+        self.bytes_by_tag.update(
+            payload.get(
+                "bytes_by_tag",
+                {tag: 8 * count for tag, count in self.traffic_by_tag.items()},
+            )
+        )
         if payload["rng_state"] is not None:
             if self.rng is None:
                 raise ValueError(

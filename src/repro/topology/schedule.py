@@ -86,6 +86,7 @@ __all__ = [
     "TopologySchedule",
     "StaticSchedule",
     "DynamicTopologySchedule",
+    "ShiftOneSchedule",
     "periodic_rewiring_schedule",
     "edge_failure_schedule",
     "churn_schedule",
@@ -571,6 +572,104 @@ class DynamicTopologySchedule(TopologySchedule):
             "straggler_fraction": self.straggler_fraction,
             "min_active": self.min_active,
             "seed": self.seed,
+        }
+
+
+class ShiftOneSchedule(TopologySchedule):
+    """Rotating perfect-matching gossip: one peer per agent per round.
+
+    Implements the ``"shift_one"`` peer-selection mode of
+    :class:`~repro.compression.config.CompressionConfig`, mirroring Bagua's
+    low-precision decentralized algorithm: instead of exchanging with every
+    topology neighbour, each agent pairs up with exactly one peer per round,
+    and the pairing rotates so that over one period of ``N - 1`` rounds
+    (``N`` rounds for odd fleets, where one agent sits each round out as the
+    bye) every agent meets every other agent exactly once.  The round's
+    mixing matrix is ``W = (I + P) / 2`` for the matching's permutation
+    ``P`` — symmetric and doubly stochastic, with ``w_ii = 1`` for the bye
+    agent.
+
+    Pairings come from the round-robin tournament ("circle") construction
+    and deliberately ignore the base graph's edge set — like Bagua, this
+    mode assumes any pair of agents can reach each other.  Every agent is
+    active in every round, so the mode composes with
+    ``communication_interval`` but not with churn/straggler schedules.
+    """
+
+    def __init__(self, base: Topology, cache_size: Optional[int] = None) -> None:
+        n_even = base.num_agents + (base.num_agents % 2)
+        self._period = max(1, n_even - 1)
+        if cache_size is None:
+            # One period covers every distinct matching; cap the cache so a
+            # huge fleet does not pin thousands of snapshots.
+            cache_size = min(self._period, 128)
+        super().__init__(base, cache_size=cache_size)
+        self._n_even = n_even
+        self._all_active = np.ones(base.num_agents, dtype=bool)
+
+    @property
+    def period(self) -> int:
+        """Rounds until the pairing sequence repeats (``N - 1``, or ``N`` odd)."""
+        return self._period
+
+    def pairs_at(self, round_index: int) -> List[Edge]:
+        """The round's matching as sorted ``(u, v)`` pairs (bye agent omitted).
+
+        Circle method: agent 0 stays fixed while the others rotate one slot
+        per round; pairing the rotated order front-to-back yields a perfect
+        matching, and the ``period`` rotations enumerate all matchings of
+        the round-robin tournament.  Odd fleets add a phantom agent whose
+        partner gets the bye.
+        """
+        n = self._n_even
+        rotation = int(round_index) % self._period
+        others = list(range(1, n))
+        rotated = others[rotation:] + others[:rotation]
+        order = [0] + rotated
+        pairs: List[Edge] = []
+        for i in range(n // 2):
+            u, v = order[i], order[n - 1 - i]
+            if u < self.num_agents and v < self.num_agents:
+                pairs.append((min(u, v), max(u, v)))
+        return pairs
+
+    def _key_at(self, round_index: int) -> Hashable:
+        return int(round_index) % self._period
+
+    def _build(self, key: Hashable) -> Topology:
+        pairs = self.pairs_at(int(key))
+        graph = nx.Graph()
+        graph.add_nodes_from(range(self.num_agents))
+        graph.add_edges_from(pairs)
+        weights = np.zeros((self.num_agents, self.num_agents), dtype=np.float64)
+        np.fill_diagonal(weights, 1.0)
+        for u, v in pairs:
+            weights[u, u] = 0.5
+            weights[v, v] = 0.5
+            weights[u, v] = 0.5
+            weights[v, u] = 0.5
+        nnz = 2 * len(pairs) + self.num_agents
+        mixing: MixingMatrix = weights
+        if preferred_mixing_format(self.num_agents, nnz) == "csr":
+            mixing = sp.csr_array(weights)
+        return Topology(
+            graph=graph,
+            mixing_matrix=mixing,
+            name=f"{self.base.name}+shift_one",
+            require_connected=False,
+        )
+
+    def active_mask_at(self, round_index: int) -> np.ndarray:
+        return self._all_active
+
+    def events_at(self, round_index: int) -> List[TopologyEvent]:
+        return []
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "kind": type(self).__name__,
+            "base": self.base.name,
+            "period": self._period,
         }
 
 

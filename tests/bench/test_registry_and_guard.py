@@ -82,6 +82,7 @@ class TestRegistry:
         names = registered_benchmarks()
         for expected in (
             "engine/round",
+            "gossip/compressed",
             "gossip/sparse",
             "gossip/scaling-sweep",
             "topology/dynamic-cache",
@@ -95,6 +96,7 @@ class TestRegistry:
 
     def test_select_by_substring(self):
         assert select_benchmarks(["gossip"]) == [
+            "gossip/compressed",
             "gossip/scaling-sweep",
             "gossip/sparse",
         ]

@@ -46,7 +46,7 @@ ALGORITHMS = {
 BACKENDS = ("loop", "vectorized")
 
 
-def build_algorithm(name, backend, dynamic=False):
+def build_algorithm(name, backend, dynamic=False, compression=None):
     """A small but complete instance (noise on, momentum on where supported)."""
     cls, config_cls, extra = ALGORITHMS[name]
     topology = ring_graph(NUM_AGENTS)
@@ -74,6 +74,7 @@ def build_algorithm(name, backend, dynamic=False):
         batch_size=8,
         seed=7,
         backend=backend,
+        compression=compression,
         **extra,
     )
     if cls is PDSL:
@@ -161,6 +162,92 @@ def test_resume_bit_identical_under_dynamic_schedule(backend, tmp_path):
 
     assert histories_equal(history_straight, history_resumed)
     assert_same_resumable_state(straight, resumed)
+
+
+COMPRESSED = {
+    "codec": "topk",
+    "k": 2,
+    "communication_interval": 2,
+    "error_feedback": True,
+}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_resume_bit_identical_under_compression(backend, tmp_path):
+    """Residual buffers and the interval position ride through checkpoints.
+
+    Top-k with error feedback and a communication interval of 2: the resume
+    must restore the per-channel residuals (else the error memory restarts
+    from zero and the trajectory drifts) and the interval phase (else the
+    resumed run gossips on the wrong rounds).  HALF = 2 lands the
+    checkpoint exactly on an off-interval round, so both are exercised.
+    """
+    straight, test = build_algorithm("DMSGD", backend, compression=COMPRESSED)
+    evaluation = EvaluationConfig(eval_every=1, test_data=test)
+    history_straight = run_decentralized(straight, ROUNDS, evaluation=evaluation)
+
+    interrupted, test_b = build_algorithm("DMSGD", backend, compression=COMPRESSED)
+    session = RunSession(
+        interrupted,
+        ROUNDS,
+        evaluation=EvaluationConfig(eval_every=1, test_data=test_b),
+        checkpoint_every=HALF,
+        checkpoint_dir=tmp_path,
+    )
+    session.run(max_rounds=HALF)
+
+    resumed, test_c = build_algorithm("DMSGD", backend, compression=COMPRESSED)
+    history_resumed = RunSession.resume(
+        resumed,
+        latest_checkpoint(tmp_path),
+        evaluation=EvaluationConfig(eval_every=1, test_data=test_c),
+    ).run()
+
+    assert histories_equal(history_straight, history_resumed)
+    assert_same_resumable_state(straight, resumed)
+    assert straight.network.bytes_sent == resumed.network.bytes_sent
+    straight_res = straight._compression_state._residuals
+    resumed_res = resumed._compression_state._residuals
+    assert sorted(straight_res) == sorted(resumed_res)
+    for channel in straight_res:
+        assert np.array_equal(straight_res[channel], resumed_res[channel])
+        assert np.any(straight_res[channel] != 0.0), "top-k left no residual?"
+
+
+def test_resume_restores_sparsifier_rng_streams():
+    """random-k's per-agent coordinate streams continue bit-exactly."""
+    straight, _ = build_algorithm("DMSGD", "vectorized", compression={"codec": "randomk", "k": 2})
+    for _ in range(ROUNDS):
+        straight.run_round()
+
+    other, _ = build_algorithm("DMSGD", "vectorized", compression={"codec": "randomk", "k": 2})
+    for _ in range(HALF):
+        other.run_round()
+    payload = other.state_dict()
+
+    resumed, _ = build_algorithm("DMSGD", "vectorized", compression={"codec": "randomk", "k": 2})
+    resumed.load_state_dict(payload)
+    for _ in range(ROUNDS - HALF):
+        resumed.run_round()
+    assert np.array_equal(straight.state, resumed.state)
+    for rng_a, rng_b in zip(
+        straight._compression_state.rngs, resumed._compression_state.rngs
+    ):
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+
+def test_load_state_dict_rejects_compression_mismatch():
+    compressed, _ = build_algorithm("DMSGD", "vectorized", compression=COMPRESSED)
+    compressed.run_round()
+    plain, _ = build_algorithm("DMSGD", "vectorized")
+    with pytest.raises(ValueError, match="compression"):
+        plain.load_state_dict(compressed.state_dict())
+    with pytest.raises(ValueError, match="compression"):
+        fresh, _ = build_algorithm("DMSGD", "vectorized", compression=COMPRESSED)
+        fresh.load_state_dict(plain.state_dict())
+    other_codec, _ = build_algorithm("DMSGD", "vectorized", compression={"codec": "int8"})
+    with pytest.raises(ValueError, match="codec"):
+        other_codec.load_state_dict(compressed.state_dict())
 
 
 def test_resume_preserves_netfleet_tracking_state(tmp_path):

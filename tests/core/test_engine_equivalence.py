@@ -62,6 +62,7 @@ def build_algorithm(
     model="linear",
     mixing_backend="auto",
     topology_factory=None,
+    compression=None,
 ):
     cls, config_cls, extra = ALGORITHMS[name]
     topology = (topology_factory or TOPOLOGIES[topology_name])()
@@ -86,6 +87,7 @@ def build_algorithm(
         seed=7,
         backend=backend,
         mixing_backend=mixing_backend,
+        compression=compression,
         **extra,
     )
     if cls is PDSL:
@@ -356,6 +358,52 @@ class TestScheduleEquivalence:
             np.testing.assert_array_equal(
                 algorithm.momentum_state[inactive], momentum_before[inactive]
             )
+
+
+@pytest.mark.parametrize("backend", ["loop", "vectorized"])
+@pytest.mark.parametrize("algorithm_name", sorted(ALGORITHMS))
+class TestIdentityCodecBitIdentity:
+    """``compression={"codec": "identity"}`` must be a no-op, bit for bit.
+
+    The compressed-gossip plumbing routes every exchanged payload through
+    :meth:`gossip_broadcast`/:meth:`compress_gossip_rows` even when the
+    codec is the identity; these regression cells pin the entire PR-5
+    baseline trajectory — history, final state, and traffic counters — for
+    every algorithm, on both engines, under static and dynamic topologies.
+    """
+
+    def test_static_topology_bit_identical(self, algorithm_name, backend):
+        plain_alg, plain_history = run_history(algorithm_name, backend, "ring")
+        codec_alg, codec_history = run_history(
+            algorithm_name, backend, "ring", compression={"codec": "identity"}
+        )
+        assert codec_alg.codec.is_identity
+        assert_histories_identical(plain_history, codec_history)
+        np.testing.assert_array_equal(plain_alg.state, codec_alg.state)
+        np.testing.assert_array_equal(
+            plain_alg.momentum_state, codec_alg.momentum_state
+        )
+        assert (
+            plain_alg.network.traffic_summary() == codec_alg.network.traffic_summary()
+        )
+
+    def test_dynamic_topology_bit_identical(self, algorithm_name, backend):
+        factory = TestScheduleEquivalence.dynamic_schedule
+        plain_alg, plain_history = run_history(
+            algorithm_name, backend, None, topology_factory=factory
+        )
+        codec_alg, codec_history = run_history(
+            algorithm_name,
+            backend,
+            None,
+            topology_factory=factory,
+            compression={"codec": "identity"},
+        )
+        assert_histories_identical(plain_history, codec_history)
+        np.testing.assert_array_equal(plain_alg.state, codec_alg.state)
+        assert (
+            plain_alg.network.traffic_summary() == codec_alg.network.traffic_summary()
+        )
 
 
 class TestSparseMixingVariants:

@@ -1,0 +1,294 @@
+"""Property-based tests for the gossip compression stack (hypothesis).
+
+The codec invariants the communication layer leans on:
+
+* decode(encode(x)) error is bounded (per codec, with an explicit bound);
+* error feedback telescopes: everything ever transmitted plus the current
+  residual equals everything ever offered — zero systematic drift;
+* top-k keeps exactly the k largest magnitudes and zeroes the rest;
+* int8 round-trips exactly on values that are representable levels;
+* random-k is k-sparse, deterministic per seed, and engine-order safe;
+* the loop engine's single-row kernel is bit-identical to the vectorized
+  engine's whole-fleet kernel.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression.codecs import (
+    FP16Codec,
+    Int8Codec,
+    RandomKCodec,
+    TopKCodec,
+    make_codec,
+)
+from repro.compression.config import CompressionConfig, validate_compression
+from repro.compression.state import CompressionState
+
+
+def _matrix(rows, dimension, seed, scale=1.0):
+    return np.random.default_rng(seed).normal(scale=scale, size=(rows, dimension))
+
+
+def _rngs(rows, seed):
+    return [np.random.default_rng([seed, 0xC0DEC, row]) for row in range(rows)]
+
+
+# ---------------------------------------------------------------------------
+# Round-trip error bounds
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 8),
+    dimension=st.integers(1, 48),
+    seed=st.integers(0, 10_000),
+    scale=st.floats(1e-3, 1e3, allow_nan=False),
+)
+def test_fp16_roundtrip_error_is_half_precision_bounded(rows, dimension, seed, scale):
+    work = _matrix(rows, dimension, seed, scale)
+    decoded = FP16Codec().decode_rows(work)
+    # Round-to-nearest half precision: relative error 2^-11 per element in
+    # the normal range, absolute error 2^-25 (half the subnormal spacing)
+    # below the smallest normal 2^-14.
+    bound = np.maximum(np.abs(work) * 2.0**-10, 2.0**-24)
+    assert (np.abs(decoded - work) <= bound).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 8),
+    dimension=st.integers(1, 48),
+    seed=st.integers(0, 10_000),
+    scale=st.floats(1e-3, 1e3, allow_nan=False),
+)
+def test_int8_roundtrip_error_bounded_by_row_scale(rows, dimension, seed, scale):
+    work = _matrix(rows, dimension, seed, scale)
+    decoded = Int8Codec().decode_rows(work)
+    # Rounding to the nearest of 255 levels: at most half a level per entry.
+    level = np.max(np.abs(work), axis=1, keepdims=True) / 127.0
+    assert (np.abs(decoded - work) <= 0.5 * level + 1e-12).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 8),
+    dimension=st.integers(1, 48),
+    k=st.integers(1, 48),
+    seed=st.integers(0, 10_000),
+)
+def test_sparsifiers_are_contractions(rows, dimension, k, seed):
+    work = _matrix(rows, dimension, seed)
+    for codec in (TopKCodec(k), RandomKCodec(k)):
+        decoded = codec.decode_rows(work, _rngs(rows, seed))
+        # Keeping a coordinate subset can only shrink the row norm, and the
+        # kept coordinates are exact copies.
+        assert (
+            np.linalg.norm(decoded, axis=1) <= np.linalg.norm(work, axis=1) + 1e-12
+        ).all()
+        kept = decoded != 0.0
+        np.testing.assert_array_equal(decoded[kept], work[kept])
+
+
+# ---------------------------------------------------------------------------
+# Error feedback telescopes to zero drift
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    codec_name=st.sampled_from(["fp16", "int8", "topk", "randomk"]),
+    agents=st.integers(1, 6),
+    dimension=st.integers(2, 32),
+    rounds=st.integers(1, 10),
+    seed=st.integers(0, 10_000),
+)
+def test_error_feedback_residuals_telescope(codec_name, agents, dimension, rounds, seed):
+    codec = make_codec(CompressionConfig(codec=codec_name), dimension)
+    state = CompressionState(codec, agents, dimension, error_feedback=True, seed=seed)
+    rng = np.random.default_rng(seed)
+    offered = np.zeros((agents, dimension))
+    transmitted = np.zeros((agents, dimension))
+    for _ in range(rounds):
+        matrix = rng.normal(size=(agents, dimension))
+        offered += matrix
+        transmitted += state.compress_rows("model", matrix)
+    residual = state.residual("model")
+    # Sum of decoded transmissions + final residual == sum of inputs: the
+    # compression error never accumulates into systematic drift.
+    np.testing.assert_allclose(transmitted + residual, offered, rtol=1e-9, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    agents=st.integers(1, 5),
+    dimension=st.integers(4, 24),
+    seed=st.integers(0, 10_000),
+)
+def test_without_error_feedback_no_residual_is_kept(agents, dimension, seed):
+    codec = make_codec(CompressionConfig(codec="topk", k=2), dimension)
+    state = CompressionState(codec, agents, dimension, error_feedback=False, seed=seed)
+    matrix = _matrix(agents, dimension, seed)
+    decoded = state.compress_rows("model", matrix)
+    assert state.residual("model") is None
+    np.testing.assert_array_equal(decoded, codec.decode_rows(matrix))
+
+
+# ---------------------------------------------------------------------------
+# Top-k keeps exactly the k largest magnitudes
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 8),
+    dimension=st.integers(1, 48),
+    k=st.integers(1, 48),
+    seed=st.integers(0, 10_000),
+)
+def test_topk_preserves_the_k_largest_magnitudes(rows, dimension, k, seed):
+    work = _matrix(rows, dimension, seed)
+    decoded = TopKCodec(k).decode_rows(work)
+    effective_k = min(k, dimension)
+    for row in range(rows):
+        kept = np.flatnonzero(decoded[row])
+        # Gaussian draws are almost surely nonzero and tie-free.
+        assert len(kept) == effective_k
+        np.testing.assert_array_equal(decoded[row, kept], work[row, kept])
+        dropped = np.setdiff1d(np.arange(dimension), kept)
+        if len(dropped):
+            assert np.abs(work[row, kept]).min() >= np.abs(work[row, dropped]).max()
+
+
+# ---------------------------------------------------------------------------
+# Int8 is exact on representable values
+# ---------------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.integers(1, 6),
+    dimension=st.integers(1, 32),
+    seed=st.integers(0, 10_000),
+    scale_exponent=st.integers(-20, 20),
+)
+def test_int8_roundtrips_exactly_on_representable_levels(
+    rows, dimension, seed, scale_exponent
+):
+    # A power-of-two scale survives the codec's own scale reconstruction
+    # (max|row| / 127) bit for bit; an arbitrary float scale need not —
+    # fl(fl(127 * s) / 127) != s in general — so exactness is only promised
+    # on levels of the *reconstructed* scale.
+    scale = 2.0**scale_exponent
+    rng = np.random.default_rng(seed)
+    levels = rng.integers(-127, 128, size=(rows, dimension)).astype(np.float64)
+    levels[:, 0] = 127.0  # pin the row maximum to a full-scale level
+    work = levels * scale
+    decoded = Int8Codec().decode_rows(work)
+    np.testing.assert_array_equal(decoded, work)
+
+
+def test_int8_zero_rows_stay_exactly_zero():
+    work = np.zeros((3, 7))
+    np.testing.assert_array_equal(Int8Codec().decode_rows(work), work)
+
+
+# ---------------------------------------------------------------------------
+# Random-k: sparsity, determinism, per-row streams
+# ---------------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 6),
+    dimension=st.integers(2, 32),
+    k=st.integers(1, 32),
+    seed=st.integers(0, 10_000),
+)
+def test_randomk_is_k_sparse_and_seed_deterministic(rows, dimension, k, seed):
+    work = _matrix(rows, dimension, seed)
+    codec = RandomKCodec(k)
+    first = codec.decode_rows(work, _rngs(rows, seed))
+    again = codec.decode_rows(work, _rngs(rows, seed))
+    np.testing.assert_array_equal(first, again)
+    effective_k = min(k, dimension)
+    assert ((first != 0.0).sum(axis=1) <= effective_k).all()
+    kept = first != 0.0
+    np.testing.assert_array_equal(first[kept], work[kept])
+
+
+def test_randomk_requires_one_rng_per_row():
+    codec = RandomKCodec(2)
+    work = np.ones((3, 8))
+    with pytest.raises(ValueError, match="one rng per row"):
+        codec.decode_rows(work)
+    with pytest.raises(ValueError, match="one rng per row"):
+        codec.decode_rows(work, _rngs(2, 0))
+
+
+# ---------------------------------------------------------------------------
+# Loop (single-row) and vectorized (fleet-matrix) kernels are bit-identical
+# ---------------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    codec_name=st.sampled_from(["identity", "fp16", "int8", "topk", "randomk"]),
+    agents=st.integers(1, 6),
+    dimension=st.integers(2, 24),
+    rounds=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+def test_row_kernel_matches_matrix_kernel_bitwise(
+    codec_name, agents, dimension, rounds, seed
+):
+    config = CompressionConfig(codec=codec_name)
+    fleet = CompressionState(make_codec(config, dimension), agents, dimension, seed=seed)
+    per_row = CompressionState(
+        make_codec(config, dimension), agents, dimension, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    for _ in range(rounds):
+        matrix = rng.normal(size=(agents, dimension))
+        vectorized = fleet.compress_rows("model", matrix)
+        looped = np.stack(
+            [per_row.compress_row("model", agent, matrix[agent]) for agent in range(agents)]
+        )
+        np.testing.assert_array_equal(vectorized, looped)
+    if fleet.residual("model") is not None:
+        np.testing.assert_array_equal(
+            fleet.residual("model"), per_row.residual("model")
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    agents=st.integers(2, 6),
+    dimension=st.integers(2, 24),
+    seed=st.integers(0, 10_000),
+)
+def test_masked_rows_pass_through_untouched(agents, dimension, seed):
+    config = CompressionConfig(codec="topk", k=1)
+    state = CompressionState(make_codec(config, dimension), agents, dimension, seed=seed)
+    matrix = _matrix(agents, dimension, seed)
+    mask = np.zeros(agents, dtype=bool)
+    mask[0] = True
+    decoded = state.compress_rows("model", matrix, active_mask=mask)
+    np.testing.assert_array_equal(decoded[1:], matrix[1:])
+    assert (state.residual("model")[1:] == 0.0).all()
+
+
+# ---------------------------------------------------------------------------
+# Configuration validation
+# ---------------------------------------------------------------------------
+def test_compression_config_validation():
+    assert CompressionConfig().is_identity
+    assert validate_compression(None) is None
+    validate_compression({"codec": "topk", "k": 3, "communication_interval": 2})
+    with pytest.raises(ValueError, match="codec must be one of"):
+        validate_compression({"codec": "gzip"})
+    with pytest.raises(ValueError, match="unknown"):
+        validate_compression({"codec": "topk", "sparsity": 3})
+    with pytest.raises(ValueError, match="k"):
+        CompressionConfig(codec="fp16", k=3)
+    with pytest.raises(ValueError, match="k"):
+        CompressionConfig(codec="topk", k=0)
+    with pytest.raises(ValueError, match="communication_interval"):
+        CompressionConfig(communication_interval=0)
+    with pytest.raises(ValueError, match="peer_selection"):
+        CompressionConfig(peer_selection="ring_allreduce")
+
+
+def test_make_codec_rejects_oversized_k():
+    with pytest.raises(ValueError, match="exceeds the model dimension"):
+        make_codec(CompressionConfig(codec="topk", k=100), 10)
