@@ -85,6 +85,9 @@ def _result_payload(result: BenchResult) -> Dict[str, object]:
         "metrics": result.metrics,
         "params": result.params,
         "floor": result.floor,
+        "skipped": result.skipped,
+        "skip_reason": result.skip_reason,
+        "notes": result.notes,
     }
 
 
@@ -203,6 +206,21 @@ def compare_artifacts(
             )
             continue
         floored = after.get("floor") is not None
+        if before.get("skipped") or after.get("skipped"):
+            side = "baseline" if before.get("skipped") else "candidate"
+            if before.get("skipped") and after.get("skipped"):
+                side = "both runs"
+            reason = (after if after.get("skipped") else before).get("skip_reason")
+            comparison.rows.append(
+                SuiteComparison(
+                    name,
+                    "skipped",
+                    floored=floored,
+                    note=f"{side} skipped"
+                    + (f": {reason}" if reason else ""),
+                )
+            )
+            continue
         if before.get("params") != after.get("params"):
             comparison.rows.append(
                 SuiteComparison(

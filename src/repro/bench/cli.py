@@ -143,12 +143,29 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _format_rss(num_bytes: Optional[int]) -> str:
+    if num_bytes is None:
+        return "n/a"
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{value:.1f} TiB"  # pragma: no cover - unreachable
+
+
 def _print_result(result: BenchResult) -> None:
+    if result.skipped:
+        print(f"[{result.name}] SKIPPED: {result.skip_reason}")
+        return
     print(f"[{result.name}] best {result.best_seconds:.5f}s over "
           f"{result.repeats} repeat(s) (mean {result.mean_seconds:.5f}s "
-          f"± {result.std_seconds:.5f}s)")
+          f"± {result.std_seconds:.5f}s, peak RSS "
+          f"{_format_rss(result.rss_peak_bytes)})")
     for key in sorted(result.metrics):
         print(f"    {key:<28s} {result.metrics[key]:.6g}")
+    for key in sorted(result.notes):
+        print(f"    {key:<28s} {result.notes[key]}")
     if result.floor is not None:
         floor = result.floor
         if floor["armed"]:

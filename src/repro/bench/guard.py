@@ -19,6 +19,12 @@ every floor in the suite, uniformly, instead of ad-hoc per-file copies:
 
 A disarmed floor is not a silent skip: :func:`arm_floor` returns the reason,
 and both the pytest wrappers and ``repro-bench`` print it.
+
+The guard also has a **memory arm** for the large-``N`` scaling suites: a
+suite that would allocate more RAM than the machine can spare is *skipped*
+(not failed) via :func:`check_memory`, and the skip reason lands in the
+benchmark artifact — so a laptop run of the sweep records "N=262144 skipped:
+needs 6.0 GiB, 2.1 GiB available" instead of getting OOM-killed.
 """
 
 from __future__ import annotations
@@ -27,7 +33,14 @@ import os
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["FloorDecision", "available_cpus", "arm_floor"]
+__all__ = [
+    "FloorDecision",
+    "MemoryDecision",
+    "available_cpus",
+    "available_memory_bytes",
+    "arm_floor",
+    "check_memory",
+]
 
 
 def available_cpus() -> int:
@@ -36,6 +49,23 @@ def available_cpus() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux fallback
         return os.cpu_count() or 1
+
+
+def available_memory_bytes() -> Optional[int]:
+    """Memory the kernel estimates is available without swapping, in bytes.
+
+    Reads ``MemAvailable`` from ``/proc/meminfo`` (Linux).  Returns ``None``
+    when the estimate cannot be obtained — callers must treat that as
+    "unknown", not "unlimited" or "zero".
+    """
+    try:
+        with open("/proc/meminfo", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("MemAvailable:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        pass
+    return None
 
 
 @dataclass(frozen=True)
@@ -88,3 +118,63 @@ def arm_floor(
             f"{min_baseline_seconds:.3f}s (too short to assert a ratio)",
         )
     return FloorDecision(True, "armed")
+
+
+@dataclass(frozen=True)
+class MemoryDecision:
+    """Whether a memory-hungry benchmark (or sweep point) fits in RAM."""
+
+    fits: bool
+    reason: str
+    required_bytes: int
+    available_bytes: Optional[int]
+
+    def __bool__(self) -> bool:
+        return self.fits
+
+
+def _format_bytes(num_bytes: float) -> str:
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024.0
+    return f"{value:.1f} TiB"  # pragma: no cover - unreachable
+
+
+def check_memory(required_bytes: int, safety_factor: float = 1.5) -> MemoryDecision:
+    """Decide whether a workload needing ``required_bytes`` of RAM should run.
+
+    The decision is **skip, not fail**: a machine too small for a scaling
+    point is an environment fact, not a regression.  ``safety_factor``
+    covers transient copies (gossip products, checkpoint buffers) beyond the
+    caller's steady-state estimate.  An unknown availability (non-Linux, no
+    ``/proc/meminfo``) errs on the side of running — the caller asked, the
+    kernel would not answer.
+    """
+    if required_bytes < 0:
+        raise ValueError("required_bytes must be non-negative")
+    if safety_factor < 1.0:
+        raise ValueError("safety_factor must be >= 1.0")
+    available = available_memory_bytes()
+    needed = int(required_bytes * safety_factor)
+    if available is None:
+        return MemoryDecision(
+            True, "memory availability unknown; running", required_bytes, None
+        )
+    if needed > available:
+        return MemoryDecision(
+            False,
+            f"needs {_format_bytes(needed)} "
+            f"(incl. {safety_factor:g}x headroom), "
+            f"{_format_bytes(available)} available",
+            required_bytes,
+            available,
+        )
+    return MemoryDecision(
+        True,
+        f"fits: needs {_format_bytes(needed)}, "
+        f"{_format_bytes(available)} available",
+        required_bytes,
+        available,
+    )

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.bench.guard import FloorDecision, arm_floor
+from repro.bench.guard import FloorDecision, arm_floor, check_memory
 from repro.bench.timer import Measurement, Timer
 
 __all__ = [
@@ -78,6 +78,27 @@ class Benchmark:
         """The knob values this instance resolved (recorded in the artifact)."""
         return {}
 
+    def required_memory_bytes(self) -> Optional[int]:
+        """Steady-state RAM this suite needs, or ``None`` for "no declared need".
+
+        Suites that allocate fleet-scale matrices declare their footprint so
+        :func:`run_benchmark` can *skip* (not fail) them on machines too
+        small to hold it — the skip and its reason are recorded in the
+        artifact.  Sweep-style suites that guard per point internally (see
+        the scaling sweep) should return ``None`` here and use
+        :func:`~repro.bench.guard.check_memory` themselves.
+        """
+        return None
+
+    def notes(self) -> Dict[str, str]:
+        """Free-form annotations recorded in the artifact after :meth:`run`.
+
+        The scaling sweep uses this for per-point memory skips
+        (``"skip@262144" -> "needs 6.0 GiB, ..."``) so a partially-guarded
+        sweep documents exactly which points it dropped and why.
+        """
+        return {}
+
     def setup(self) -> None:
         """Build inputs; untimed."""
 
@@ -112,6 +133,9 @@ class BenchResult:
     metrics: Dict[str, float] = field(default_factory=dict)
     params: Dict[str, object] = field(default_factory=dict)
     floor: Optional[Dict[str, object]] = None
+    skipped: bool = False
+    skip_reason: Optional[str] = None
+    notes: Dict[str, str] = field(default_factory=dict)
 
     @property
     def floored(self) -> bool:
@@ -178,6 +202,28 @@ def run_benchmark(
     """
     repeats = bench.default_repeats if repeats is None else max(1, int(repeats))
     warmup = bench.default_warmup if warmup is None else bool(warmup)
+    required = bench.required_memory_bytes()
+    if required is not None:
+        decision = check_memory(required)
+        if not decision.fits:
+            # Skip, don't fail: a machine too small for the suite's fleet
+            # is an environment fact, and the artifact records why.
+            return BenchResult(
+                name=bench.name,
+                description=bench.description,
+                wall_seconds=[],
+                best_seconds=0.0,
+                mean_seconds=0.0,
+                std_seconds=0.0,
+                rss_peak_bytes=None,
+                repeats=0,
+                warmup=False,
+                metrics={},
+                params=bench.params(),
+                floor=None,
+                skipped=True,
+                skip_reason=decision.reason,
+            )
     measurement = Measurement()
     metrics: Dict[str, float] = {}
     bench.setup()
@@ -204,6 +250,7 @@ def run_benchmark(
         metrics=metrics,
         params=bench.params(),
         floor=floor_payload,
+        notes=bench.notes(),
     )
 
 

@@ -7,7 +7,10 @@ Each suite packages one hot path of the system behind the
 * ``gossip/sparse`` — dense vs CSR gossip kernels (bit-identity checked);
 * ``gossip/compressed`` — dense vs top-k vs int8 gossip wire bytes
   (identity-codec bit-identity checked);
-* ``gossip/scaling-sweep`` — auto-backend ``W @ X`` across fleet sizes;
+* ``gossip/scaling-sweep`` — gossip kernels (one-shot, blocked, float32,
+  mixed-precision, hierarchical two-level) across fleet sizes up to the
+  machine's memory ceiling, with too-large points skipped via the shared
+  memory guard;
 * ``topology/dynamic-cache`` — schedule snapshot LRU vs naive rebuild;
 * ``orchestrator/pool`` — process-pool grid vs serial (plus warm store);
 * ``checkpoint/roundtrip`` — ``state_dict`` → save → load → restore;
@@ -366,43 +369,138 @@ class CompressedGossipSuite(Benchmark):
 # ---------------------------------------------------------------------------
 @benchmark
 class GossipScalingSweepSuite(Benchmark):
-    """Auto-backend gossip across fleet sizes (the engine's default path)."""
+    """Gossip kernels across fleet sizes, up to the machine's memory ceiling.
+
+    For every ``N`` in ``REPRO_BENCH_SWEEP_AGENTS`` the suite times the
+    kernels the million-agent scaling work added, on a ring fleet:
+
+    * ``seconds@N`` — one-shot auto-backend ``W @ X`` (the historic path);
+    * ``blocked_s@N`` — :meth:`MixingOperator.mix_rows_blocked` with the
+      auto-sized row block (bit-identity vs one-shot asserted at N <= 4096);
+    * ``f32_s@N`` / ``mixed_s@N`` — float32 state through the dtype-aware
+      kernel and the mixed-precision (float64-accumulate) kernel;
+    * ``two_level_s@N`` — the factored hierarchical operator
+      (:class:`~repro.topology.hierarchical.TwoLevelMixingOperator`), which
+      never materialises the blown-up matrix.
+
+    Points that would not fit in RAM are **skipped, not failed**, through
+    the shared memory guard; each skip's reason is recorded in the
+    artifact's ``notes`` (``"skip@262144": "needs ..."``), and
+    ``max_agents`` reports the ceiling the sweep actually reached.
+    """
 
     name = "gossip/scaling-sweep"
-    description = "auto-selected mixing backend, W @ X seconds across N"
+    description = "gossip kernels across N (blocked/f32/mixed/two-level), memory-guarded"
     default_repeats = 3
+    #: Bit-identity of the blocked kernel is asserted up to this N (cheap);
+    #: beyond it the property tests own the guarantee.
+    BIT_CHECK_MAX_AGENTS = 4096
 
     def __init__(self) -> None:
-        self.agent_counts = _env_ints("REPRO_BENCH_SWEEP_AGENTS", "256,1024,4096")
+        self.agent_counts = _env_ints(
+            "REPRO_BENCH_SWEEP_AGENTS", "256,1024,4096,16384,65536,262144"
+        )
         self.dimension = _env_int("REPRO_BENCH_SPARSE_DIM", 64)
-        self._cases: List[Tuple[int, object, np.ndarray]] = []
+        self._cases: List[Dict[str, object]] = []
+        self._notes: Dict[str, str] = {}
 
     def params(self) -> Dict[str, object]:
         return {"agents": self.agent_counts, "dimension": self.dimension}
 
+    def notes(self) -> Dict[str, str]:
+        return dict(self._notes)
+
+    def point_memory_bytes(self, num_agents: int) -> int:
+        """Steady-state estimate for one sweep point.
+
+        float64 state + transient output (16 B/coord), float32 state +
+        output (8 B/coord), the mixed kernel's block accumulator (bounded),
+        the ring CSR (~3 nonzeros/row) plus its cached float32 cast.
+        """
+        return num_agents * self.dimension * 24 + num_agents * 64
+
     def setup(self) -> None:
-        # Graph/operator construction is O(N^2) at the top of the sweep and
-        # is not what this suite measures — build once, outside the timed
-        # lifecycle, so repeats denoise the apply timings instead of
-        # re-timing construction.
+        # Graph/operator construction is not what this suite measures —
+        # build once, outside the timed lifecycle, so repeats denoise the
+        # apply timings instead of re-timing construction.  Each point is
+        # memory-guarded here: too-large Ns are dropped with their reason
+        # noted, never attempted.
+        import networkx as nx
+
+        from repro.bench.guard import check_memory
+        from repro.sharding import resolve_block_rows
         from repro.topology.graphs import ring_graph
+        from repro.topology.hierarchical import (
+            TwoLevelMixingOperator,
+            default_cluster_size,
+        )
+        from repro.topology.mixing import metropolis_hastings_weights
 
         self._cases = []
+        self._notes = {}
         for num_agents in self.agent_counts:
+            decision = check_memory(self.point_memory_bytes(num_agents))
+            if not decision.fits:
+                self._notes[f"skip@{num_agents}"] = decision.reason
+                continue
             operator = ring_graph(num_agents).mixing_operator()  # auto format
             state = np.random.default_rng(0).normal(
                 size=(num_agents, self.dimension)
             )
-            self._cases.append((num_agents, operator, state))
+            block_rows = resolve_block_rows(num_agents, self.dimension)
+            two_level = None
+            if num_agents >= 4:
+                cluster_size = default_cluster_size(num_agents)
+                num_clusters = num_agents // cluster_size
+                if num_clusters >= 3:
+                    cluster_w = metropolis_hastings_weights(
+                        nx.cycle_graph(num_clusters), sparse=True
+                    )
+                    two_level = TwoLevelMixingOperator(cluster_w, cluster_size)
+            if num_agents <= self.BIT_CHECK_MAX_AGENTS:
+                np.testing.assert_array_equal(
+                    operator.apply(state),
+                    operator.mix_rows_blocked(state, block_rows),
+                )
+            self._cases.append(
+                {
+                    "num_agents": num_agents,
+                    "operator": operator,
+                    "state": state,
+                    "state_f32": state.astype(np.float32),
+                    "block_rows": block_rows,
+                    "two_level": two_level,
+                }
+            )
 
     def teardown(self) -> None:
         self._cases = []
 
     def run(self) -> Dict[str, float]:
         metrics: Dict[str, float] = {}
-        for num_agents, operator, state in self._cases:
+        for case in self._cases:
+            num_agents = case["num_agents"]
+            operator = case["operator"]
+            state = case["state"]
+            state_f32 = case["state_f32"]
+            block_rows = case["block_rows"]
             metrics[f"seconds@{num_agents}"] = _timed(operator.apply, state)
+            metrics[f"blocked_s@{num_agents}"] = _timed(
+                operator.mix_rows_blocked, state, block_rows
+            )
+            metrics[f"f32_s@{num_agents}"] = _timed(operator.apply, state_f32)
+            metrics[f"mixed_s@{num_agents}"] = _timed(
+                operator.apply_mixed, state_f32, block_rows
+            )
+            if case["two_level"] is not None:
+                metrics[f"two_level_s@{num_agents}"] = _timed(
+                    case["two_level"].apply, state
+                )
             metrics[f"nnz@{num_agents}"] = float(operator.nnz)
+            metrics[f"block_rows@{num_agents}"] = float(block_rows)
+        metrics["max_agents"] = float(
+            max((case["num_agents"] for case in self._cases), default=0)
+        )
         return metrics
 
 

@@ -108,6 +108,58 @@ class CompressionState:
             residual[active] = work - decoded
         return out
 
+    def compress_rows_blocked(
+        self,
+        channel: str,
+        matrix: np.ndarray,
+        active_mask: Optional[np.ndarray] = None,
+        block_rows: Optional[int] = None,
+    ) -> np.ndarray:
+        """:meth:`compress_rows` streamed over ``(block_rows, d)`` chunks.
+
+        The codec kernels are row-wise and each agent's residual/stream is
+        touched exactly once, so the blocked pass is **bit-identical** to
+        the one-shot call — it exists purely to bound the transient working
+        set (one block's ``work``/``decoded`` arrays instead of fleet-sized
+        copies) on large fleets.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if block_rows is None or block_rows >= self.num_agents:
+            return self.compress_rows(channel, matrix, active_mask)
+        if block_rows < 1:
+            raise ValueError("block_rows must be a positive integer")
+        residual = self._residual_for(channel)
+        out = np.empty_like(matrix)
+        for start in range(0, self.num_agents, block_rows):
+            stop = min(start + block_rows, self.num_agents)
+            block = matrix[start:stop]
+            sub_mask = None if active_mask is None else active_mask[start:stop]
+            if sub_mask is None or bool(sub_mask.all()):
+                work = block + residual[start:stop] if residual is not None else block
+                rngs = None if self.rngs is None else self.rngs[start:stop]
+                decoded = self.codec.decode_rows(work, rngs)
+                if residual is not None:
+                    residual[start:stop] = work - decoded
+                out[start:stop] = decoded
+                continue
+            active = np.flatnonzero(sub_mask)
+            out[start:stop] = block
+            if active.size == 0:
+                continue
+            work = block[active]
+            if residual is not None:
+                work = work + residual[start:stop][active]
+            rngs = (
+                None
+                if self.rngs is None
+                else [self.rngs[start + int(i)] for i in active]
+            )
+            decoded = self.codec.decode_rows(work, rngs)
+            out[start + active] = decoded
+            if residual is not None:
+                residual[start + active] = work - decoded
+        return out
+
     def compress_row(self, channel: str, agent: int, vector: np.ndarray) -> np.ndarray:
         """Decoded value of one agent's vector (loop-engine entry point).
 

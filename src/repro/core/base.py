@@ -102,7 +102,9 @@ class AgentRows:
         return self._matrix[index]
 
     def __setitem__(self, index: int, value: np.ndarray) -> None:
-        self._matrix[index] = np.asarray(value, dtype=np.float64)
+        # The fleet matrix's dtype is authoritative (resolved once from
+        # AlgorithmConfig.dtype); writes are rounded into it.
+        self._matrix[index] = np.asarray(value, dtype=self._matrix.dtype)
 
     def __iter__(self):
         return iter(self._matrix)
@@ -200,6 +202,20 @@ class DecentralizedAlgorithm:
         self.num_agents = topology.num_agents
         self.dimension = model.num_params
         self.sigma = config.resolve_sigma()
+        # Precision and sharding knobs.  ``_dtype`` is the single source of
+        # truth for the fleet-state element type (every state matrix, every
+        # state assignment and the loop engine's row writes funnel through
+        # it, so the two engines cannot drift to different dtypes);
+        # ``_grad_dtype`` is its counterpart for gradient/loss buffers, which
+        # stay double precision in every mode because the model kernels are
+        # float64.  ``_block_rows`` turns on the streaming (row-blocked)
+        # kernels for gossip, clip+noise and codec passes.
+        self._precision: str = getattr(config, "dtype", "float64")
+        self._dtype: np.dtype = np.dtype(
+            np.float64 if self._precision == "float64" else np.float32
+        )
+        self._grad_dtype: np.dtype = np.dtype(np.float64)
+        self._block_rows: Optional[int] = getattr(config, "block_rows", None)
         # The codec compresses gossip payloads; its per-agent error-feedback
         # residuals and sparsifier streams live in a CompressionState.  The
         # identity codec carries no state at all, so the legacy path stays
@@ -231,11 +247,13 @@ class DecentralizedAlgorithm:
         self.network = Network(self.num_agents)
         self.accountant = PrivacyAccountant()
 
-        initial = model.get_flat_params()
-        # Canonical fleet state: row i is agent i's parameter vector.
-        self.state: np.ndarray = np.tile(initial[None, :], (self.num_agents, 1))
-        self.momentum_state: np.ndarray = np.zeros(
-            (self.num_agents, self.dimension), dtype=np.float64
+        initial = np.asarray(model.get_flat_params(), dtype=self._dtype)
+        # Canonical fleet state: row i is agent i's parameter vector.  The
+        # initial vector is cast *before* tiling so low-precision modes never
+        # materialise a float64 fleet matrix even transiently.
+        self.state = np.tile(initial[None, :], (self.num_agents, 1))
+        self.momentum_state = np.zeros(
+            (self.num_agents, self.dimension), dtype=self._dtype
         )
         self._stacked: Optional[StackedSequential] = (
             StackedSequential(model) if supports_stacked(model) else None
@@ -277,13 +295,34 @@ class DecentralizedAlgorithm:
     # Fleet state accessors (list-compatible views over the state matrix)
     # ------------------------------------------------------------------
     def _as_state_matrix(self, value: Sequence[np.ndarray]) -> np.ndarray:
-        matrix = np.array(list(value), dtype=np.float64)
+        matrix = np.array(list(value), dtype=self._dtype)
         if matrix.shape != (self.num_agents, self.dimension):
             raise ValueError(
                 f"fleet state must have shape ({self.num_agents}, {self.dimension}), "
                 f"got {matrix.shape}"
             )
         return matrix
+
+    @property
+    def state(self) -> np.ndarray:
+        """The ``(num_agents, dimension)`` fleet parameter matrix."""
+        return self._state
+
+    @state.setter
+    def state(self, value: np.ndarray) -> None:
+        # Every whole-fleet assignment funnels through the configured state
+        # dtype: an update computed in float64 (gradients always are) is
+        # rounded into float32 state here, under either engine.
+        self._state = np.asarray(value, dtype=self._dtype)
+
+    @property
+    def momentum_state(self) -> np.ndarray:
+        """The ``(num_agents, dimension)`` fleet momentum matrix."""
+        return self._momentum_state
+
+    @momentum_state.setter
+    def momentum_state(self, value: np.ndarray) -> None:
+        self._momentum_state = np.asarray(value, dtype=self._dtype)
 
     @property
     def params(self) -> AgentRows:
@@ -438,9 +477,9 @@ class DecentralizedAlgorithm:
         batch (an inactive agent, see :meth:`draw_batches`) contributes a
         zero row and no forward/backward pass.
         """
-        param_rows = np.asarray(param_rows, dtype=np.float64)
+        param_rows = np.asarray(param_rows, dtype=self._grad_dtype)
         present = [k for k, batch in enumerate(batches) if batch is not None]
-        grads = np.zeros((len(batches), self.dimension), dtype=np.float64)
+        grads = np.zeros((len(batches), self.dimension), dtype=self._grad_dtype)
         if self._stacked is None:
             for k in present:
                 inputs, labels = batches[k]
@@ -497,7 +536,19 @@ class DecentralizedAlgorithm:
             agent must appear in the order the loop backend would privatize
             them, so both backends consume identical noise streams.
         """
-        clipped = clip_rows_by_l2_norm(rows, self.config.clip_threshold)
+        rows = np.asarray(rows)
+        if self._block_rows is None:
+            clipped = clip_rows_by_l2_norm(rows, self.config.clip_threshold)
+        else:
+            # Streamed clipping: the kernel is purely row-wise, so applying
+            # it block by block is identical to the whole-matrix call while
+            # bounding the transient to one (block_rows, d) chunk.
+            clipped = np.empty_like(rows)
+            for start in range(0, rows.shape[0], self._block_rows):
+                stop = min(start + self._block_rows, rows.shape[0])
+                clipped[start:stop] = clip_rows_by_l2_norm(
+                    rows[start:stop], self.config.clip_threshold
+                )
         owners = range(self.num_agents) if agents is None else agents
         if len(owners) != clipped.shape[0]:
             raise ValueError(
@@ -565,7 +616,7 @@ class DecentralizedAlgorithm:
         simultaneously.
         """
         mixed = self.mix_rows(
-            np.stack([np.asarray(v, dtype=np.float64) for v in vectors], axis=0)
+            np.stack([np.asarray(v, dtype=self._dtype) for v in vectors], axis=0)
         )
         return [mixed[i] for i in range(self.num_agents)]
 
@@ -575,7 +626,16 @@ class DecentralizedAlgorithm:
         Dispatches to the configured :class:`~repro.topology.mixing.MixingOperator`:
         O(M^2 d) for dense storage, O(nnz d) for CSR — with bit-identical
         results, so sparse topologies can opt into the cheap kernel freely.
+        With ``block_rows`` configured the product is streamed over
+        ``(block_rows, d)`` output chunks (still bit-identical); in
+        ``dtype="mixed"`` mode float32 state is mixed with float64
+        accumulation per block.
         """
+        matrix = np.asarray(matrix)
+        if self._precision == "mixed" and matrix.dtype == np.float32:
+            return self.mixing.apply_mixed(matrix, block_rows=self._block_rows)
+        if self._block_rows is not None:
+            return self.mixing.mix_rows_blocked(matrix, self._block_rows)
         return self.mixing.apply(matrix)
 
     def record_fleet_exchange(
@@ -589,8 +649,26 @@ class DecentralizedAlgorithm:
         Mirrors the traffic the loop backend generates for the same phase:
         one message per directed edge, each carrying ``floats_per_message``
         floats (and ``bytes_per_message`` wire bytes; dense float64 when
-        omitted).
+        omitted).  Hierarchical topologies
+        (:class:`~repro.topology.hierarchical.HierarchicalTopology`) expose
+        a ``directed_edge_split`` — their traffic is accounted under
+        ``"{tag}.intra"`` (within-cluster channels, cheap local links) and
+        ``"{tag}.inter"`` (cross-cluster channels, the expensive hops)
+        separately, so bandwidth reports can price the two tiers
+        differently.
         """
+        split = getattr(self.topology, "directed_edge_split", None)
+        if split is not None:
+            intra_edges, inter_edges = split
+            if intra_edges:
+                self.network.record_bulk(
+                    f"{tag}.intra", intra_edges, floats_per_message, bytes_per_message
+                )
+            if inter_edges:
+                self.network.record_bulk(
+                    f"{tag}.inter", inter_edges, floats_per_message, bytes_per_message
+                )
+            return
         self.network.record_bulk(
             tag, self.topology.num_directed_edges, floats_per_message, bytes_per_message
         )
@@ -628,6 +706,13 @@ class DecentralizedAlgorithm:
         if self._compression_state is None:
             return matrix
         mask = None if self._all_active else self.active_mask
+        if self._block_rows is not None:
+            # Chunked codec path: the codec kernels are row-wise, so
+            # encoding block by block is bit-identical to the whole-matrix
+            # call while bounding the transient working set.
+            return self._compression_state.compress_rows_blocked(
+                channel, matrix, mask, self._block_rows
+            )
         return self._compression_state.compress_rows(channel, matrix, mask)
 
     def gossip_broadcast(self, agent: int, tag: str, value):
@@ -751,7 +836,7 @@ class DecentralizedAlgorithm:
                 for agent in range(self.num_agents)
             ]
             return float(np.mean(losses))
-        losses_out = np.empty(self.num_agents, dtype=np.float64)
+        losses_out = np.empty(self.num_agents, dtype=self._grad_dtype)
         pairs = [(shard.inputs, shard.labels) for shard in shards]
         for agents, inputs, labels in self._stack_groups(pairs):
             losses_out[agents] = self._stacked.losses(self.state[agents], inputs, labels)
@@ -789,7 +874,7 @@ class DecentralizedAlgorithm:
     #: and sparsifier streams) and the network's byte counters.
     STATE_FORMAT = 2
 
-    def state_dict(self) -> Dict[str, object]:
+    def state_dict(self, copy: bool = True) -> Dict[str, object]:
         """Everything needed to resume this run **bit-identically**.
 
         Captures the fleet matrices (parameters, momentum), the position of
@@ -802,10 +887,13 @@ class DecentralizedAlgorithm:
         their own matrices through :meth:`_extra_state`.
 
         Call only at a round boundary (between :meth:`run_round` calls):
-        mid-round mailbox contents are not captured.  The returned dict owns
-        copies of every array, so later training does not mutate it; it is
-        picklable for on-disk checkpoints (see
-        :mod:`repro.simulation.checkpoint`).
+        mid-round mailbox contents are not captured.  By default the
+        returned dict owns copies of every array, so later training does not
+        mutate it; it is picklable for on-disk checkpoints (see
+        :mod:`repro.simulation.checkpoint`).  ``copy=False`` returns *views*
+        of the fleet matrices instead — for out-of-core checkpointing, where
+        the caller serializes the payload to disk immediately and a second
+        in-RAM copy of the fleet would defeat the purpose.
         """
         return {
             "state_format": self.STATE_FORMAT,
@@ -813,8 +901,8 @@ class DecentralizedAlgorithm:
             "num_agents": self.num_agents,
             "dimension": self.dimension,
             "rounds_completed": self.rounds_completed,
-            "state": self.state.copy(),
-            "momentum_state": self.momentum_state.copy(),
+            "state": self.state.copy() if copy else self.state,
+            "momentum_state": self.momentum_state.copy() if copy else self.momentum_state,
             "rng_state": self._rng.bit_generator.state,
             "sampler_states": [sampler.state_dict() for sampler in self.samplers],
             "mechanism_rng_states": [

@@ -77,6 +77,24 @@ class AlgorithmConfig:
         bit-identical to the historical uncompressed path.  A plain mapping
         (as carried by :class:`~repro.experiments.specs.ExperimentSpec`) is
         coerced to a ``CompressionConfig`` here.
+    dtype:
+        Element type of the fleet state matrices.  ``"float64"`` (the
+        default) is the historical bit-exact path; ``"float32"`` halves the
+        state memory and runs the gossip kernels in single precision;
+        ``"mixed"`` keeps float32 state but accumulates the gossip product
+        in float64 (:meth:`repro.topology.mixing.MixingOperator.apply_mixed`)
+        so repeated mixing does not compound single-precision rounding.
+        Gradient evaluation stays float64 in every mode (the model kernels
+        are double precision); updates are rounded into the state dtype on
+        assignment.  The precision tests pin the float32/mixed trajectory
+        divergence from float64.
+    block_rows:
+        Row-block size for the streaming (sharded) kernels: gossip is
+        applied over ``(block_rows, d)`` output chunks
+        (:meth:`~repro.topology.mixing.MixingOperator.mix_rows_blocked`,
+        bit-identical to the one-shot product) and clip+noise/codec passes
+        stream over the same blocks.  ``None`` (the default) keeps the
+        historical one-shot kernels.
     """
 
     learning_rate: float = 0.01
@@ -90,6 +108,8 @@ class AlgorithmConfig:
     backend: str = "vectorized"
     mixing_backend: str = "auto"
     compression: Optional[CompressionConfig] = None
+    dtype: str = "float64"
+    block_rows: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.compression is not None and not isinstance(
@@ -121,6 +141,10 @@ class AlgorithmConfig:
             raise ValueError("backend must be 'loop' or 'vectorized'")
         if self.mixing_backend not in ("auto", "dense", "sparse"):
             raise ValueError("mixing_backend must be 'auto', 'dense' or 'sparse'")
+        if self.dtype not in ("float64", "float32", "mixed"):
+            raise ValueError("dtype must be 'float64', 'float32' or 'mixed'")
+        if self.block_rows is not None and self.block_rows < 1:
+            raise ValueError("block_rows must be a positive integer when provided")
 
     @property
     def sensitivity(self) -> float:

@@ -82,9 +82,18 @@ class ExperimentComponents:
     schedule: Optional[TopologySchedule] = None
 
 
-def _make_topology(name: str, num_agents: int, seed: int) -> Topology:
+def _make_topology(
+    name: str,
+    num_agents: int,
+    seed: int,
+    cluster_size: Optional[int] = None,
+) -> Topology:
     if name == "fully_connected":
         return fully_connected_graph(num_agents)
+    if name == "hierarchical":
+        from repro.topology.hierarchical import hierarchical_graph
+
+        return hierarchical_graph(num_agents, cluster_size=cluster_size)
     if name == "ring":
         return ring_graph(num_agents)
     if name == "bipartite":
@@ -185,7 +194,9 @@ def build_experiment_components(spec: ExperimentSpec) -> ExperimentComponents:
         rng=rng,
         min_samples_per_agent=max(2, spec.batch_size // 4),
     )
-    topology = _make_topology(spec.topology, spec.num_agents, spec.seed)
+    topology = _make_topology(
+        spec.topology, spec.num_agents, spec.seed, cluster_size=spec.cluster_size
+    )
     schedule = (
         schedule_from_dynamics(topology, spec.dynamics, seed=spec.seed)
         if spec.dynamics
@@ -225,6 +236,8 @@ def build_algorithm(
         batch_size=spec.batch_size,
         seed=spec.seed,
         compression=spec.compression,
+        dtype=spec.dtype,
+        block_rows=spec.block_rows,
     )
     model = components.model_factory()
     shards = components.partition.shards

@@ -97,6 +97,17 @@ class ExperimentSpec:
     through :class:`~repro.core.config.AlgorithmConfig` to every compared
     algorithm.  ``None`` (the default) keeps the bit-identical
     full-precision path.
+
+    ``dtype`` and ``block_rows`` are the scaling knobs (see
+    :class:`~repro.core.config.AlgorithmConfig`): ``dtype`` selects the
+    fleet-state precision (``"float64"`` historic bit-exact, ``"float32"``,
+    or ``"mixed"`` — float32 state with float64 mixing accumulation), and
+    ``block_rows`` streams the fleet-wide kernels over row blocks
+    (bit-identical to one-shot; ``None`` keeps the one-shot path).
+
+    ``cluster_size`` applies only with ``topology="hierarchical"``: the
+    dense intra-cluster group size (``None`` picks
+    :func:`~repro.topology.hierarchical.default_cluster_size`).
     """
 
     name: str
@@ -124,6 +135,9 @@ class ExperimentSpec:
     scale: str = "fast"
     dynamics: Optional[Dict[str, float]] = None
     compression: Optional[Dict[str, object]] = None
+    dtype: str = "float64"
+    block_rows: Optional[int] = None
+    cluster_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.dataset not in ("classification", "mnist", "cifar"):
@@ -139,6 +153,17 @@ class ExperimentSpec:
             raise ValueError(f"unknown algorithms: {unknown}")
         validate_dynamics(self.dynamics, num_agents=self.num_agents)
         validate_compression(self.compression)
+        if self.dtype not in ("float64", "float32", "mixed"):
+            raise ValueError("dtype must be 'float64', 'float32' or 'mixed'")
+        if self.block_rows is not None and int(self.block_rows) < 1:
+            raise ValueError("block_rows must be a positive integer or None")
+        if self.cluster_size is not None:
+            if int(self.cluster_size) < 1:
+                raise ValueError("cluster_size must be a positive integer or None")
+            if self.topology != "hierarchical":
+                raise ValueError(
+                    "cluster_size applies only with topology='hierarchical'"
+                )
 
     def with_updates(self, **kwargs) -> "ExperimentSpec":
         from dataclasses import replace

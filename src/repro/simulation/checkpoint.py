@@ -35,10 +35,15 @@ import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+import numpy as np
+
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "MEMMAP_THRESHOLD_BYTES",
     "atomic_write_bytes",
     "atomic_write_text",
+    "save_memmap_array",
+    "load_memmap_array",
     "save_checkpoint",
     "load_checkpoint",
     "checkpoint_path",
@@ -51,6 +56,17 @@ PathLike = Union[str, Path]
 #: Version stamp embedded in every checkpoint so a future layout change can
 #: detect (and refuse, with a clear error) files written by older code.
 CHECKPOINT_FORMAT = 1
+
+#: Arrays at least this large are written as memory-mapped ``.npy`` sidecars
+#: when a checkpoint is saved with ``out_of_core=True``; smaller arrays stay
+#: in the pickle, where the sidecar bookkeeping would cost more than it saves.
+MEMMAP_THRESHOLD_BYTES = 1 << 20
+
+#: Marker key identifying an externalized array inside a pickled payload.
+_MEMMAP_MARKER = "__memmap_sidecar__"
+
+#: Row-block size for streaming array copies into a memmap sidecar.
+_COPY_BLOCK_ROWS = 65536
 
 _CHECKPOINT_NAME = re.compile(r"^round_(\d+)\.ckpt$")
 
@@ -94,20 +110,141 @@ def atomic_write_text(path: PathLike, text: str) -> Path:
     return atomic_write_bytes(path, text.encode("utf-8"))
 
 
-def save_checkpoint(path: PathLike, payload: Dict[str, object]) -> Path:
+def save_memmap_array(
+    path: PathLike, array: np.ndarray, block_rows: int = _COPY_BLOCK_ROWS
+) -> Path:
+    """Write an array as a ``.npy`` file atomically, streaming row blocks.
+
+    The array is copied into a ``np.lib.format.open_memmap`` temporary in
+    the destination directory ``block_rows`` rows at a time (so saving a
+    fleet matrix never holds a second in-RAM copy), fsynced, and promoted
+    with :func:`os.replace` — the same all-or-nothing dance as
+    :func:`atomic_write_bytes`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    array = np.asarray(array)
+    descriptor, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
+    )
+    os.close(descriptor)
+    try:
+        target = np.lib.format.open_memmap(
+            tmp_name, mode="w+", dtype=array.dtype, shape=array.shape
+        )
+        if array.ndim >= 1 and array.shape[0] > block_rows:
+            for start in range(0, array.shape[0], block_rows):
+                stop = min(start + block_rows, array.shape[0])
+                target[start:stop] = array[start:stop]
+        else:
+            target[...] = array
+        target.flush()
+        del target
+        with open(tmp_name, "rb+") as handle:
+            os.fsync(handle.fileno())
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(tmp_name, 0o666 & ~umask)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_memmap_array(path: PathLike, mode: str = "r") -> np.ndarray:
+    """Open a ``.npy`` array written by :func:`save_memmap_array` as a memmap.
+
+    The returned array is backed by the file — the OS pages rows in on
+    access, so a resuming process reads the fleet matrix without ever
+    holding two in-RAM copies.
+    """
+    return np.load(Path(path), mmap_mode=mode)
+
+
+def _sidecar_name(path: Path, index: int) -> Path:
+    return path.parent / f"{path.name}.arr{index}.npy"
+
+
+def _externalize_arrays(value, path: Path, counter: List[int]):
+    """Swap large ndarrays for sidecar markers, writing each as a memmap file."""
+    if isinstance(value, np.ndarray) and value.nbytes >= MEMMAP_THRESHOLD_BYTES:
+        index = counter[0]
+        counter[0] += 1
+        sidecar = _sidecar_name(path, index)
+        save_memmap_array(sidecar, value)
+        return {
+            _MEMMAP_MARKER: sidecar.name,
+            "shape": tuple(int(s) for s in value.shape),
+            "dtype": str(value.dtype),
+        }
+    if isinstance(value, dict):
+        return {key: _externalize_arrays(item, path, counter) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        swapped = [_externalize_arrays(item, path, counter) for item in value]
+        return type(value)(swapped) if isinstance(value, tuple) else swapped
+    return value
+
+
+def _attach_arrays(value, path: Path):
+    """Resolve sidecar markers back into (read-only memmap) arrays."""
+    if isinstance(value, dict):
+        if _MEMMAP_MARKER in value:
+            sidecar = path.parent / str(value[_MEMMAP_MARKER])
+            if not sidecar.is_file():
+                raise ValueError(
+                    f"checkpoint {path} references missing array sidecar {sidecar}"
+                )
+            array = load_memmap_array(sidecar)
+            expected = tuple(value.get("shape", array.shape))
+            if tuple(array.shape) != expected:
+                raise ValueError(
+                    f"array sidecar {sidecar} has shape {tuple(array.shape)}, "
+                    f"expected {expected}"
+                )
+            return array
+        return {key: _attach_arrays(item, path) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        resolved = [_attach_arrays(item, path) for item in value]
+        return type(value)(resolved) if isinstance(value, tuple) else resolved
+    return value
+
+
+def save_checkpoint(
+    path: PathLike, payload: Dict[str, object], out_of_core: bool = False
+) -> Path:
     """Persist a checkpoint payload atomically.
 
     ``payload`` is whatever the caller needs to resume (for training runs:
     ``algorithm_state``, ``history`` and ``session`` — see
     :meth:`repro.simulation.runner.RunSession.checkpoint`); this function
     adds the ``format`` stamp and guarantees the write is all-or-nothing.
+
+    With ``out_of_core=True`` every array of at least
+    ``MEMMAP_THRESHOLD_BYTES`` (the fleet matrices, at scale) is written as
+    a memory-mapped ``.npy`` sidecar next to the checkpoint
+    (``<name>.arr<k>.npy``, each promoted atomically, rows streamed in
+    blocks) and replaced by a marker in the pickle — so saving and resuming
+    never hold two in-RAM copies of the fleet.  :func:`load_checkpoint`
+    re-attaches sidecars transparently as read-only memmaps.  Sidecars are
+    deterministic per checkpoint path; rewriting the same checkpoint
+    replaces them in place.
     """
+    if out_of_core:
+        payload = _externalize_arrays(dict(payload), Path(path), [0])
     stamped = {"format": CHECKPOINT_FORMAT, **payload}
     return atomic_write_bytes(path, pickle.dumps(stamped, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 def load_checkpoint(path: PathLike) -> Dict[str, object]:
-    """Read a checkpoint written by :func:`save_checkpoint` (format-checked)."""
+    """Read a checkpoint written by :func:`save_checkpoint` (format-checked).
+
+    Out-of-core array sidecars are re-attached as read-only memmaps, so the
+    caller sees ordinary arrays while the OS pages data in on access.
+    """
     path = Path(path)
     with path.open("rb") as handle:
         payload = pickle.load(handle)
@@ -118,7 +255,7 @@ def load_checkpoint(path: PathLike) -> Dict[str, object]:
             f"{path} has checkpoint format {payload['format']!r}; "
             f"this code reads format {CHECKPOINT_FORMAT}"
         )
-    return payload
+    return _attach_arrays(payload, path)
 
 
 def checkpoint_path(directory: PathLike, rounds_done: int) -> Path:

@@ -153,6 +153,12 @@ class RunSession:
         ``checkpoint_every > 0``.
     bus:
         A shared :class:`CallbackBus`; a private one is created by default.
+    out_of_core:
+        Write checkpoints with the fleet matrices externalized as
+        memory-mapped ``.npy`` sidecars (see
+        :func:`~repro.simulation.checkpoint.save_checkpoint`), so snapshots
+        of large fleets never hold a second in-RAM copy of the state.
+        Resume is transparent either way.
     """
 
     def __init__(
@@ -163,6 +169,7 @@ class RunSession:
         checkpoint_every: int = 0,
         checkpoint_dir: Optional[Union[str, Path]] = None,
         bus: Optional[CallbackBus] = None,
+        out_of_core: bool = False,
     ) -> None:
         if num_rounds <= 0:
             raise ValueError("num_rounds must be positive")
@@ -176,6 +183,7 @@ class RunSession:
         self.checkpoint_every = int(checkpoint_every)
         self.checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
         self.bus = bus if bus is not None else CallbackBus()
+        self.out_of_core = bool(out_of_core)
         self._rounds_done = 0
         # Records are numbered 1..num_rounds relative to the run's start;
         # schedules and the engine number rounds absolutely, so remember the
@@ -383,10 +391,15 @@ class RunSession:
                 raise ValueError("no path given and the session has no checkpoint_dir")
             path = checkpoint_path(self.checkpoint_dir, self._rounds_done)
         path = Path(path)
+        # Out-of-core saves stream the fleet matrices straight from the live
+        # state into memmap sidecars — state_dict(copy=False) hands over
+        # views, so the snapshot never doubles the fleet's RAM footprint.
         save_checkpoint(
             path,
             {
-                "algorithm_state": self.algorithm.state_dict(),
+                "algorithm_state": self.algorithm.state_dict(
+                    copy=not self.out_of_core
+                ),
                 "history": history_to_dict(self.history),
                 "session": {
                     "num_rounds": self.num_rounds,
@@ -396,6 +409,7 @@ class RunSession:
                     "pending_events": [dict(e) for e in self._pending_events],
                 },
             },
+            out_of_core=self.out_of_core,
         )
         self.bus.emit("checkpoint", round=self._rounds_done, path=path)
         return path
@@ -409,6 +423,7 @@ class RunSession:
         checkpoint_every: int = 0,
         checkpoint_dir: Optional[Union[str, Path]] = None,
         bus: Optional[CallbackBus] = None,
+        out_of_core: bool = False,
     ) -> "RunSession":
         """Rebuild a session from a checkpoint and continue the run.
 
@@ -434,6 +449,7 @@ class RunSession:
             checkpoint_every=checkpoint_every,
             checkpoint_dir=checkpoint_dir,
             bus=bus,
+            out_of_core=out_of_core,
         )
         session._history = history_from_dict(payload["history"])
         session._rounds_done = int(saved["rounds_done"])

@@ -38,6 +38,12 @@ from repro.topology.graphs import (
     star_graph,
     torus_graph,
 )
+from repro.topology.hierarchical import (
+    HierarchicalTopology,
+    TwoLevelMixingOperator,
+    default_cluster_size,
+    hierarchical_graph,
+)
 from repro.topology.schedule import (
     DYNAMICS_KEYS,
     DynamicTopologySchedule,
@@ -79,6 +85,10 @@ __all__ = [
     "small_world_graph",
     "hypercube_graph",
     "exponential_graph",
+    "HierarchicalTopology",
+    "TwoLevelMixingOperator",
+    "hierarchical_graph",
+    "default_cluster_size",
     "TopologyEvent",
     "TopologySchedule",
     "StaticSchedule",

@@ -50,7 +50,7 @@ only needs matrix–vector products.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 import networkx as nx
 import numpy as np
@@ -372,7 +372,7 @@ class MixingOperator:
     trajectory.
     """
 
-    __slots__ = ("matrix", "format")
+    __slots__ = ("matrix", "format", "_f32_matrix")
 
     def __init__(self, matrix: MixingMatrix) -> None:
         if sp.issparse(matrix):
@@ -386,6 +386,7 @@ class MixingOperator:
             self.format = "dense"
         if self.matrix.ndim != 2 or self.matrix.shape[0] != self.matrix.shape[1]:
             raise ValueError("mixing operator requires a square matrix")
+        self._f32_matrix: Optional[MixingMatrix] = None
 
     @property
     def num_agents(self) -> int:
@@ -404,21 +405,137 @@ class MixingOperator:
         n = self.num_agents
         return self.nnz / float(n * n) if n else 0.0
 
-    def apply(self, rows: np.ndarray) -> np.ndarray:
-        """One gossip step for a stack of vectors: ``W @ rows``.
-
-        ``rows`` is an ``(M, d)`` matrix whose row ``i`` is agent ``i``'s
-        vector; the result is a new ``(M, d)`` dense matrix.
-        """
-        rows = np.asarray(rows, dtype=np.float64)
+    def _check_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Coerce ``rows`` to a valid ``(M, d)`` float stack, preserving float32."""
+        rows = np.asarray(rows)
+        if rows.dtype != np.float32:
+            rows = np.asarray(rows, dtype=np.float64)
         if rows.ndim != 2 or rows.shape[0] != self.num_agents:
             raise ValueError(
                 f"expected a ({self.num_agents}, d) stack of agent rows, "
                 f"got shape {rows.shape}"
             )
+        return rows
+
+    def _matrix_for(self, dtype: np.dtype) -> MixingMatrix:
+        """``W`` in the kernel dtype (the float32 cast is built once and cached)."""
+        if dtype != np.float32:
+            return self.matrix
+        if self._f32_matrix is None:
+            self._f32_matrix = self.matrix.astype(np.float32)
+        return self._f32_matrix
+
+    def apply(self, rows: np.ndarray) -> np.ndarray:
+        """One gossip step for a stack of vectors: ``W @ rows``.
+
+        ``rows`` is an ``(M, d)`` matrix whose row ``i`` is agent ``i``'s
+        vector; the result is a new ``(M, d)`` dense matrix.  Float32 input
+        selects the float32 kernel (``W`` cast once, cached) so low-precision
+        fleet state never pays a transient float64 copy; every other input is
+        coerced to float64 exactly as before.
+        """
+        rows = self._check_rows(rows)
+        matrix = self._matrix_for(rows.dtype)
         if self.format == "csr":
-            return self.matrix @ rows
-        return np.einsum("ij,jk->ik", self.matrix, rows)
+            return matrix @ rows
+        return np.einsum("ij,jk->ik", matrix, rows)
+
+    def mix_rows_blocked(
+        self,
+        rows: np.ndarray,
+        block_rows: int,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``W @ rows`` computed over ``(block_rows, d)`` output chunks.
+
+        Each output block is the product of the corresponding row slice of
+        ``W`` with the full input — and because both kernels (CSR row
+        iteration and the einsum sum-of-products) accumulate each output row
+        independently over the columns in ascending order, slicing the rows
+        of ``W`` changes *nothing* about any row's accumulation: the blocked
+        product is **bit-identical** to :meth:`apply` for every
+        ``block_rows``.  What it buys is peak-memory control — the largest
+        transient is one ``(block_rows, d)`` chunk instead of whatever the
+        one-shot kernel allocates — and the ability to stream the output
+        into a caller-owned buffer (``out``), e.g. a
+        :class:`~repro.sharding.FleetState` shard or a memory-mapped array.
+        """
+        rows = self._check_rows(rows)
+        n = self.num_agents
+        if block_rows < 1:
+            raise ValueError("block_rows must be a positive integer")
+        if out is None:
+            out = np.empty_like(rows)
+        elif out.shape != rows.shape:
+            raise ValueError(
+                f"out buffer has shape {out.shape}, expected {rows.shape}"
+            )
+        matrix = self._matrix_for(rows.dtype)
+        for start in range(0, n, block_rows):
+            stop = min(start + block_rows, n)
+            block = matrix[start:stop]
+            if self.format == "csr":
+                out[start:stop] = block @ rows
+            else:
+                out[start:stop] = np.einsum("ij,jk->ik", block, rows)
+        return out
+
+    def apply_mixed(
+        self,
+        rows: np.ndarray,
+        block_rows: Optional[int] = None,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """``W @ rows`` for float32 state with float64 accumulation.
+
+        The mixed-precision gossip kernel: state stays float32 (half the
+        memory), but each output row is accumulated in float64 so repeated
+        gossip does not compound single-precision rounding.  The CSR path
+        gathers only the block's referenced input rows
+        (``rows[block.indices]``, ~nnz_block rows) and upcasts *those* to
+        float64 — never the whole fleet — then segment-reduces per output
+        row; the result is rounded back to float32.  No bitwise guarantee is
+        made against :meth:`apply` (the segmented reduction may reorder
+        sums); accuracy is pinned by the precision tests instead.
+        """
+        rows = np.asarray(rows, dtype=np.float32)
+        if rows.ndim != 2 or rows.shape[0] != self.num_agents:
+            raise ValueError(
+                f"expected a ({self.num_agents}, d) stack of agent rows, "
+                f"got shape {rows.shape}"
+            )
+        n = self.num_agents
+        if block_rows is None:
+            block_rows = n
+        if block_rows < 1:
+            raise ValueError("block_rows must be a positive integer")
+        if out is None:
+            out = np.empty_like(rows)
+        elif out.shape != rows.shape or out.dtype != np.float32:
+            raise ValueError("out buffer must be a float32 array of matching shape")
+        for start in range(0, n, block_rows):
+            stop = min(start + block_rows, n)
+            if self.format == "csr":
+                block = self.matrix[start:stop]
+                if block.nnz == 0:
+                    out[start:stop] = 0.0
+                    continue
+                contrib = block.data[:, None] * rows[block.indices].astype(np.float64)
+                counts = np.diff(block.indptr)
+                if counts.all():
+                    acc = np.add.reduceat(contrib, block.indptr[:-1], axis=0)
+                else:
+                    # reduceat mishandles empty segments; scatter-add instead.
+                    acc = np.zeros((stop - start, rows.shape[1]), dtype=np.float64)
+                    np.add.at(
+                        acc,
+                        np.repeat(np.arange(stop - start), counts),
+                        contrib,
+                    )
+            else:
+                acc = np.einsum("ij,jk->ik", self.matrix[start:stop], rows)
+            out[start:stop] = acc.astype(np.float32)
+        return out
 
     def toarray(self) -> np.ndarray:
         """The matrix as a dense ndarray (converts CSR; entries are preserved exactly)."""

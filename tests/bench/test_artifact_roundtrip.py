@@ -27,6 +27,9 @@ def make_result(
     metrics: dict | None = None,
     floor_value: float = 7.0,
     floor_armed: bool = True,
+    skipped: bool = False,
+    skip_reason: str | None = None,
+    notes: dict | None = None,
 ) -> BenchResult:
     floor = None
     if floored:
@@ -51,6 +54,9 @@ def make_result(
         metrics=dict(metrics or {"speedup": 7.0}),
         params=dict(params or {"agents": [256]}),
         floor=floor,
+        skipped=skipped,
+        skip_reason=skip_reason,
+        notes=dict(notes or {}),
     )
 
 
@@ -221,3 +227,76 @@ class TestCompareThresholds:
         assert "s/probe" in text
         assert "1 failure(s)" in text
         assert "warn > 10%" in text and "fail > 25%" in text
+
+
+class TestSkippedSuites:
+    def test_payload_carries_skip_and_notes(self):
+        artifact = artifact_for(
+            [
+                make_result(
+                    "s/skippy",
+                    0.0,
+                    skipped=True,
+                    skip_reason="needs 48 GiB, 4 GiB available",
+                    notes={"skip@262144": "too big"},
+                )
+            ]
+        )
+        suite = artifact["suites"]["s/skippy"]
+        assert suite["skipped"] is True
+        assert "48 GiB" in suite["skip_reason"]
+        assert suite["notes"] == {"skip@262144": "too big"}
+
+    def test_candidate_skip_compares_as_skipped_not_fail(self):
+        old = artifact_for([make_result("s/probe", 1.0, floored=True)])
+        new = artifact_for(
+            [
+                make_result(
+                    "s/probe",
+                    0.0,
+                    floored=True,
+                    skipped=True,
+                    skip_reason="not enough memory",
+                )
+            ]
+        )
+        comparison = compare_artifacts(old, new)
+        (row,) = comparison.rows
+        assert row.status == "skipped"
+        assert "candidate skipped" in row.note
+        assert "not enough memory" in row.note
+        assert comparison_exit_code(comparison) == 0
+
+    def test_baseline_skip_is_named(self):
+        old = artifact_for(
+            [make_result("s/probe", 0.0, skipped=True, skip_reason="small host")]
+        )
+        new = artifact_for([make_result("s/probe", 1.0)])
+        (row,) = compare_artifacts(old, new).rows
+        assert row.status == "skipped"
+        assert "baseline skipped" in row.note
+
+    def test_both_sides_skipped(self):
+        old = artifact_for([make_result("s/probe", 0.0, skipped=True)])
+        new = artifact_for([make_result("s/probe", 0.0, skipped=True)])
+        (row,) = compare_artifacts(old, new).rows
+        assert row.status == "skipped"
+        assert "both runs skipped" in row.note
+
+    def test_report_renders_skip_and_notes(self):
+        from repro.bench.report import render_markdown
+
+        artifact = artifact_for(
+            [
+                make_result(
+                    "s/skippy", 0.0, skipped=True, skip_reason="needs 48 GiB"
+                ),
+                make_result(
+                    "s/ran", 1.0, notes={"skip@262144": "needs 48 GiB"}
+                ),
+            ]
+        )
+        page = render_markdown(artifact, "BENCH_test.json")
+        assert "| `s/skippy` | skipped | - | - | - |" in page
+        assert "Skipped: needs 48 GiB." in page
+        assert "- `skip@262144`: needs 48 GiB" in page

@@ -75,3 +75,66 @@ def test_missing_artifact_is_a_clean_error(tmp_path, capsys):
     missing = tmp_path / "nope.json"
     assert main(["compare", str(missing), str(missing)]) == 2
     assert "repro-bench" in capsys.readouterr().err
+
+
+def test_run_prints_peak_rss(tmp_path, fast_knobs, capsys):
+    run_to_artifact(tmp_path, "BENCH_a.json", filters=("noise",))
+    out = capsys.readouterr().out
+    assert "peak RSS" in out
+
+
+def test_skipped_suite_prints_reason_and_serializes(tmp_path, capsys, monkeypatch):
+    from repro.bench.registry import Benchmark, benchmark
+
+    @benchmark
+    class _Gigantic(Benchmark):
+        name = "test/cli-gigantic"
+        description = "always too big"
+        default_repeats = 1
+        default_warmup = False
+
+        def required_memory_bytes(self):
+            return 1 << 60
+
+        def run(self):
+            return {}
+
+    try:
+        out = tmp_path / "BENCH_skip.json"
+        assert main(["run", "--out", str(out), "--filter", "cli-gigantic"]) == 0
+        printed = capsys.readouterr().out
+        assert "SKIPPED" in printed
+        suite = load_artifact(out)["suites"]["test/cli-gigantic"]
+        assert suite["skipped"] is True
+        assert suite["skip_reason"]
+    finally:
+        from repro.bench import registry as registry_module
+
+        registry_module._REGISTRY.pop("test/cli-gigantic", None)
+
+
+def test_suite_notes_are_printed(tmp_path, capsys):
+    from repro.bench.registry import Benchmark, benchmark
+
+    @benchmark
+    class _Noted(Benchmark):
+        name = "test/cli-noted"
+        description = "emits a note"
+        default_repeats = 1
+        default_warmup = False
+
+        def run(self):
+            return {"answer": 1.0}
+
+        def notes(self):
+            return {"skip@262144": "needs 48 GiB"}
+
+    try:
+        out = tmp_path / "BENCH_notes.json"
+        assert main(["run", "--out", str(out), "--filter", "cli-noted"]) == 0
+        printed = capsys.readouterr().out
+        assert "skip@262144" in printed and "needs 48 GiB" in printed
+    finally:
+        from repro.bench import registry as registry_module
+
+        registry_module._REGISTRY.pop("test/cli-noted", None)

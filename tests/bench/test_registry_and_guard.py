@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.guard import arm_floor, available_cpus
+from repro.bench.guard import (
+    MemoryDecision,
+    arm_floor,
+    available_cpus,
+    available_memory_bytes,
+    check_memory,
+)
 from repro.bench.registry import (
     Benchmark,
     FloorSpec,
@@ -203,3 +209,73 @@ class TestFloors:
 
         decision, payload = check_floor(NoMetric(speedup=0.0), {})
         assert decision.armed and payload["passed"] is False
+
+
+class TestMemoryGuard:
+    def test_available_memory_reads_meminfo(self):
+        available = available_memory_bytes()
+        # /proc/meminfo exists on the Linux CI hosts; elsewhere None is fine.
+        assert available is None or available > 0
+
+    def test_tiny_requirement_fits(self):
+        decision = check_memory(1024)
+        assert decision.fits and bool(decision)
+        assert decision.required_bytes >= 1024
+
+    def test_absurd_requirement_does_not_fit(self):
+        if available_memory_bytes() is None:
+            pytest.skip("no memory availability signal on this platform")
+        decision = check_memory(1 << 60)  # an exbibyte
+        assert not decision.fits and not bool(decision)
+        assert "available" in decision.reason
+
+    def test_unknown_availability_errs_toward_running(self):
+        decision = MemoryDecision(
+            fits=True, reason="", required_bytes=10, available_bytes=None
+        )
+        assert bool(decision)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            check_memory(-1)
+        with pytest.raises(ValueError):
+            check_memory(100, safety_factor=0.5)
+
+
+class TestMemorySkip:
+    def test_oversized_suite_skips_not_fails(self):
+        class Gigantic(LifecycleProbe):
+            name = "test/gigantic"
+
+            def required_memory_bytes(self):
+                return 1 << 60
+
+        probe = Gigantic()
+        result = run_benchmark(probe)
+        if available_memory_bytes() is None:
+            pytest.skip("no memory availability signal on this platform")
+        assert result.skipped
+        assert result.skip_reason and "available" in result.skip_reason
+        assert result.repeats == 0
+        # setup/run never execute for a skipped suite.
+        assert probe.setup_calls == 0 and probe.run_calls == 0
+
+    def test_fitting_suite_runs_normally(self):
+        class Modest(LifecycleProbe):
+            name = "test/modest"
+
+            def required_memory_bytes(self):
+                return 1024
+
+        result = run_benchmark(Modest())
+        assert not result.skipped and result.skip_reason is None
+
+    def test_notes_flow_into_result(self):
+        class Noted(LifecycleProbe):
+            name = "test/noted"
+
+            def notes(self):
+                return {"skip@262144": "needs 48 GiB"}
+
+        result = run_benchmark(Noted())
+        assert result.notes == {"skip@262144": "needs 48 GiB"}

@@ -127,3 +127,43 @@ class TestDynamicsField:
     def test_min_active_above_fleet_size_rejected_at_spec_time(self):
         with pytest.raises(ValueError, match="min_active"):
             fast_spec(num_agents=6, dynamics={"churn_rate": 0.1, "min_active": 10})
+
+
+class TestScalingKnobs:
+    def test_defaults(self):
+        spec = fast_spec()
+        assert spec.dtype == "float64"
+        assert spec.block_rows is None
+        assert spec.cluster_size is None
+
+    def test_valid_knobs_accepted(self):
+        spec = fast_spec(topology="hierarchical").with_updates(
+            dtype="mixed", block_rows=4096, cluster_size=4
+        )
+        assert spec.dtype == "mixed"
+        assert spec.block_rows == 4096
+        assert spec.cluster_size == 4
+
+    def test_unknown_dtype_rejected(self):
+        with pytest.raises(ValueError, match="dtype"):
+            fast_spec().with_updates(dtype="bfloat16")
+
+    def test_nonpositive_block_rows_rejected(self):
+        with pytest.raises(ValueError, match="block_rows"):
+            fast_spec().with_updates(block_rows=0)
+
+    def test_cluster_size_requires_hierarchical_topology(self):
+        with pytest.raises(ValueError, match="cluster_size"):
+            fast_spec(topology="ring").with_updates(cluster_size=4)
+
+    def test_knobs_survive_serialization(self):
+        from repro.experiments.specs import spec_from_dict, spec_to_dict
+
+        spec = fast_spec(topology="hierarchical").with_updates(
+            dtype="float32", block_rows=128, cluster_size=4
+        )
+        restored = spec_from_dict(spec_to_dict(spec))
+        assert restored.dtype == "float32"
+        assert restored.block_rows == 128
+        assert restored.cluster_size == 4
+        assert restored == spec

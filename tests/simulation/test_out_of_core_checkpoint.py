@@ -1,0 +1,131 @@
+"""Out-of-core checkpoints: memmap sidecars, atomic writes, resume identity."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.checkpoint import (
+    MEMMAP_THRESHOLD_BYTES,
+    load_checkpoint,
+    load_memmap_array,
+    save_checkpoint,
+    save_memmap_array,
+)
+
+
+class TestMemmapArrayRoundtrip:
+    def test_roundtrip(self, tmp_path, rng):
+        array = rng.normal(size=(64, 9))
+        path = tmp_path / "fleet.npy"
+        save_memmap_array(path, array)
+        loaded = load_memmap_array(path)
+        assert isinstance(loaded, np.memmap)
+        np.testing.assert_array_equal(np.asarray(loaded), array)
+
+    def test_preserves_dtype(self, tmp_path, rng):
+        array = rng.normal(size=(8, 4)).astype(np.float32)
+        path = tmp_path / "fleet32.npy"
+        save_memmap_array(path, array)
+        assert load_memmap_array(path).dtype == np.float32
+
+    def test_no_temp_litter(self, tmp_path, rng):
+        save_memmap_array(tmp_path / "a.npy", rng.normal(size=(4, 4)))
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "a.npy"]
+        assert leftovers == []
+
+
+class TestOutOfCoreCheckpoint:
+    def _payload(self, rng):
+        big_rows = MEMMAP_THRESHOLD_BYTES // (8 * 16) + 1
+        return {
+            "round": 3,
+            "state": rng.normal(size=(big_rows, 16)),  # above threshold
+            "nested": {"momentum": rng.normal(size=(big_rows, 16))},
+            "small": rng.normal(size=(4,)),  # below threshold: stays inline
+        }
+
+    def test_sidecars_created_for_large_arrays(self, tmp_path, rng):
+        payload = self._payload(rng)
+        path = tmp_path / "round_000003.ckpt"
+        save_checkpoint(path, payload, out_of_core=True)
+        sidecars = sorted(p.name for p in tmp_path.glob("round_000003.ckpt.arr*.npy"))
+        assert len(sidecars) == 2  # state + nested momentum; small stays inline
+
+    def test_load_reattaches_memmaps(self, tmp_path, rng):
+        payload = self._payload(rng)
+        path = tmp_path / "round_000003.ckpt"
+        save_checkpoint(path, payload, out_of_core=True)
+        loaded = load_checkpoint(path)
+        assert loaded["round"] == 3
+        assert isinstance(loaded["state"], np.memmap)
+        assert isinstance(loaded["nested"]["momentum"], np.memmap)
+        assert not isinstance(loaded["small"], np.memmap)
+        np.testing.assert_array_equal(np.asarray(loaded["state"]), payload["state"])
+        np.testing.assert_array_equal(
+            np.asarray(loaded["nested"]["momentum"]), payload["nested"]["momentum"]
+        )
+        np.testing.assert_array_equal(loaded["small"], payload["small"])
+
+    def test_inline_checkpoint_unchanged(self, tmp_path, rng):
+        payload = self._payload(rng)
+        path = tmp_path / "inline.ckpt"
+        save_checkpoint(path, payload)
+        assert list(tmp_path.glob("inline.ckpt.arr*.npy")) == []
+        loaded = load_checkpoint(path)
+        assert not isinstance(loaded["state"], np.memmap)
+        np.testing.assert_array_equal(loaded["state"], payload["state"])
+
+    def test_missing_sidecar_raises(self, tmp_path, rng):
+        payload = self._payload(rng)
+        path = tmp_path / "round_000003.ckpt"
+        save_checkpoint(path, payload, out_of_core=True)
+        for sidecar in tmp_path.glob("round_000003.ckpt.arr*.npy"):
+            sidecar.unlink()
+        with pytest.raises((ValueError, FileNotFoundError)):
+            load_checkpoint(path)
+
+
+class TestRunSessionOutOfCore:
+    def test_resume_bit_identical(self, tmp_path, monkeypatch):
+        from repro.experiments.harness import build_algorithm, build_experiment_components
+        from repro.experiments.specs import fast_spec
+        from repro.simulation.runner import RunSession
+        import repro.simulation.checkpoint as checkpoint_module
+
+        # The test fleet is tiny; force every array out-of-core so the
+        # sidecar round trip is exercised end to end.
+        monkeypatch.setattr(checkpoint_module, "MEMMAP_THRESHOLD_BYTES", 0)
+
+        spec = fast_spec(num_agents=8, topology="ring", num_rounds=6)
+
+        def fresh():
+            return build_algorithm("DP-DPSGD", build_experiment_components(spec))
+
+        straight = RunSession(fresh(), num_rounds=6)
+        straight.run()
+
+        run_dir = tmp_path / "run"
+        session = RunSession(
+            fresh(),
+            num_rounds=6,
+            checkpoint_every=2,
+            checkpoint_dir=run_dir,
+            out_of_core=True,
+        )
+        session.run(4)
+        checkpoints = sorted(run_dir.glob("round_*.ckpt"))
+        assert checkpoints, "expected at least one checkpoint"
+        sidecars = list(run_dir.glob("round_*.ckpt.arr*.npy"))
+        assert sidecars, "out_of_core run must externalize fleet arrays"
+
+        resumed = RunSession.resume(fresh(), checkpoints[-1], out_of_core=True)
+        resumed.run()
+        np.testing.assert_array_equal(
+            resumed.algorithm.state, straight.algorithm.state
+        )
+        resumed_history = resumed.history.to_dict()
+        straight_history = straight.history.to_dict()
+        # Only per-round wall-clock timings may differ between the two runs.
+        for history in (resumed_history, straight_history):
+            history.get("metrics", history).pop("wall_clock_seconds", None)
+            history.pop("wall_clock_seconds", None)
+        assert resumed_history == straight_history

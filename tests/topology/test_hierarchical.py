@@ -1,0 +1,147 @@
+"""Hierarchical (two-level) gossip: clusters, factored mixing, traffic tags."""
+
+import numpy as np
+import pytest
+
+from repro.topology.hierarchical import (
+    HierarchicalTopology,
+    TwoLevelMixingOperator,
+    default_cluster_size,
+    hierarchical_graph,
+)
+from repro.topology.mixing import validate_mixing_matrix
+
+
+class TestDefaultClusterSize:
+    def test_scales_with_sqrt(self):
+        assert default_cluster_size(16) == 4
+        assert default_cluster_size(64) == 8
+        assert default_cluster_size(262144) == 512
+
+    def test_always_divides(self):
+        for num_agents in (8, 12, 16, 48, 100, 1024):
+            c = default_cluster_size(num_agents)
+            assert num_agents % c == 0
+            assert 1 <= c <= num_agents
+
+
+class TestHierarchicalGraph:
+    def test_builds_topology(self):
+        topology = hierarchical_graph(16, cluster_size=4)
+        assert isinstance(topology, HierarchicalTopology)
+        assert topology.num_agents == 16
+        assert topology.cluster_size == 4
+        assert topology.num_clusters == 4
+        assert "hierarchical" in topology.name
+
+    def test_effective_matrix_doubly_stochastic(self):
+        topology = hierarchical_graph(24, cluster_size=4)
+        effective = topology.two_level_operator().effective_matrix()
+        validate_mixing_matrix(effective)
+        np.testing.assert_allclose(effective.sum(axis=0), 1.0, atol=1e-12)
+        np.testing.assert_allclose(effective.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_rejects_non_divisor_cluster_size(self):
+        with pytest.raises(ValueError):
+            hierarchical_graph(16, cluster_size=5)
+
+    def test_rejects_tiny_fleet(self):
+        with pytest.raises(ValueError):
+            hierarchical_graph(2)
+
+    def test_rejects_unknown_cluster_topology(self):
+        with pytest.raises(ValueError):
+            hierarchical_graph(16, cluster_size=4, cluster_topology="mesh")
+
+    def test_fully_connected_cluster_level(self):
+        topology = hierarchical_graph(16, cluster_size=4, cluster_topology="fully_connected")
+        effective = topology.two_level_operator().effective_matrix()
+        validate_mixing_matrix(effective)
+
+    def test_directed_edge_split(self):
+        topology = hierarchical_graph(16, cluster_size=4)
+        intra, inter = topology.directed_edge_split
+        # Dense intra-cluster averaging: c-1 peers per agent.
+        assert intra == 16 * 3
+        assert inter > 0
+        matrix = topology.mixing_matrix
+        dense = matrix.toarray() if hasattr(matrix, "toarray") else np.asarray(matrix)
+        total = int(np.count_nonzero(dense)) - 16  # minus diagonal
+        assert intra + inter == total
+
+
+class TestTwoLevelMixingOperator:
+    def test_factored_apply_matches_effective_matrix(self, rng):
+        operator = hierarchical_graph(24, cluster_size=4).two_level_operator()
+        state = rng.normal(size=(24, 7))
+        expected = operator.effective_matrix() @ state
+        np.testing.assert_allclose(operator.apply(state), expected, atol=1e-12)
+
+    def test_blocked_apply_bit_identical(self, rng):
+        operator = hierarchical_graph(24, cluster_size=4).two_level_operator()
+        state = rng.normal(size=(24, 7))
+        reference = operator.apply(state)
+        for block_rows in (1, 5, 24):
+            np.testing.assert_array_equal(
+                reference, operator.mix_rows_blocked(state, block_rows)
+            )
+
+    def test_effective_operator_agrees(self, rng):
+        topology = hierarchical_graph(16, cluster_size=4)
+        operator = topology.two_level_operator()
+        state = rng.normal(size=(16, 3))
+        np.testing.assert_allclose(
+            operator.apply(state),
+            operator.effective_operator().apply(state),
+            atol=1e-12,
+        )
+
+    def test_consensus_contraction(self, rng):
+        """Two-level gossip must shrink disagreement every application."""
+        operator = hierarchical_graph(32, cluster_size=8).two_level_operator()
+        state = rng.normal(size=(32, 4))
+        before = np.linalg.norm(state - state.mean(axis=0))
+        after_state = operator.apply(state)
+        after = np.linalg.norm(after_state - after_state.mean(axis=0))
+        assert after < before
+        np.testing.assert_allclose(
+            after_state.mean(axis=0), state.mean(axis=0), atol=1e-12
+        )
+
+
+class TestEngineIntegration:
+    def test_traffic_split_by_tag(self):
+        from repro.experiments.harness import build_algorithm, build_experiment_components
+        from repro.experiments.specs import fast_spec
+
+        spec = fast_spec(
+            num_agents=16, topology="hierarchical", num_rounds=2, algorithms=["DP-DPSGD"]
+        )
+        algorithm = build_algorithm(
+            "DP-DPSGD", build_experiment_components(spec)
+        )
+        for _ in range(2):
+            algorithm.run_round()
+        by_tag = algorithm.network.traffic_by_tag
+        assert "model.intra" in by_tag and "model.inter" in by_tag
+        assert by_tag["model.intra"] > 0 and by_tag["model.inter"] > 0
+        assert (
+            by_tag["model.intra"] + by_tag["model.inter"]
+            == algorithm.network.floats_sent
+        )
+
+    def test_spec_cluster_size_respected(self):
+        from repro.experiments.harness import build_experiment_components
+        from repro.experiments.specs import fast_spec
+
+        spec = fast_spec(num_agents=16, topology="hierarchical").with_updates(
+            cluster_size=8
+        )
+        components = build_experiment_components(spec)
+        assert components.topology.cluster_size == 8
+
+    def test_cluster_size_requires_hierarchical(self):
+        from repro.experiments.specs import fast_spec
+
+        with pytest.raises(ValueError):
+            fast_spec(num_agents=16, topology="ring").with_updates(cluster_size=4)
