@@ -1,0 +1,67 @@
+"""Micro-benchmark: fleet-scale attack engines vs their per-victim loops.
+
+Thin pytest wrappers over the registered ``attacks/inversion-fleet`` and
+``attacks/membership`` suites (:class:`repro.bench.suites.FleetInversionSuite`,
+:class:`repro.bench.suites.MembershipFleetSuite`): one stacked fleet attack
+vs the sequential per-victim loop it replaces, with bit-identity between the
+two timed runs asserted inside the suites themselves.  The ≥10x inversion
+speedup floor at 256 victims routes through the shared guard (full scale +
+CPUs + signal).
+
+Environment knobs (shared with ``repro-bench``):
+
+* ``REPRO_BENCH_ATTACK_AGENTS`` — victims attacked at once (default 256);
+* ``REPRO_BENCH_ATTACK_ITERS`` — SPSA iterations per attack (default 25);
+* ``REPRO_BENCH_ATTACK_BATCH`` — victim batch size (default 4);
+* ``REPRO_BENCH_MEMBER_ROWS`` — (agent, checkpoint) parameter rows
+  (default 1024);
+* ``REPRO_BENCH_MEMBER_SAMPLES`` — examples per population (default 32).
+"""
+
+from __future__ import annotations
+
+from repro.bench.registry import assert_floor, run_benchmark
+from repro.bench.suites import FleetInversionSuite, MembershipFleetSuite
+
+
+def test_bench_fleet_inversion_speedup():
+    suite = FleetInversionSuite()
+    result = run_benchmark(suite)
+
+    metrics = result.metrics
+    print()
+    print("=" * 72)
+    print("fleet gradient inversion: one stacked run vs the per-victim loop")
+    print(
+        f"{'victims':>8s} {'iters':>6s} {'sequential':>12s} {'fleet':>12s} "
+        f"{'speedup':>8s}"
+    )
+    print(
+        f"{suite.agents:>8d} {suite.iterations:>6d} "
+        f"{metrics['sequential_s']:>11.3f}s {metrics['fleet_s']:>11.3f}s "
+        f"{metrics['speedup']:>7.1f}x"
+    )
+
+    # The ≥10x fleet-scale floor, armed through the shared guard.
+    assert_floor(result)
+
+
+def test_bench_membership_fleet_speedup():
+    suite = MembershipFleetSuite()
+    result = run_benchmark(suite)
+
+    metrics = result.metrics
+    print()
+    print("=" * 72)
+    print("fleet membership scoring: two stacked passes vs per-row calls")
+    print(
+        f"{'rows':>8s} {'samples':>8s} {'sequential':>12s} {'fleet':>12s} "
+        f"{'speedup':>8s}"
+    )
+    print(
+        f"{suite.rows:>8d} {suite.samples:>8d} "
+        f"{metrics['sequential_s']:>11.4f}s {metrics['fleet_s']:>11.4f}s "
+        f"{metrics['speedup']:>7.1f}x"
+    )
+
+    assert_floor(result)

@@ -15,28 +15,63 @@ quantitatively inside this repository:
 * :func:`membership_inference_attack` — the classic loss-threshold attack
   (Yeom et al.): declare a sample a training member if the model's loss on
   it is below a threshold fitted on known member/non-member populations.
+* :class:`FleetInversionAttack` / :func:`membership_inference_fleet` — the
+  batched fleet-scale engines: all ``N`` victims attacked simultaneously
+  through stacked ``(N, B, ...)`` model evaluations
+  (:mod:`repro.nn.batched`), bit-identical to the per-victim loops thanks to
+  per-victim RNG streams and bit-exact stacked chunking.
 
-Both attacks operate on exactly the artefacts PDSL exchanges (clipped,
+All attacks operate on exactly the artefacts PDSL exchanges (clipped,
 optionally noised gradient vectors and model parameters), so the ablation
-benchmark can show attack success decaying as the privacy budget shrinks.
+benchmark and the privacy-frontier campaign
+(:mod:`repro.experiments.privacy_frontier`) can show attack success decaying
+as the privacy budget shrinks.
 """
 
+from repro.attacks.fleet import (
+    INVERSION_STREAM_TAG,
+    MEMBERSHIP_STREAM_TAG,
+    FleetInversionAttack,
+    FleetInversionResult,
+    FleetMembershipResult,
+    inversion_stream,
+    membership_inference_fleet,
+    membership_losses_fleet,
+    membership_stream,
+)
 from repro.attacks.gradient_inversion import (
     GradientInversionAttack,
     InversionResult,
     gradient_inversion_attack,
+    infer_label_counts,
+    pairwise_reconstruction_distances,
     reconstruction_error,
 )
 from repro.attacks.membership_inference import (
     MembershipInferenceResult,
     membership_inference_attack,
+    per_sample_losses,
+    threshold_attack,
 )
 
 __all__ = [
     "GradientInversionAttack",
     "InversionResult",
     "gradient_inversion_attack",
+    "infer_label_counts",
+    "pairwise_reconstruction_distances",
     "reconstruction_error",
     "MembershipInferenceResult",
     "membership_inference_attack",
+    "per_sample_losses",
+    "threshold_attack",
+    "INVERSION_STREAM_TAG",
+    "MEMBERSHIP_STREAM_TAG",
+    "FleetInversionAttack",
+    "FleetInversionResult",
+    "FleetMembershipResult",
+    "inversion_stream",
+    "membership_inference_fleet",
+    "membership_losses_fleet",
+    "membership_stream",
 ]

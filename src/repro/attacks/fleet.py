@@ -1,0 +1,429 @@
+"""Fleet-scale batched privacy attacks.
+
+The per-victim attacks in :mod:`repro.attacks.gradient_inversion` and
+:mod:`repro.attacks.membership_inference` cost one Python-level model
+evaluation per victim per probe — O(N) interpreter round trips per SPSA
+iteration across a fleet.  This module batches both through the stacked
+engine (:class:`~repro.nn.batched.StackedSequential`):
+
+* :class:`FleetInversionAttack` reconstructs all ``N`` victim batches
+  simultaneously — each SPSA iteration issues three stacked ``(N, B, ...)``
+  forward/backward passes instead of ``3 * N`` per-victim evaluations.
+* :func:`membership_inference_fleet` scores per-example losses for many
+  ``(agent, checkpoint)`` parameter rows in one
+  :meth:`~repro.nn.batched.StackedSequential.per_example_losses` pass and
+  fits the Yeom et al. loss threshold per row.
+
+Both are **bit-identical** to running the per-victim attacks in a loop.
+Two ingredients make that exact rather than approximate:
+
+1. Per-victim RNG streams.  Victim ``v`` draws from
+   ``np.random.default_rng([seed, tag, v])`` — the same independent-stream
+   convention the compression codecs (``0xC0DEC``) and privacy mechanisms
+   use — so batched and sequential runs consume identical random numbers
+   regardless of scheduling.
+2. Bit-exact stacked chunking.  ``StackedSequential`` evaluates an ``M``-row
+   stack in row chunks whose results are independent of the chunk size, so
+   the fleet's ``M = N`` evaluation equals ``N`` separate ``M = 1``
+   evaluations bit for bit — and the single-victim attacks themselves route
+   through ``M = 1`` stacked evaluation whenever the model is stackable.
+
+Models the stacked engine cannot express (CNNs) fall back to looping the
+single-victim attacks with the same per-victim streams, so equivalence holds
+there too (just without the speedup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.attacks.gradient_inversion import (
+    GradientInversionAttack,
+    InversionResult,
+    infer_label_counts,
+    reconstruction_error,
+)
+from repro.attacks.membership_inference import (
+    MembershipInferenceResult,
+    per_sample_losses,
+    threshold_attack,
+)
+from repro.data.dataset import Dataset
+from repro.nn.batched import StackedSequential, supports_stacked
+from repro.nn.model import Model
+
+__all__ = [
+    "INVERSION_STREAM_TAG",
+    "MEMBERSHIP_STREAM_TAG",
+    "FleetInversionResult",
+    "FleetInversionAttack",
+    "FleetMembershipResult",
+    "membership_losses_fleet",
+    "membership_inference_fleet",
+]
+
+# Domain-separation tags for the per-victim RNG streams, following the
+# ``default_rng([seed, tag, agent])`` convention established by the
+# compression codecs (0xC0DEC in repro/compression/state.py).
+INVERSION_STREAM_TAG = 0xA77AC
+MEMBERSHIP_STREAM_TAG = 0x313A
+
+
+def inversion_stream(seed: int, victim: int) -> np.random.Generator:
+    """The RNG stream victim ``victim`` consumes during fleet inversion."""
+    return np.random.default_rng([int(seed), INVERSION_STREAM_TAG, int(victim)])
+
+
+def membership_stream(seed: int, row: int) -> np.random.Generator:
+    """The RNG stream parameter row ``row`` consumes during fleet membership."""
+    return np.random.default_rng([int(seed), MEMBERSHIP_STREAM_TAG, int(row)])
+
+
+# ----------------------------------------------------------------------
+# Fleet gradient inversion
+# ----------------------------------------------------------------------
+@dataclass
+class FleetInversionResult:
+    """Outcome of a fleet-wide gradient-inversion attack."""
+
+    reconstructed_inputs: np.ndarray  # (N, B, *input_shape)
+    inferred_labels: np.ndarray  # (N, B)
+    matching_losses: np.ndarray  # (N,)
+    iterations: int
+
+    @property
+    def num_victims(self) -> int:
+        return int(self.reconstructed_inputs.shape[0])
+
+    def victim(self, index: int) -> InversionResult:
+        """The per-victim view, matching ``GradientInversionAttack.run``."""
+        return InversionResult(
+            reconstructed_inputs=self.reconstructed_inputs[index],
+            inferred_labels=self.inferred_labels[index],
+            matching_loss=float(self.matching_losses[index]),
+            iterations=self.iterations,
+        )
+
+    def errors_against(self, true_inputs: np.ndarray) -> np.ndarray:
+        """Per-victim greedy-matched reconstruction MSE against the true batches."""
+        true_inputs = np.asarray(true_inputs, dtype=np.float64)
+        if true_inputs.shape[0] != self.num_victims:
+            raise ValueError("true_inputs must provide one batch per victim")
+        return np.array(
+            [
+                reconstruction_error(true_inputs[v], self.reconstructed_inputs[v])
+                for v in range(self.num_victims)
+            ]
+        )
+
+
+class FleetInversionAttack:
+    """Reconstruct every victim batch of a fleet in one batched SPSA loop.
+
+    Parameters
+    ----------
+    model:
+        The shared architecture (every agent holds the same one).
+    num_classes, learning_rate, iterations:
+        As in :class:`~repro.attacks.gradient_inversion.GradientInversionAttack`.
+    seed:
+        Base seed of the per-victim streams
+        ``default_rng([seed, INVERSION_STREAM_TAG, victim])``.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        num_classes: int,
+        learning_rate: float = 0.5,
+        iterations: int = 200,
+        seed: int = 0,
+    ) -> None:
+        if num_classes < 2:
+            raise ValueError("num_classes must be at least 2")
+        if learning_rate <= 0 or iterations <= 0:
+            raise ValueError("learning_rate and iterations must be positive")
+        self.model = model
+        self.num_classes = int(num_classes)
+        self.learning_rate = float(learning_rate)
+        self.iterations = int(iterations)
+        self.seed = int(seed)
+        self._stacked = StackedSequential(model) if supports_stacked(model) else None
+
+    def victim_rng(self, victim: int) -> np.random.Generator:
+        return inversion_stream(self.seed, victim)
+
+    def single_attack(self, victim: int) -> GradientInversionAttack:
+        """The sequential attack the fleet run is bit-identical to for ``victim``."""
+        return GradientInversionAttack(
+            self.model,
+            num_classes=self.num_classes,
+            learning_rate=self.learning_rate,
+            iterations=self.iterations,
+            rng=self.victim_rng(victim),
+        )
+
+    # ------------------------------------------------------------------
+    def _fleet_matching_losses(
+        self,
+        params: np.ndarray,
+        dummies: np.ndarray,
+        labels: np.ndarray,
+        targets: np.ndarray,
+        input_shape: Tuple[int, ...],
+    ) -> np.ndarray:
+        """``(N,)`` gradient-matching losses, one stacked backward for the fleet."""
+        n, batch_size = dummies.shape[:2]
+        inputs = dummies.reshape((n, batch_size) + input_shape)
+        _, grads = self._stacked.loss_and_gradients(params, inputs, labels)
+        diffs = grads - targets
+        # Per-row np.dot mirrors the scalar attack's reduction exactly.
+        return np.array([float(np.dot(row, row)) for row in diffs])
+
+    def run(
+        self,
+        observed_gradients: np.ndarray,
+        params: np.ndarray,
+        batch_size: int,
+        input_shape: Tuple[int, ...],
+    ) -> FleetInversionResult:
+        """Attack all victims at once.
+
+        Parameters
+        ----------
+        observed_gradients:
+            ``(N, d)`` matrix; row ``v`` is the gradient observed from victim
+            ``v``.
+        params:
+            Either one shared ``(d,)`` parameter vector or an ``(N, d)``
+            matrix of per-victim parameters (e.g. each victim's model at the
+            round the gradient was captured).
+        batch_size, input_shape:
+            Shape of each victim batch to reconstruct.
+        """
+        observed = np.asarray(observed_gradients, dtype=np.float64)
+        dimension = self.model.num_params
+        if observed.ndim != 2 or observed.shape[1] != dimension:
+            raise ValueError(
+                f"observed_gradients must have shape (N, {dimension}), got {observed.shape}"
+            )
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        n = observed.shape[0]
+        if n == 0:
+            raise ValueError("need at least one victim")
+        params = np.asarray(params, dtype=np.float64)
+        if params.ndim == 1:
+            if params.shape != (dimension,):
+                raise ValueError("shared params must match the model dimension")
+            params = np.broadcast_to(params, (n, dimension))
+        elif params.shape != (n, dimension):
+            raise ValueError(
+                f"params must have shape ({n}, {dimension}) or ({dimension},), got {params.shape}"
+            )
+
+        if self._stacked is None:
+            # Non-stackable model: same per-victim streams, sequential engine.
+            results = [
+                self.single_attack(v).run(observed[v], params[v], batch_size, input_shape)
+                for v in range(n)
+            ]
+            return FleetInversionResult(
+                reconstructed_inputs=np.stack([r.reconstructed_inputs for r in results]),
+                inferred_labels=np.stack([r.inferred_labels for r in results]),
+                matching_losses=np.array([r.matching_loss for r in results]),
+                iterations=self.iterations,
+            )
+
+        # iDLG label inference is deterministic — identical per victim either way.
+        labels = np.stack(
+            [
+                np.repeat(
+                    np.arange(self.num_classes),
+                    infer_label_counts(observed[v], batch_size, self.num_classes),
+                )[:batch_size]
+                for v in range(n)
+            ]
+        )
+
+        rngs = [self.victim_rng(v) for v in range(n)]
+        flat_dim = int(np.prod(input_shape))
+        dummies = np.stack(
+            [rng.normal(0.0, 0.5, size=(batch_size, flat_dim)) for rng in rngs]
+        )
+        losses = self._fleet_matching_losses(params, dummies, labels, observed, input_shape)
+
+        # Batched SPSA: every victim advances through the same schedule as its
+        # sequential counterpart; accept/reject and step decay are elementwise.
+        steps = np.full(n, self.learning_rate, dtype=np.float64)
+        eps = 1e-3
+        for _ in range(self.iterations):
+            directions = np.stack([rng.normal(size=(batch_size, flat_dim)) for rng in rngs])
+            # Per-victim Frobenius norm via the same np.linalg.norm call the
+            # scalar attack makes, keeping the normalisation bit-identical.
+            norms = np.array(
+                [max(np.linalg.norm(direction), 1e-12) for direction in directions]
+            )
+            directions /= norms[:, None, None]
+            plus = self._fleet_matching_losses(
+                params, dummies + eps * directions, labels, observed, input_shape
+            )
+            minus = self._fleet_matching_losses(
+                params, dummies - eps * directions, labels, observed, input_shape
+            )
+            derivatives = (plus - minus) / (2 * eps)
+            candidates = dummies - (steps * derivatives)[:, None, None] * directions
+            candidate_losses = self._fleet_matching_losses(
+                params, candidates, labels, observed, input_shape
+            )
+            improved = candidate_losses < losses
+            dummies = np.where(improved[:, None, None], candidates, dummies)
+            losses = np.where(improved, candidate_losses, losses)
+            steps = np.where(improved, steps, steps * 0.97)
+
+        return FleetInversionResult(
+            reconstructed_inputs=dummies.reshape((n, batch_size) + tuple(input_shape)),
+            inferred_labels=labels,
+            matching_losses=losses,
+            iterations=self.iterations,
+        )
+
+
+# ----------------------------------------------------------------------
+# Fleet membership inference
+# ----------------------------------------------------------------------
+@dataclass
+class FleetMembershipResult:
+    """Per-row membership-inference outcomes for a stack of parameter rows."""
+
+    results: List[MembershipInferenceResult]
+    member_losses: np.ndarray  # (M, n_members)
+    non_member_losses: np.ndarray  # (M, n_non_members)
+
+    @property
+    def advantages(self) -> np.ndarray:
+        """``(M,)`` membership advantages (TPR - FPR) per parameter row."""
+        return np.array([r.advantage for r in self.results])
+
+    @property
+    def mean_advantage(self) -> float:
+        return float(self.advantages.mean())
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean([r.accuracy for r in self.results]))
+
+
+def _stack_datasets(datasets: Sequence[Dataset], rows: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``(M, B, ...)`` inputs and ``(M, B)`` labels for the stacked scorer."""
+    if len(datasets) != rows:
+        raise ValueError(f"expected one dataset per row ({rows}), got {len(datasets)}")
+    sizes = {len(d) for d in datasets}
+    if len(sizes) != 1:
+        raise ValueError("all per-row datasets must have the same length to stack")
+    inputs = np.stack([np.asarray(d.inputs, dtype=np.float64) for d in datasets])
+    labels = np.stack([np.asarray(d.labels, dtype=np.int64) for d in datasets])
+    return inputs, labels
+
+
+def _broadcast_dataset(dataset: Dataset, rows: int) -> Tuple[np.ndarray, np.ndarray]:
+    inputs = np.asarray(dataset.inputs, dtype=np.float64)
+    labels = np.asarray(dataset.labels, dtype=np.int64)
+    # Zero-stride views: the shared dataset is scored under every row without
+    # copying it M times.
+    return (
+        np.broadcast_to(inputs[None, ...], (rows,) + inputs.shape),
+        np.broadcast_to(labels[None, ...], (rows,) + labels.shape),
+    )
+
+
+def membership_losses_fleet(
+    model: Model,
+    params_rows: np.ndarray,
+    dataset: Union[Dataset, Sequence[Dataset]],
+) -> np.ndarray:
+    """Per-example losses for many parameter rows in one stacked pass.
+
+    Parameters
+    ----------
+    params_rows:
+        ``(M, d)`` matrix of flat parameter vectors — e.g. one row per agent,
+        or the same agent across checkpoints.
+    dataset:
+        One :class:`Dataset` scored under every row (broadcast without
+        copying), or a sequence of ``M`` equally sized datasets (one per
+        row, e.g. each agent's own shard).
+
+    Returns
+    -------
+    ``(M, B)`` matrix where row ``k`` is bit-identical to
+    :func:`repro.attacks.membership_inference.per_sample_losses` at
+    ``params_rows[k]``.
+    """
+    params_rows = np.asarray(params_rows, dtype=np.float64)
+    if params_rows.ndim != 2:
+        raise ValueError(f"params_rows must be 2-D (M, d), got shape {params_rows.shape}")
+    rows = params_rows.shape[0]
+    if isinstance(dataset, Dataset):
+        inputs, labels = _broadcast_dataset(dataset, rows)
+        per_row: Optional[Sequence[Dataset]] = None
+    else:
+        per_row = list(dataset)
+        inputs, labels = _stack_datasets(per_row, rows)
+    if supports_stacked(model):
+        engine = StackedSequential(model)
+        return engine.per_example_losses(params_rows, inputs, labels)
+    # Fallback for non-stackable models: per-row scoring, same values.
+    datasets = per_row if per_row is not None else [dataset] * rows
+    return np.stack(
+        [per_sample_losses(model, params_rows[k], datasets[k]) for k in range(rows)]
+    )
+
+
+def membership_inference_fleet(
+    model: Model,
+    params_rows: np.ndarray,
+    members: Union[Dataset, Sequence[Dataset]],
+    non_members: Union[Dataset, Sequence[Dataset]],
+    calibration_fraction: float = 0.5,
+    seed: int = 0,
+) -> FleetMembershipResult:
+    """Loss-threshold membership inference against many parameter rows at once.
+
+    Scores the member and non-member populations for all ``M`` rows with two
+    stacked forward passes, then fits/evaluates the threshold per row.  Row
+    ``k`` is bit-identical to
+    :func:`~repro.attacks.membership_inference.membership_inference_attack`
+    called with ``rng = membership_stream(seed, k)`` — the per-row stream
+    convention that makes batched and sequential campaigns interchangeable.
+
+    Parameters
+    ----------
+    members, non_members:
+        Either one shared dataset or a sequence of ``M`` per-row datasets
+        (members are typically each agent's own training shard).
+    """
+    params_rows = np.asarray(params_rows, dtype=np.float64)
+    if params_rows.ndim != 2:
+        raise ValueError(f"params_rows must be 2-D (M, d), got shape {params_rows.shape}")
+    member_losses = membership_losses_fleet(model, params_rows, members)
+    non_member_losses = membership_losses_fleet(model, params_rows, non_members)
+    if member_losses.shape[1] < 4 or non_member_losses.shape[1] < 4:
+        raise ValueError("need at least 4 member and 4 non-member examples")
+    results = [
+        threshold_attack(
+            member_losses[row],
+            non_member_losses[row],
+            calibration_fraction=calibration_fraction,
+            rng=membership_stream(seed, row),
+        )
+        for row in range(params_rows.shape[0])
+    ]
+    return FleetMembershipResult(
+        results=results,
+        member_losses=member_losses,
+        non_member_losses=non_member_losses,
+    )

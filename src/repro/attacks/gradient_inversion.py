@@ -26,36 +26,96 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.nn.batched import StackedSequential, supports_stacked
 from repro.nn.model import Model
 
 __all__ = [
     "InversionResult",
     "GradientInversionAttack",
     "gradient_inversion_attack",
+    "infer_label_counts",
+    "pairwise_reconstruction_distances",
     "reconstruction_error",
 ]
+
+
+def pairwise_reconstruction_distances(
+    original: np.ndarray, reconstructed: np.ndarray, max_block_elements: int = 4_000_000
+) -> np.ndarray:
+    """``(n, m)`` matrix of per-pair mean squared errors between flattened rows.
+
+    Row blocks bound the ``(block, m, features)`` broadcast temporary so huge
+    fleets don't materialise an ``n * m * f`` cube.  Each entry is computed
+    with the same elementwise-then-mean reduction as a per-pair
+    ``np.mean((a - b) ** 2)``, so the matrix is bit-identical to the scalar
+    loop it replaces.
+    """
+    original = np.asarray(original, dtype=np.float64).reshape(len(original), -1)
+    reconstructed = np.asarray(reconstructed, dtype=np.float64).reshape(len(reconstructed), -1)
+    if original.shape[1] != reconstructed.shape[1]:
+        raise ValueError("original and reconstructed rows must have the same size")
+    n, m = original.shape[0], reconstructed.shape[0]
+    features = max(1, original.shape[1])
+    distances = np.empty((n, m), dtype=np.float64)
+    block = max(1, max_block_elements // max(1, m * features))
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        diff = original[start:stop, None, :] - reconstructed[None, :, :]
+        distances[start:stop] = np.mean(diff**2, axis=2)
+    return distances
 
 
 def reconstruction_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
     """Mean squared error between victim inputs and their reconstruction.
 
     Rows are matched greedily by nearest neighbour because gradient matching
-    recovers the *set* of examples, not their order within the batch.
+    recovers the *set* of examples, not their order within the batch.  The
+    pairwise distance matrix is precomputed in one vectorised pass; the greedy
+    assignment (including argmin tie-breaking) visits pairs in exactly the
+    order of the historical O(n^2) Python loop.
     """
     original = np.asarray(original, dtype=np.float64).reshape(len(original), -1)
     reconstructed = np.asarray(reconstructed, dtype=np.float64).reshape(len(reconstructed), -1)
     if original.shape[0] == 0 or reconstructed.shape[0] == 0:
         raise ValueError("both batches must be non-empty")
+    distances = pairwise_reconstruction_distances(original, reconstructed)
+    available = np.ones(reconstructed.shape[0], dtype=bool)
     errors = []
-    available = list(range(reconstructed.shape[0]))
-    for row in original:
-        distances = [float(np.mean((row - reconstructed[j]) ** 2)) for j in available]
-        best = int(np.argmin(distances))
-        errors.append(distances[best])
-        available.pop(best)
-        if not available:
+    for i in range(original.shape[0]):
+        columns = np.flatnonzero(available)
+        row = distances[i, columns]
+        best = int(np.argmin(row))
+        errors.append(float(row[best]))
+        available[columns[best]] = False
+        if not available.any():
             break
     return float(np.mean(errors))
+
+
+def infer_label_counts(
+    observed_gradient: np.ndarray, batch_size: int, num_classes: int
+) -> np.ndarray:
+    """Estimate how many examples of each class the victim batch contains.
+
+    For a softmax classifier the gradient of the mean loss with respect to
+    the output bias is ``mean(softmax - onehot)``; classes present in the
+    batch therefore have markedly negative bias-gradient entries.  We
+    allocate the batch to classes proportionally to the negative part
+    (Zhao et al., "iDLG").  Deterministic, so the fleet attack and the
+    sequential per-victim attack infer identical labels.
+    """
+    bias_grad = np.asarray(observed_gradient, dtype=np.float64)[-num_classes:]
+    negative = np.clip(-bias_grad, 0.0, None)
+    if negative.sum() <= 1e-12:
+        # noise destroyed the signal: fall back to a uniform guess
+        counts = np.full(num_classes, batch_size // num_classes, dtype=np.int64)
+        counts[: batch_size - counts.sum()] += 1
+        return counts
+    proportions = negative / negative.sum()
+    counts = np.floor(proportions * batch_size).astype(np.int64)
+    while counts.sum() < batch_size:
+        counts[int(np.argmax(proportions - counts / batch_size))] += 1
+    return counts
 
 
 @dataclass
@@ -85,6 +145,17 @@ class GradientInversionAttack:
         Optimisation schedule for the dummy-input matching.
     rng:
         Randomness for the dummy initialisation.
+
+    Notes
+    -----
+    When the model is stackable (``supports_stacked``) the matching loss is
+    evaluated through a one-row :class:`~repro.nn.batched.StackedSequential`
+    instead of ``Model.loss_and_gradient``.  Stacked chunking is bit-exact,
+    so an ``M = N`` fleet evaluation decomposes into exactly these ``M = 1``
+    evaluations — which is what makes
+    :class:`~repro.attacks.fleet.FleetInversionAttack` bit-identical to ``N``
+    sequential ``run`` calls.  Convolutional models fall back to the
+    per-model path.
     """
 
     def __init__(
@@ -104,36 +175,28 @@ class GradientInversionAttack:
         self.learning_rate = float(learning_rate)
         self.iterations = int(iterations)
         self.rng = rng or np.random.default_rng(0)
+        self._stacked = StackedSequential(model) if supports_stacked(model) else None
 
     # ------------------------------------------------------------------
     # Label inference (iDLG-style)
     # ------------------------------------------------------------------
     def infer_label_counts(self, observed_gradient: np.ndarray, batch_size: int) -> np.ndarray:
-        """Estimate how many examples of each class the victim batch contains.
-
-        For a softmax classifier the gradient of the mean loss with respect to
-        the output bias is ``mean(softmax - onehot)``; classes present in the
-        batch therefore have markedly negative bias-gradient entries.  We
-        allocate the batch to classes proportionally to the negative part.
-        """
-        bias_grad = observed_gradient[-self.num_classes :]
-        negative = np.clip(-bias_grad, 0.0, None)
-        if negative.sum() <= 1e-12:
-            # noise destroyed the signal: fall back to a uniform guess
-            counts = np.full(self.num_classes, batch_size // self.num_classes, dtype=np.int64)
-            counts[: batch_size - counts.sum()] += 1
-            return counts
-        proportions = negative / negative.sum()
-        counts = np.floor(proportions * batch_size).astype(np.int64)
-        while counts.sum() < batch_size:
-            counts[int(np.argmax(proportions - counts / batch_size))] += 1
-        return counts
+        """Per-class example counts of the victim batch (iDLG bias-gradient rule)."""
+        return infer_label_counts(observed_gradient, batch_size, self.num_classes)
 
     def _matching_loss(
         self, params: np.ndarray, dummy_inputs: np.ndarray, dummy_labels: np.ndarray, target: np.ndarray
     ) -> float:
-        _, grad = self.model.loss_and_gradient(dummy_inputs, dummy_labels, params=params)
-        diff = grad - target
+        if self._stacked is not None:
+            _, grads = self._stacked.loss_and_gradients(
+                np.asarray(params, dtype=np.float64)[None, :],
+                np.asarray(dummy_inputs, dtype=np.float64)[None, ...],
+                np.asarray(dummy_labels, dtype=np.int64)[None, :],
+            )
+            diff = grads[0] - target
+        else:
+            _, grad = self.model.loss_and_gradient(dummy_inputs, dummy_labels, params=params)
+            diff = grad - target
         return float(np.dot(diff, diff))
 
     # ------------------------------------------------------------------

@@ -17,10 +17,16 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.data.dataset import Dataset
-from repro.nn.losses import softmax_cross_entropy
+from repro.nn.batched import StackedSequential, supports_stacked
+from repro.nn.losses import per_example_cross_entropy
 from repro.nn.model import Model
 
-__all__ = ["MembershipInferenceResult", "membership_inference_attack"]
+__all__ = [
+    "MembershipInferenceResult",
+    "membership_inference_attack",
+    "per_sample_losses",
+    "threshold_attack",
+]
 
 
 @dataclass
@@ -38,48 +44,62 @@ class MembershipInferenceResult:
         return float(self.true_positive_rate - self.false_positive_rate)
 
 
-def _per_sample_losses(model: Model, params: np.ndarray, dataset: Dataset) -> np.ndarray:
-    """Per-example cross-entropy losses at the given parameters."""
+def per_sample_losses(
+    model: Model,
+    params: np.ndarray,
+    dataset: Dataset,
+    engine: Optional[StackedSequential] = None,
+) -> np.ndarray:
+    """Per-example cross-entropy losses at the given parameters.
+
+    Stackable models are scored through a one-row
+    :class:`~repro.nn.batched.StackedSequential` forward (pass ``engine`` to
+    reuse a prebuilt plan); because stacked chunking is bit-exact, the fleet
+    scorer :func:`repro.attacks.fleet.membership_losses_fleet` reproduces
+    these values row for row.  Other models fall back to ``Model.forward``.
+    Both paths share :func:`repro.nn.losses.per_example_cross_entropy`.
+    """
+    params = np.asarray(params, dtype=np.float64)
+    if engine is None and supports_stacked(model):
+        engine = StackedSequential(model)
+    if engine is not None:
+        return engine.per_example_losses(
+            params[None, :], dataset.inputs[None, ...], dataset.labels[None, :]
+        )[0]
     restore = model.get_flat_params()
     model.set_flat_params(params)
     try:
         logits = model.forward(dataset.inputs, training=False)
-        shifted = logits - logits.max(axis=1, keepdims=True)
-        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
-        losses = -log_probs[np.arange(len(dataset)), dataset.labels]
+        losses = per_example_cross_entropy(logits, dataset.labels)
     finally:
         model.set_flat_params(restore)
     return losses
 
 
-def membership_inference_attack(
-    model: Model,
-    params: np.ndarray,
-    members: Dataset,
-    non_members: Dataset,
+# Historical private name, kept for callers that predate the public helper.
+_per_sample_losses = per_sample_losses
+
+
+def threshold_attack(
+    member_losses: np.ndarray,
+    non_member_losses: np.ndarray,
     calibration_fraction: float = 0.5,
     rng: Optional[np.random.Generator] = None,
 ) -> MembershipInferenceResult:
-    """Run the loss-threshold attack.
+    """Fit and evaluate the loss threshold on precomputed per-example losses.
 
-    Parameters
-    ----------
-    members:
-        Examples that were used to train the model (the victim agent's shard).
-    non_members:
-        Held-out examples from the same distribution.
-    calibration_fraction:
-        Fraction of each population used to fit the threshold; the rest is
-        used for the reported metrics.
+    The model-free core of the Yeom et al. attack, shared between
+    :func:`membership_inference_attack` (one parameter vector) and
+    :func:`repro.attacks.fleet.membership_inference_fleet` (many parameter
+    rows scored by one stacked pass).
     """
-    if len(members) < 4 or len(non_members) < 4:
+    member_losses = np.asarray(member_losses, dtype=np.float64)
+    non_member_losses = np.asarray(non_member_losses, dtype=np.float64)
+    if member_losses.size < 4 or non_member_losses.size < 4:
         raise ValueError("need at least 4 member and 4 non-member examples")
     if not 0.0 < calibration_fraction < 1.0:
         raise ValueError("calibration_fraction must lie in (0, 1)")
     rng = rng or np.random.default_rng(0)
-
-    member_losses = _per_sample_losses(model, params, members)
-    non_member_losses = _per_sample_losses(model, params, non_members)
 
     def split(losses: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         order = rng.permutation(losses.size)
@@ -107,4 +127,37 @@ def membership_inference_attack(
         accuracy=float(eval_accuracy),
         true_positive_rate=true_positive,
         false_positive_rate=false_positive,
+    )
+
+
+def membership_inference_attack(
+    model: Model,
+    params: np.ndarray,
+    members: Dataset,
+    non_members: Dataset,
+    calibration_fraction: float = 0.5,
+    rng: Optional[np.random.Generator] = None,
+) -> MembershipInferenceResult:
+    """Run the loss-threshold attack.
+
+    Parameters
+    ----------
+    members:
+        Examples that were used to train the model (the victim agent's shard).
+    non_members:
+        Held-out examples from the same distribution.
+    calibration_fraction:
+        Fraction of each population used to fit the threshold; the rest is
+        used for the reported metrics.
+    """
+    if len(members) < 4 or len(non_members) < 4:
+        raise ValueError("need at least 4 member and 4 non-member examples")
+    engine = StackedSequential(model) if supports_stacked(model) else None
+    member_losses = per_sample_losses(model, params, members, engine=engine)
+    non_member_losses = per_sample_losses(model, params, non_members, engine=engine)
+    return threshold_attack(
+        member_losses,
+        non_member_losses,
+        calibration_fraction=calibration_fraction,
+        rng=rng,
     )

@@ -15,7 +15,11 @@ Each suite packages one hot path of the system behind the
 * ``orchestrator/pool`` — process-pool grid vs serial (plus warm store);
 * ``checkpoint/roundtrip`` — ``state_dict`` → save → load → restore;
 * ``game/shapley-mc`` — the vectorized Monte-Carlo Shapley estimator;
-* ``privacy/noise-rows`` — batched per-owner Gaussian noise rows.
+* ``privacy/noise-rows`` — batched per-owner Gaussian noise rows;
+* ``attacks/inversion-fleet`` — fleet gradient inversion vs the sequential
+  per-victim loop (bit-identity checked);
+* ``attacks/membership`` — fleet membership-loss scoring vs per-row calls
+  (bit-identity checked).
 
 Scales resolve from the same ``REPRO_BENCH_*`` environment knobs the pytest
 wrappers under ``benchmarks/`` have always used, so one configuration drives
@@ -51,6 +55,8 @@ __all__ = [
     "CheckpointRoundtripSuite",
     "MonteCarloShapleySuite",
     "NoiseRowsSuite",
+    "FleetInversionSuite",
+    "MembershipFleetSuite",
 ]
 
 #: Reduced-scale knob values for CI smoke runs: every suite executes every
@@ -76,6 +82,11 @@ SMOKE_SCALE: Dict[str, str] = {
     "REPRO_BENCH_NOISE_AGENTS": "256",
     "REPRO_BENCH_NOISE_DIM": "32",
     "REPRO_BENCH_SWEEP_AGENTS": "64,256",
+    "REPRO_BENCH_ATTACK_AGENTS": "16",
+    "REPRO_BENCH_ATTACK_ITERS": "4",
+    "REPRO_BENCH_ATTACK_BATCH": "4",
+    "REPRO_BENCH_MEMBER_ROWS": "64",
+    "REPRO_BENCH_MEMBER_SAMPLES": "16",
 }
 
 
@@ -845,3 +856,231 @@ class NoiseRowsSuite(Benchmark):
                 self.agents / batched_s if batched_s > 0 else float("inf")
             ),
         }
+
+
+# ---------------------------------------------------------------------------
+# attacks/inversion-fleet
+# ---------------------------------------------------------------------------
+@benchmark
+class FleetInversionSuite(Benchmark):
+    """Fleet gradient inversion vs the sequential per-victim loop.
+
+    One :class:`~repro.attacks.FleetInversionAttack` run reconstructs all
+    ``N`` victims through stacked ``(N, B, ...)`` evaluations — one model
+    pass per SPSA probe instead of ``N``.  The sequential baseline is the
+    exact per-victim loop a pre-fleet analysis campaign would run:
+    ``GradientInversionAttack.run`` per victim, seeded from the same
+    :func:`~repro.attacks.inversion_stream` RNG streams.  Both timed runs
+    are asserted bit-identical (reconstructions, labels, matching losses),
+    so the speedup can never come from computing something different.
+    """
+
+    name = "attacks/inversion-fleet"
+    description = "fleet vs per-victim gradient inversion, seconds per attack"
+    floor = FloorSpec(
+        metric="speedup", minimum=10.0, min_cpus=1, min_baseline_seconds=0.2
+    )
+    default_repeats = 1
+    default_warmup = False
+    FULL_SCALE_AGENTS = 256
+
+    def __init__(self) -> None:
+        self.agents = _env_int("REPRO_BENCH_ATTACK_AGENTS", 256, minimum=2)
+        self.iterations = _env_int("REPRO_BENCH_ATTACK_ITERS", 25)
+        self.batch = _env_int("REPRO_BENCH_ATTACK_BATCH", 4)
+        self._observed: Optional[np.ndarray] = None
+        self._params: Optional[np.ndarray] = None
+        self._inputs: Optional[np.ndarray] = None
+
+    def params(self) -> Dict[str, object]:
+        return {
+            "agents": self.agents,
+            "iterations": self.iterations,
+            "batch": self.batch,
+        }
+
+    @staticmethod
+    def build_model():
+        from repro.nn.zoo import make_linear_classifier
+
+        return make_linear_classifier(16, 4, seed=0)
+
+    def setup(self) -> None:
+        from repro.nn.batched import StackedSequential
+
+        model = self.build_model()
+        rng = np.random.default_rng(0)
+        params = rng.normal(size=model.num_params)
+        inputs = rng.normal(size=(self.agents, self.batch, 16))
+        labels = rng.integers(0, 4, size=(self.agents, self.batch))
+        _, observed = StackedSequential(model).loss_and_gradients(
+            np.broadcast_to(params, (self.agents, model.num_params)),
+            inputs,
+            labels,
+        )
+        self._observed = observed
+        self._params = params
+        self._inputs = inputs
+
+    def teardown(self) -> None:
+        self._observed = None
+        self._params = None
+        self._inputs = None
+
+    def run(self) -> Dict[str, float]:
+        from repro.attacks import (
+            FleetInversionAttack,
+            GradientInversionAttack,
+            inversion_stream,
+        )
+
+        observed, params = self._observed, self._params
+        assert observed is not None and params is not None
+        model = self.build_model()
+        seed = 1
+
+        fleet = FleetInversionAttack(
+            model, num_classes=4, iterations=self.iterations, seed=seed
+        )
+        started = time.perf_counter()
+        batched = fleet.run(observed, params, self.batch, (16,))
+        fleet_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        sequential = [
+            GradientInversionAttack(
+                model,
+                num_classes=4,
+                iterations=self.iterations,
+                rng=inversion_stream(seed, victim),
+            ).run(observed[victim], params, self.batch, (16,))
+            for victim in range(self.agents)
+        ]
+        sequential_s = time.perf_counter() - started
+
+        # The comparison is only meaningful while the fleet run *is* the
+        # per-victim loop, bit for bit.
+        for victim, single in enumerate(sequential):
+            np.testing.assert_array_equal(
+                batched.reconstructed_inputs[victim], single.reconstructed_inputs
+            )
+            np.testing.assert_array_equal(
+                batched.inferred_labels[victim], single.inferred_labels
+            )
+            assert float(batched.matching_losses[victim]) == single.matching_loss
+
+        inputs = self._inputs
+        assert inputs is not None
+        errors = batched.errors_against(inputs)
+        return {
+            "sequential_s": sequential_s,
+            "fleet_s": fleet_s,
+            "speedup": sequential_s / fleet_s if fleet_s > 0 else float("inf"),
+            "mean_matching_loss": float(batched.matching_losses.mean()),
+            "mean_reconstruction_error": float(errors.mean()),
+        }
+
+    def floor_context(self, metrics: Dict[str, float]) -> Tuple[bool, Optional[float]]:
+        return self.agents >= self.FULL_SCALE_AGENTS, metrics.get("sequential_s")
+
+
+# ---------------------------------------------------------------------------
+# attacks/membership
+# ---------------------------------------------------------------------------
+@benchmark
+class MembershipFleetSuite(Benchmark):
+    """Fleet membership-loss scoring vs per-row ``per_sample_losses`` calls.
+
+    The fleet path scores every (agent, checkpoint) parameter row's
+    per-example losses on both populations in two stacked passes
+    (:func:`~repro.attacks.membership_losses_fleet`); the baseline loops
+    :func:`~repro.attacks.per_sample_losses` over rows with a shared stacked
+    engine.  Both timed paths are asserted bit-identical.  This comparison
+    is compute-bound rather than overhead-bound, so its speedup is modest
+    next to ``attacks/inversion-fleet`` — the floor reflects that.
+    """
+
+    name = "attacks/membership"
+    description = "fleet vs per-row membership loss scoring, seconds per sweep"
+    floor = FloorSpec(
+        metric="speedup", minimum=2.0, min_cpus=1, min_baseline_seconds=0.02
+    )
+    default_repeats = 3
+    FULL_SCALE_ROWS = 1024
+
+    def __init__(self) -> None:
+        self.rows = _env_int("REPRO_BENCH_MEMBER_ROWS", 1024, minimum=2)
+        self.samples = _env_int("REPRO_BENCH_MEMBER_SAMPLES", 32, minimum=4)
+        self._rows: Optional[np.ndarray] = None
+        self._members = None
+        self._non_members = None
+
+    def params(self) -> Dict[str, object]:
+        return {"rows": self.rows, "samples": self.samples}
+
+    def setup(self) -> None:
+        from repro.data.dataset import Dataset
+
+        model = FleetInversionSuite.build_model()
+        rng = np.random.default_rng(0)
+        self._rows = rng.normal(size=(self.rows, model.num_params))
+        self._members = Dataset(
+            rng.normal(size=(self.samples, 16)),
+            rng.integers(0, 4, size=self.samples),
+        )
+        self._non_members = Dataset(
+            rng.normal(size=(self.samples, 16)) + 0.5,
+            rng.integers(0, 4, size=self.samples),
+        )
+
+    def teardown(self) -> None:
+        self._rows = None
+        self._members = None
+        self._non_members = None
+
+    def run(self) -> Dict[str, float]:
+        from repro.attacks import (
+            membership_inference_fleet,
+            membership_losses_fleet,
+            per_sample_losses,
+        )
+        from repro.nn.batched import StackedSequential
+
+        rows, members, non_members = self._rows, self._members, self._non_members
+        assert rows is not None and members is not None and non_members is not None
+        model = FleetInversionSuite.build_model()
+
+        started = time.perf_counter()
+        fleet_member = membership_losses_fleet(model, rows, members)
+        fleet_non = membership_losses_fleet(model, rows, non_members)
+        fleet_s = time.perf_counter() - started
+
+        engine = StackedSequential(model)
+        started = time.perf_counter()
+        seq_member = np.stack(
+            [
+                per_sample_losses(model, row, members, engine=engine)
+                for row in rows
+            ]
+        )
+        seq_non = np.stack(
+            [
+                per_sample_losses(model, row, non_members, engine=engine)
+                for row in rows
+            ]
+        )
+        sequential_s = time.perf_counter() - started
+
+        np.testing.assert_array_equal(fleet_member, seq_member)
+        np.testing.assert_array_equal(fleet_non, seq_non)
+
+        result = membership_inference_fleet(model, rows, members, non_members)
+        return {
+            "sequential_s": sequential_s,
+            "fleet_s": fleet_s,
+            "speedup": sequential_s / fleet_s if fleet_s > 0 else float("inf"),
+            "mean_advantage": float(result.mean_advantage),
+        }
+
+    def floor_context(self, metrics: Dict[str, float]) -> Tuple[bool, Optional[float]]:
+        return self.rows >= self.FULL_SCALE_ROWS, metrics.get("sequential_s")

@@ -3,10 +3,11 @@
 One spec file (JSON, the :func:`~repro.experiments.specs.grid_from_dict`
 format) describes a whole campaign; four subcommands drive it::
 
-    repro-run run    spec.json --runs runs/ --workers 4   # execute the grid
-    repro-run resume spec.json --runs runs/ --workers 4   # continue after a kill
-    repro-run status spec.json --runs runs/               # per-job store state
-    repro-run report spec.json --runs runs/               # mean±std over seeds
+    repro-run run      spec.json --runs runs/ --workers 4  # execute the grid
+    repro-run resume   spec.json --runs runs/ --workers 4  # continue after a kill
+    repro-run status   spec.json --runs runs/              # per-job store state
+    repro-run report   spec.json --runs runs/              # mean±std over seeds
+    repro-run frontier spec.json --runs runs/              # train + attack sweep
 
 ``run`` and ``resume`` are the same operation — the run store makes
 execution idempotent (done cells are skipped, partial cells resume from
@@ -110,6 +111,44 @@ def _build_parser() -> argparse.ArgumentParser:
             "report", help="aggregate finished cells into mean±std tables"
         )
     )
+
+    frontier = subparsers.add_parser(
+        "frontier",
+        help="run the grid with retained final states, then mount the batched "
+        "membership-inference and gradient-inversion attacks on every cell "
+        "(writes <runs>/frontier.json)",
+    )
+    add_common(frontier)
+    frontier.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool size for pending jobs (default: 1, serial)",
+    )
+    frontier.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=DEFAULT_CHECKPOINT_EVERY,
+        help="rounds between run snapshots (default: %(default)s)",
+    )
+    frontier.add_argument(
+        "--inversion-iterations",
+        type=int,
+        default=40,
+        help="SPSA iterations of the fleet inversion attack (default: %(default)s)",
+    )
+    frontier.add_argument(
+        "--victim-batch",
+        type=int,
+        default=4,
+        help="victim batch size reconstructed per agent (default: %(default)s)",
+    )
+    frontier.add_argument(
+        "--max-eval-samples",
+        type=int,
+        default=64,
+        help="per-population cap for membership scoring (default: %(default)s)",
+    )
     return parser
 
 
@@ -183,6 +222,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    from repro.experiments.privacy_frontier import (
+        FRONTIER_FILE,
+        frontier_report,
+        run_privacy_frontier,
+    )
+
+    grid = load_grid_file(args.spec)
+    print(
+        f"privacy frontier over {len(grid)} job(s): {len(grid.algorithms)} "
+        f"algorithm(s) x {len(grid.seeds)} seed(s) x {len(grid.overrides)} "
+        f"override(s) -> {args.runs}"
+    )
+    points = run_privacy_frontier(
+        grid,
+        args.runs,
+        workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        inversion_iterations=args.inversion_iterations,
+        victim_batch=args.victim_batch,
+        max_eval_samples=args.max_eval_samples,
+    )
+    print(frontier_report(points))
+    print(f"\nfrontier written to {Path(args.runs) / FRONTIER_FILE}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-run`` console script."""
     args = _build_parser().parse_args(argv)
@@ -191,6 +257,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "status":
             return _cmd_status(args)
+        if args.command == "frontier":
+            return _cmd_frontier(args)
         return _cmd_report(args)
     except (ValueError, FileNotFoundError, RuntimeError) as error:
         print(f"repro-run: {error}", file=sys.stderr)

@@ -215,6 +215,7 @@ def run_job(
     store: RunStore,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     max_rounds: Optional[int] = None,
+    final_checkpoint: bool = False,
 ) -> Optional[TrainingHistory]:
     """Execute (or resume, or skip) one job inside its run directory.
 
@@ -226,6 +227,12 @@ def run_job(
     hook used by tests and the CI smoke job); when the cap stops the run
     early, a checkpoint is written, status becomes ``partial`` and ``None``
     is returned.
+
+    ``final_checkpoint`` writes one last snapshot *after* the final round and
+    keeps it through pruning, so the run directory retains the finished
+    fleet's ``(N, d)`` parameter matrix.  Post-hoc analyses — the
+    privacy-frontier attacks in :mod:`repro.experiments.privacy_frontier` —
+    load that state instead of re-running the campaign.
     """
     status = store.read_status(job)
     if status.get("status") == "done":
@@ -276,13 +283,18 @@ def run_job(
         return None
     history = session.finish()
     store.save_history(job, history)
-    store.write_status(job, "done", rounds_completed=session.rounds_done)
-    store.prune_checkpoints(job)
+    if final_checkpoint:
+        session.checkpoint()
+        store.write_status(job, "done", rounds_completed=session.rounds_done)
+        store.prune_checkpoints(job, keep=1)
+    else:
+        store.write_status(job, "done", rounds_completed=session.rounds_done)
+        store.prune_checkpoints(job)
     return history
 
 
 def _run_job_worker(
-    args: Tuple[str, ExperimentJob, int, Optional[int]],
+    args: Tuple[str, ExperimentJob, int, Optional[int], bool],
 ) -> Tuple[str, str, Optional[Dict[str, object]], Optional[str]]:
     """Pool entry point: run one job, return a picklable summary.
 
@@ -290,12 +302,16 @@ def _run_job_worker(
     persists) so the parent does not depend on object identity across
     process boundaries.
     """
-    root, job, checkpoint_every, max_rounds = args
+    root, job, checkpoint_every, max_rounds, final_checkpoint = args
     store = RunStore(root)
     job_id = job_hash(job)
     try:
         history = run_job(
-            job, store, checkpoint_every=checkpoint_every, max_rounds=max_rounds
+            job,
+            store,
+            checkpoint_every=checkpoint_every,
+            max_rounds=max_rounds,
+            final_checkpoint=final_checkpoint,
         )
     except Exception as error:
         # Job failures are data, not control flow: the parent decides (via
@@ -316,6 +332,7 @@ def run_grid(
     max_rounds_per_job: Optional[int] = None,
     jobs: Optional[Sequence[ExperimentJob]] = None,
     strict: bool = True,
+    final_checkpoint: bool = False,
 ) -> List[JobResult]:
     """Execute a grid against a run store, in parallel when ``workers > 1``.
 
@@ -323,7 +340,9 @@ def run_grid(
     partial cells execute (resuming from their latest checkpoint) on a
     ``ProcessPoolExecutor`` with ``workers`` processes — each job re-seeds
     itself from its own spec, so placement on workers cannot change any
-    trajectory.  Results come back in job order.  With ``strict`` (the
+    trajectory.  ``final_checkpoint`` is forwarded to :func:`run_job` so
+    finished cells keep their last snapshot (the fleet state post-hoc
+    attacks consume).  Results come back in job order.  With ``strict`` (the
     default) a failed job raises after every job has been given its chance;
     ``strict=False`` returns failures as :class:`JobResult` entries instead.
     """
@@ -343,7 +362,7 @@ def run_grid(
         pending.append((index, job))
 
     payloads = [
-        (str(store.root), job, checkpoint_every, max_rounds_per_job)
+        (str(store.root), job, checkpoint_every, max_rounds_per_job, final_checkpoint)
         for _, job in pending
     ]
     if workers == 1 or len(pending) <= 1:

@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.nn.layers import Dense, Flatten, ReLU, Sigmoid, Tanh
+from repro.nn.losses import log_softmax, per_example_cross_entropy
 from repro.nn.model import Model, Sequential
 
 __all__ = ["supports_stacked", "StackedSequential"]
@@ -172,9 +173,7 @@ class StackedSequential:
         Returns ``(losses (M,), grad_logits (M, B, K))``.
         """
         batch = logits.shape[1]
-        shifted = logits - logits.max(axis=2, keepdims=True)
-        log_z = np.log(np.exp(shifted).sum(axis=2, keepdims=True))
-        log_probs = shifted - log_z
+        log_probs = log_softmax(logits)
         picked = np.take_along_axis(log_probs, labels[:, :, None], axis=2)[:, :, 0]
         losses = -picked.mean(axis=1)
         grad = np.exp(log_probs)
@@ -260,3 +259,24 @@ class StackedSequential:
             chunk_losses, _ = self._softmax_cross_entropy(logits, labels[start:stop])
             losses[start:stop] = chunk_losses
         return losses
+
+    def per_example_losses(
+        self, params: np.ndarray, inputs: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Unreduced per-example cross-entropy for every stacked model.
+
+        Same stacked layout as :meth:`loss_and_gradients` but returns the raw
+        ``(M, B)`` matrix of ``-log p[label]`` values instead of mean-reducing
+        over the batch axis.  This is the kernel behind the fleet membership
+        attack: one stacked forward scores a whole dataset under many
+        ``(agent, checkpoint)`` parameter rows at once, and row ``k`` is
+        bit-identical to evaluating the same forward with ``M = 1``.
+        """
+        params, inputs, labels, chunk = self._validate_stack(params, inputs, labels)
+        m, batch = params.shape[0], inputs.shape[1]
+        out = np.empty((m, batch), dtype=np.float64)
+        for start in range(0, m, chunk):
+            stop = min(m, start + chunk)
+            logits, _ = self._forward(params[start:stop], inputs[start:stop])
+            out[start:stop] = per_example_cross_entropy(logits, labels[start:stop])
+        return out

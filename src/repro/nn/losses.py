@@ -10,7 +10,50 @@ from typing import Tuple
 
 import numpy as np
 
-__all__ = ["softmax_cross_entropy", "mean_squared_error", "l2_regularization"]
+__all__ = [
+    "log_softmax",
+    "per_example_cross_entropy",
+    "softmax_cross_entropy",
+    "mean_squared_error",
+    "l2_regularization",
+]
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax along the last axis.
+
+    The single source of the ``shifted - log(sum(exp(shifted)))`` formula:
+    :func:`softmax_cross_entropy` (training), the stacked engine's fused loss
+    (:meth:`repro.nn.batched.StackedSequential._softmax_cross_entropy`) and
+    the membership-inference per-sample scorer all route through it, so their
+    log-probabilities are bit-identical for the same logits.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def per_example_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Unreduced cross-entropy ``-log p[label]`` per example.
+
+    Works on any leading layout — ``(N, K)`` logits with ``(N,)`` labels or a
+    stacked ``(M, B, K)`` with ``(M, B)`` — reducing only the trailing class
+    axis.  This is the shared per-example-loss helper used by the attacks
+    (membership inference scores raw per-example losses) and by the stacked
+    engine's :meth:`~repro.nn.batched.StackedSequential.per_example_losses`.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim < 1 or labels.shape != logits.shape[:-1]:
+        raise ValueError(
+            f"labels shape {labels.shape} must match logits leading shape {logits.shape[:-1]}"
+        )
+    k = logits.shape[-1]
+    if labels.size and (labels.min() < 0 or labels.max() >= k):
+        raise ValueError("labels out of range for the number of classes")
+    log_probs = log_softmax(logits)
+    picked = np.take_along_axis(log_probs, labels[..., None], axis=-1)[..., 0]
+    return -picked
 
 
 def softmax_cross_entropy(
@@ -45,9 +88,7 @@ def softmax_cross_entropy(
     if reduction not in ("mean", "sum"):
         raise ValueError("reduction must be 'mean' or 'sum'")
 
-    shifted = logits - logits.max(axis=1, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
-    log_probs = shifted - log_z
+    log_probs = log_softmax(logits)
     nll = -log_probs[np.arange(n), labels]
 
     probs = np.exp(log_probs)

@@ -1,0 +1,248 @@
+"""Tests for the fleet-scale batched attack engines.
+
+The load-bearing guarantee is bit-identity: one fleet run must equal the
+sequential per-victim loop exactly, for every architecture — stacked models
+through the batched engine, CNNs through the fallback — so a campaign can
+switch between the two freely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    FleetInversionAttack,
+    GradientInversionAttack,
+    inversion_stream,
+    membership_inference_attack,
+    membership_inference_fleet,
+    membership_losses_fleet,
+    membership_stream,
+    per_sample_losses,
+)
+from repro.data.dataset import Dataset
+from repro.data.synthetic import make_classification_dataset
+from repro.nn.batched import StackedSequential
+from repro.nn.zoo import make_linear_classifier, make_mlp, make_mnist_cnn
+from repro.privacy.calibration import gaussian_sigma
+from repro.privacy.mechanisms import GaussianMechanism
+
+NUM_VICTIMS = 5
+BATCH = 3
+FEATURES = 6
+CLASSES = 3
+
+
+def _victim_fleet(model, num_victims=NUM_VICTIMS, batch=BATCH, seed=0):
+    """(observed (N, d), params (d,), inputs (N, B, F), labels (N, B))."""
+    rng = np.random.default_rng(seed)
+    params = rng.normal(size=model.num_params)
+    inputs = rng.normal(size=(num_victims, batch, FEATURES))
+    labels = rng.integers(0, CLASSES, size=(num_victims, batch))
+    _, observed = StackedSequential(model).loss_and_gradients(
+        np.broadcast_to(params, (num_victims, model.num_params)), inputs, labels
+    )
+    return observed, params, inputs, labels
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: make_linear_classifier(FEATURES, CLASSES, seed=0),
+        lambda: make_mlp(FEATURES, CLASSES, hidden_sizes=(8,), seed=0),
+    ],
+    ids=["linear", "mlp"],
+)
+class TestFleetInversionBitIdentity:
+    def test_matches_sequential_loop(self, factory):
+        model = factory()
+        observed, params, _, _ = _victim_fleet(model)
+        fleet = FleetInversionAttack(model, num_classes=CLASSES, iterations=12, seed=3)
+        batched = fleet.run(observed, params, BATCH, (FEATURES,))
+        for victim in range(NUM_VICTIMS):
+            single = GradientInversionAttack(
+                model,
+                num_classes=CLASSES,
+                iterations=12,
+                rng=inversion_stream(3, victim),
+            ).run(observed[victim], params, BATCH, (FEATURES,))
+            np.testing.assert_array_equal(
+                batched.reconstructed_inputs[victim], single.reconstructed_inputs
+            )
+            np.testing.assert_array_equal(
+                batched.inferred_labels[victim], single.inferred_labels
+            )
+            assert float(batched.matching_losses[victim]) == single.matching_loss
+
+    def test_per_victim_params_match_sequential(self, factory):
+        model = factory()
+        observed, params, _, _ = _victim_fleet(model)
+        per_victim = np.random.default_rng(9).normal(
+            size=(NUM_VICTIMS, model.num_params)
+        )
+        fleet = FleetInversionAttack(model, num_classes=CLASSES, iterations=8, seed=1)
+        batched = fleet.run(observed, per_victim, BATCH, (FEATURES,))
+        for victim in range(NUM_VICTIMS):
+            single = fleet.single_attack(victim).run(
+                observed[victim], per_victim[victim], BATCH, (FEATURES,)
+            )
+            np.testing.assert_array_equal(
+                batched.reconstructed_inputs[victim], single.reconstructed_inputs
+            )
+
+
+class TestFleetInversionFallback:
+    def test_cnn_routes_through_sequential_attacks(self):
+        model = make_mnist_cnn(num_classes=2, channels=(2, 3), image_size=8, seed=0)
+        rng = np.random.default_rng(0)
+        params = rng.normal(size=model.num_params) * 0.1
+        inputs = rng.normal(size=(2, 2, 1, 8, 8))
+        labels = rng.integers(0, 2, size=(2, 2))
+        observed = np.stack(
+            [
+                model.loss_and_gradient(inputs[v], labels[v], params=params)[1]
+                for v in range(2)
+            ]
+        )
+        fleet = FleetInversionAttack(model, num_classes=2, iterations=2, seed=5)
+        assert fleet._stacked is None
+        batched = fleet.run(observed, params, 2, (1, 8, 8))
+        for victim in range(2):
+            single = GradientInversionAttack(
+                model, num_classes=2, iterations=2, rng=inversion_stream(5, victim)
+            ).run(observed[victim], params, 2, (1, 8, 8))
+            np.testing.assert_array_equal(
+                batched.reconstructed_inputs[victim], single.reconstructed_inputs
+            )
+            assert float(batched.matching_losses[victim]) == single.matching_loss
+
+
+class TestFleetInversionValidation:
+    def test_invalid_arguments(self):
+        model = make_linear_classifier(FEATURES, CLASSES, seed=0)
+        observed, params, _, _ = _victim_fleet(model)
+        attack = FleetInversionAttack(model, num_classes=CLASSES, iterations=4)
+        with pytest.raises(ValueError):
+            FleetInversionAttack(model, num_classes=1)
+        with pytest.raises(ValueError):
+            FleetInversionAttack(model, num_classes=CLASSES, iterations=0)
+        with pytest.raises(ValueError):
+            attack.run(observed[:, :-1], params, BATCH, (FEATURES,))
+        with pytest.raises(ValueError):
+            attack.run(observed[0], params, BATCH, (FEATURES,))
+        with pytest.raises(ValueError):
+            attack.run(observed, params, 0, (FEATURES,))
+        with pytest.raises(ValueError):
+            attack.run(observed[:0], params, BATCH, (FEATURES,))
+        with pytest.raises(ValueError):
+            attack.run(observed, params[:-1], BATCH, (FEATURES,))
+        with pytest.raises(ValueError):
+            attack.run(observed, np.zeros((NUM_VICTIMS + 1, len(params))), BATCH, (FEATURES,))
+        result = attack.run(observed, params, BATCH, (FEATURES,))
+        with pytest.raises(ValueError):
+            result.errors_against(np.zeros((NUM_VICTIMS + 1, BATCH, FEATURES)))
+
+
+class TestFleetMembership:
+    def _setup(self):
+        model = make_mlp(FEATURES, CLASSES, hidden_sizes=(8,), seed=0)
+        rng = np.random.default_rng(2)
+        rows = rng.normal(size=(4, model.num_params))
+        members = Dataset(
+            rng.normal(size=(10, FEATURES)), rng.integers(0, CLASSES, size=10)
+        )
+        non_members = Dataset(
+            rng.normal(size=(10, FEATURES)) + 0.3, rng.integers(0, CLASSES, size=10)
+        )
+        return model, rows, members, non_members
+
+    def test_losses_match_per_row_calls_shared_dataset(self):
+        model, rows, members, _ = self._setup()
+        fleet = membership_losses_fleet(model, rows, members)
+        for k in range(rows.shape[0]):
+            np.testing.assert_array_equal(
+                fleet[k], per_sample_losses(model, rows[k], members)
+            )
+
+    def test_losses_match_per_row_calls_per_row_datasets(self):
+        model, rows, _, _ = self._setup()
+        rng = np.random.default_rng(7)
+        datasets = [
+            Dataset(rng.normal(size=(6, FEATURES)), rng.integers(0, CLASSES, size=6))
+            for _ in range(rows.shape[0])
+        ]
+        fleet = membership_losses_fleet(model, rows, datasets)
+        for k in range(rows.shape[0]):
+            np.testing.assert_array_equal(
+                fleet[k], per_sample_losses(model, rows[k], datasets[k])
+            )
+
+    def test_fleet_attack_matches_sequential_attacks(self):
+        model, rows, members, non_members = self._setup()
+        fleet = membership_inference_fleet(model, rows, members, non_members, seed=11)
+        assert len(fleet.results) == rows.shape[0]
+        for k, result in enumerate(fleet.results):
+            single = membership_inference_attack(
+                model, rows[k], members, non_members, rng=membership_stream(11, k)
+            )
+            assert result.threshold == single.threshold
+            assert result.advantage == single.advantage
+            assert result.accuracy == single.accuracy
+        assert fleet.mean_advantage == pytest.approx(fleet.advantages.mean())
+        assert fleet.advantages.shape == (rows.shape[0],)
+
+    def test_validation(self):
+        model, rows, members, non_members = self._setup()
+        with pytest.raises(ValueError):
+            membership_losses_fleet(model, rows[0], members)
+        with pytest.raises(ValueError):
+            membership_losses_fleet(model, rows, [members])  # wrong count
+        rng = np.random.default_rng(0)
+        unequal = [
+            Dataset(rng.normal(size=(3 + k, FEATURES)), rng.integers(0, CLASSES, size=3 + k))
+            for k in range(rows.shape[0])
+        ]
+        with pytest.raises(ValueError):
+            membership_losses_fleet(model, rows, unequal)
+        tiny = Dataset(rng.normal(size=(3, FEATURES)), rng.integers(0, CLASSES, size=3))
+        with pytest.raises(ValueError):
+            membership_inference_fleet(model, rows, tiny, non_members)
+
+
+class TestAttackUnderDPNoise:
+    def test_inversion_error_grows_as_epsilon_shrinks(self):
+        """End to end: tighter privacy budgets blunt the fleet attack."""
+        data = make_classification_dataset(
+            64, num_features=FEATURES, num_classes=CLASSES, cluster_std=0.5, seed=0
+        )
+        model = make_linear_classifier(FEATURES, CLASSES, seed=0)
+        params = model.get_flat_params()
+        num_victims, batch = 4, 4
+        inputs = data.inputs[: num_victims * batch].reshape(num_victims, batch, FEATURES)
+        labels = data.labels[: num_victims * batch].reshape(num_victims, batch)
+        _, clean = StackedSequential(model).loss_and_gradients(
+            np.broadcast_to(params, (num_victims, model.num_params)),
+            inputs,
+            labels.astype(np.int64),
+        )
+
+        def mean_error(epsilon: float) -> float:
+            sigma = gaussian_sigma(epsilon, 1e-5, sensitivity=2.0 / batch)
+            observed = np.stack(
+                [
+                    GaussianMechanism(
+                        sigma, np.random.default_rng([0, 0x0B5, v]), clip_threshold=1.0
+                    ).privatize(clean[v])
+                    for v in range(num_victims)
+                ]
+            )
+            attack = FleetInversionAttack(
+                model, num_classes=CLASSES, iterations=60, seed=2
+            )
+            result = attack.run(observed, params, batch, (FEATURES,))
+            return float(result.errors_against(inputs).mean())
+
+        loose = mean_error(epsilon=100.0)
+        tight = mean_error(epsilon=0.2)
+        # Heavy noise must not help the attacker (same slack as the
+        # single-victim DP test: SPSA is stochastic, demand no improvement).
+        assert tight >= loose * 0.8

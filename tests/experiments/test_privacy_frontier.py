@@ -1,0 +1,139 @@
+"""Tests for the privacy-frontier campaign and the final-checkpoint option."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.orchestrator import RunStore, run_job
+from repro.experiments.privacy_frontier import (
+    FRONTIER_FILE,
+    evaluate_job_attacks,
+    frontier_grid,
+    frontier_report,
+    load_final_state,
+    run_privacy_frontier,
+)
+from repro.experiments.specs import ExperimentGrid, fast_spec
+
+
+def frontier_base(num_rounds=2):
+    return fast_spec(
+        num_agents=4, num_rounds=num_rounds, algorithms=["DP-DPSGD"], seed=7
+    )
+
+
+def single_job():
+    grid = ExperimentGrid(base=frontier_base(), algorithms=["DP-DPSGD"], seeds=[7])
+    (job,) = grid.jobs()
+    return job
+
+
+class TestFrontierGrid:
+    def test_crosses_epsilons_with_codecs(self):
+        grid = frontier_grid(
+            frontier_base(),
+            epsilons=[0.3, 3.0],
+            codecs=[None, "topk", {"codec": "int8"}],
+            algorithms=["DP-DPSGD"],
+            seeds=[7],
+        )
+        assert len(grid.overrides) == 6
+        epsilons = {override["epsilon"] for override in grid.overrides}
+        assert epsilons == {0.3, 3.0}
+        codecs = [override.get("compression") for override in grid.overrides]
+        assert codecs.count(None) == 2
+        assert {"codec": "topk"} in codecs and {"codec": "int8"} in codecs
+
+    def test_requires_epsilons(self):
+        with pytest.raises(ValueError):
+            frontier_grid(frontier_base(), epsilons=[])
+
+
+class TestFinalCheckpoint:
+    def test_run_job_retains_exactly_one_final_checkpoint(self, tmp_path):
+        job = single_job()
+        store = RunStore(tmp_path)
+        history = run_job(job, store, final_checkpoint=True)
+        assert history is not None
+        checkpoint = store.latest_checkpoint(job)
+        assert checkpoint is not None
+        assert len(list(store.checkpoints_dir(job).glob("*.ckpt"))) == 1
+        state = load_final_state(store, job)
+        assert state.shape[0] == job.spec.num_agents
+        assert np.isfinite(state).all()
+
+    def test_load_final_state_requires_a_checkpoint(self, tmp_path):
+        job = single_job()
+        store = RunStore(tmp_path)
+        history = run_job(job, store)  # default: prune all checkpoints
+        assert history is not None
+        assert store.latest_checkpoint(job) is None
+        with pytest.raises(FileNotFoundError, match="final_checkpoint=True"):
+            load_final_state(store, job)
+
+
+class TestPrivacyFrontier:
+    def test_end_to_end_and_cached_rerun(self, tmp_path):
+        grid = frontier_grid(
+            frontier_base(),
+            epsilons=[0.3, 3.0],
+            algorithms=["DP-DPSGD"],
+            seeds=[7],
+        )
+        points = run_privacy_frontier(
+            grid,
+            tmp_path,
+            inversion_iterations=3,
+            victim_batch=2,
+            max_eval_samples=8,
+        )
+        assert [point.epsilon for point in points] == [0.3, 3.0]
+        for point in points:
+            assert point.algorithm == "DP-DPSGD"
+            assert point.codec == "none"
+            assert point.seeds == (7,)
+            assert point.num_agents == 4
+            assert np.isfinite(point.membership_advantage)
+            assert 0.0 <= point.membership_accuracy <= 1.0
+            assert np.isfinite(point.inversion_error)
+            assert point.final_loss is not None
+
+        artifact = json.loads((tmp_path / FRONTIER_FILE).read_text())
+        assert artifact["schema"] == 1
+        assert artifact["parameters"]["inversion_iterations"] == 3
+        assert len(artifact["points"]) == len(points)
+        assert artifact["points"][0]["epsilon"] == 0.3
+
+        # Second invocation: training is served from the store, the attacks
+        # are deterministic, so the frontier reproduces exactly.
+        again = run_privacy_frontier(
+            grid,
+            tmp_path,
+            inversion_iterations=3,
+            victim_batch=2,
+            max_eval_samples=8,
+        )
+        assert again == points
+
+        report = frontier_report(points)
+        assert report.count("| DP-DPSGD |") == 2
+        assert "membership adv" in report
+
+    def test_evaluate_job_attacks_is_deterministic(self, tmp_path):
+        job = single_job()
+        store = RunStore(tmp_path)
+        run_job(job, store, final_checkpoint=True)
+        first = evaluate_job_attacks(
+            job, store, inversion_iterations=3, victim_batch=2, max_eval_samples=8
+        )
+        second = evaluate_job_attacks(
+            job, store, inversion_iterations=3, victim_batch=2, max_eval_samples=8
+        )
+        assert first == second
+        assert set(first) == {
+            "membership_advantage",
+            "membership_accuracy",
+            "inversion_error",
+            "inversion_matching_loss",
+        }
