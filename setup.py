@@ -11,7 +11,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-pdsl",
-    version="0.6.0",
+    version="0.7.0",
     description=(
         "Reproduction of PDSL (ICDCS 2025): Shapley-weighted, differentially "
         "private decentralized stochastic learning, with dense and sparse "

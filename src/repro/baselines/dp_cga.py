@@ -151,12 +151,18 @@ class DPCGA(DecentralizedAlgorithm):
     def _step_vectorized(self, round_index: int) -> None:
         gamma = self.config.learning_rate
         alpha = self.config.momentum
-        batches = self.draw_batches()
 
         # Local gradients, privatized in agent order (first draw per agent,
-        # matching the loop backend's per-agent noise streams).
-        own = self.fleet_gradients(self.state, batches)
-        own_perturbed = self.privatize_rows(own)
+        # matching the loop backend's per-agent noise streams).  The streamed
+        # pipeline evaluates them block by block into a reusable scratch
+        # (bit-identical; see the base class); cross-gradients below stream
+        # through evaluator-aligned chunks inside fleet_cross_gradients.
+        if self._streamed:
+            batches, own_perturbed = self._streamed_local_perturbed()
+        else:
+            batches = self.draw_batches()
+            own = self.fleet_gradients(self.state, batches)
+            own_perturbed = self.privatize_rows(own)
         self.record_fleet_exchange("model", self.dimension)
 
         # Cross-gradients for every directed pair (evaluator i, model owner j):

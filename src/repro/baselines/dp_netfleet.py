@@ -41,14 +41,41 @@ class DPNetFleet(DecentralizedAlgorithm):
         self.config: NetFleetConfig = config
         # Gradient-tracking state: y_i (the corrected gradient estimate) and
         # the previous local gradient used in the recursive correction, one
-        # row per agent like the base class's parameter state.
-        self.tracking_state: np.ndarray = np.zeros(
-            (self.num_agents, self.dimension), dtype=np.float64
+        # row per agent like the base class's parameter state.  Under
+        # ``storage="memmap"`` both live in memmap-backed FleetStates
+        # (always float64, their canonical dtype on the vectorized path) and
+        # assignments stream into them block by block.
+        self._tracking_state: np.ndarray = self._alloc_fleet_matrix(
+            "tracking_state", dtype=np.float64
         )
-        self.previous_gradient_state: np.ndarray = np.zeros(
-            (self.num_agents, self.dimension), dtype=np.float64
+        self._previous_gradient_state: np.ndarray = self._alloc_fleet_matrix(
+            "previous_gradient_state", dtype=np.float64
         )
         self._initialized = False
+
+    @property
+    def tracking_state(self) -> np.ndarray:
+        """The ``(num_agents, dimension)`` gradient-tracking matrix ``y``."""
+        return self._tracking_state
+
+    @tracking_state.setter
+    def tracking_state(self, value: np.ndarray) -> None:
+        if self._pinned:
+            self._store_blocked(self._tracking_state, value)
+        else:
+            self._tracking_state = np.asarray(value)
+
+    @property
+    def previous_gradient_state(self) -> np.ndarray:
+        """The ``(num_agents, dimension)`` previous-local-gradient matrix."""
+        return self._previous_gradient_state
+
+    @previous_gradient_state.setter
+    def previous_gradient_state(self, value: np.ndarray) -> None:
+        if self._pinned:
+            self._store_blocked(self._previous_gradient_state, value)
+        else:
+            self._previous_gradient_state = np.asarray(value)
 
     @property
     def tracking(self) -> AgentRows:
@@ -68,18 +95,33 @@ class DPNetFleet(DecentralizedAlgorithm):
     def previous_gradient(self, value) -> None:
         self.previous_gradient_state = self._as_state_matrix(value)
 
-    def _extra_state(self):
+    def _extra_state(self, copy: bool = True):
         return {
-            "tracking_state": self.tracking_state.copy(),
-            "previous_gradient_state": self.previous_gradient_state.copy(),
+            "tracking_state": (
+                self.tracking_state.copy() if copy else self.tracking_state
+            ),
+            "previous_gradient_state": (
+                self.previous_gradient_state.copy()
+                if copy
+                else self.previous_gradient_state
+            ),
             "initialized": self._initialized,
         }
 
     def _load_extra_state(self, payload) -> None:
-        self.tracking_state = self._as_state_matrix(payload["tracking_state"])
-        self.previous_gradient_state = self._as_state_matrix(
-            payload["previous_gradient_state"]
-        )
+        if self._pinned:
+            # Stream the (possibly memmap-backed) checkpoint payload straight
+            # into the pinned float64 tracking buffers block by block — no
+            # second in-RAM fleet copy on an out-of-core resume.
+            self.tracking_state = np.asarray(payload["tracking_state"])
+            self.previous_gradient_state = np.asarray(
+                payload["previous_gradient_state"]
+            )
+        else:
+            self.tracking_state = self._as_state_matrix(payload["tracking_state"])
+            self.previous_gradient_state = self._as_state_matrix(
+                payload["previous_gradient_state"]
+            )
         self._initialized = bool(payload["initialized"])
 
     def _perturbed_local_gradient(self, agent: int, params: np.ndarray) -> np.ndarray:
@@ -182,7 +224,102 @@ class DPNetFleet(DecentralizedAlgorithm):
         self.params = new_params
         self.tracking = new_tracking
 
+    def _step_streamed(self, round_index: int) -> None:
+        """Blocked twin of :meth:`_step_vectorized` (bit-identical by design).
+
+        All four fleet matrices (state, tracking, previous gradient, the
+        local-step output) are touched strictly block by block; on
+        off-interval rounds the "mixed" quantities alias the local ones,
+        exactly like the one-shot path, and the update phase computes each
+        block's new tracking value before overwriting it, so the aliasing
+        is safe under any block order.
+        """
+        gamma = self.config.learning_rate
+        clip = self.config.clip_threshold
+        blocks = self._fleet_blocks()
+        serial = self._stacked is None
+        tracking = self._tracking_state
+        previous = self._previous_gradient_state
+
+        if not self._initialized:
+
+            def init_block(start: int, stop: int) -> None:
+                grad = self._block_perturbed_gradients(start, stop)
+                tracking[start:stop] = grad
+                previous[start:stop] = grad
+
+            self._scheduler.map(init_block, blocks, serial=serial)
+            self._initialized = True
+
+        # 1. Local steps along the re-clipped tracking direction.
+        local = self._round_scratch("netfleet.local", np.float64)
+
+        def local_block(start: int, stop: int) -> None:
+            corrected = clip_rows_by_l2_norm(tracking[start:stop], clip)
+            params = self.state[start:stop].copy()
+            for _ in range(self.config.local_steps):
+                params = params - gamma * corrected
+            local[start:stop] = self._freeze_block(
+                params, self.state[start:stop], start, stop
+            )
+
+        self._scheduler.map(local_block, blocks)
+
+        # 2. (model, tracking) gossip; off-interval rounds alias the local
+        #    quantities instead (nothing on the wire).
+        if self.gossip_now(round_index):
+            values, wire_bytes = self.gossip_wire_cost(2)
+            mixed_params = self._round_scratch("netfleet.mixed0", np.float64)
+            mixed_tracking = self._round_scratch("netfleet.mixed1", np.float64)
+            if self._compression_state is None:
+                self.record_fleet_exchange("state", values, wire_bytes)
+                self._mix_into(local, mixed_params)
+                self._mix_into(tracking, mixed_tracking)
+            else:
+                params_shared = self._round_scratch("netfleet.shared0", np.float64)
+                tracking_shared = self._round_scratch("netfleet.shared1", np.float64)
+                self._prepare_gossip_channels("state.0", "state.1")
+
+                def encode(start: int, stop: int) -> None:
+                    params_shared[start:stop] = self._compress_block(
+                        "state.0", local[start:stop], start, stop
+                    )
+                    tracking_shared[start:stop] = self._compress_block(
+                        "state.1", tracking[start:stop], start, stop
+                    )
+
+                self._scheduler.map(encode, blocks)
+                self.record_fleet_exchange("state", values, wire_bytes)
+                self._mix_into(params_shared, mixed_params)
+                self._mix_into(tracking_shared, mixed_tracking)
+        else:
+            mixed_params = local
+            mixed_tracking = tracking
+
+        # 3. Recursive gradient correction with a fresh DP gradient at the
+        #    mixed model, then the state store — one pass per block.
+        def update_block(start: int, stop: int) -> None:
+            fresh = self._block_perturbed_gradients(
+                start, stop, mixed_params[start:stop]
+            )
+            new_tracking = self._freeze_block(
+                mixed_tracking[start:stop] + fresh - previous[start:stop],
+                tracking[start:stop],
+                start,
+                stop,
+            )
+            tracking[start:stop] = new_tracking
+            previous[start:stop] = self._freeze_block(
+                fresh, previous[start:stop], start, stop
+            )
+            self.state[start:stop] = mixed_params[start:stop]
+
+        self._scheduler.map(update_block, blocks, serial=serial)
+
     def _step_vectorized(self, round_index: int) -> None:
+        if self._streamed:
+            self._step_streamed(round_index)
+            return
         gamma = self.config.learning_rate
 
         if not self._initialized:

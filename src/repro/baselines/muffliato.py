@@ -72,7 +72,50 @@ class Muffliato(DecentralizedAlgorithm):
 
         self.params = updated
 
+    def _step_streamed(self, round_index: int) -> None:
+        """Blocked twin of :meth:`_step_vectorized` (bit-identical by design).
+
+        The gossip cascade ping-pongs between two float64 fleet scratches
+        (the one-shot path's ``updated`` is float64 throughout: the local
+        step subtracts a float64 perturbed gradient and every mix preserves
+        it), so ``gossip_steps`` rounds of mixing allocate nothing.
+        """
+        gamma = self.config.learning_rate
+        current = self._round_scratch("gossip.a", np.float64)
+        blocks = self._fleet_blocks()
+
+        def local_step(start: int, stop: int) -> None:
+            perturbed = self._block_perturbed_gradients(start, stop)
+            current[start:stop] = self.state[start:stop] - gamma * perturbed
+
+        self._scheduler.map(local_step, blocks, serial=self._stacked is None)
+        if self.gossip_now(round_index):
+            other = self._round_scratch("gossip.b", np.float64)
+            for gossip_round in range(self.config.gossip_steps):
+                tag = f"gossip_{gossip_round}"
+                values, wire_bytes = self.gossip_wire_cost()
+                if self._compression_state is None:
+                    self.record_fleet_exchange(tag, values, wire_bytes)
+                    self._mix_into(current, other)
+                    current, other = other, current
+                else:
+                    self._prepare_gossip_channels(tag)
+                    source = current
+
+                    def encode(start: int, stop: int) -> None:
+                        other[start:stop] = self._compress_block(
+                            tag, source[start:stop], start, stop
+                        )
+
+                    self._scheduler.map(encode, blocks)
+                    self.record_fleet_exchange(tag, values, wire_bytes)
+                    self._mix_into(other, current)
+        self._store_blocked(self.state, current)
+
     def _step_vectorized(self, round_index: int) -> None:
+        if self._streamed:
+            self._step_streamed(round_index)
+            return
         gamma = self.config.learning_rate
         batches = self.draw_batches()
         gradients = self.fleet_gradients(self.state, batches)

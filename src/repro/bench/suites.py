@@ -4,6 +4,9 @@ Each suite packages one hot path of the system behind the
 :class:`~repro.bench.registry.Benchmark` lifecycle:
 
 * ``engine/round`` — loop vs vectorized engine, seconds per DP-DPSGD round;
+* ``engine/round-streamed`` — one full streamed round (blocked gradients,
+  noise, codec, gossip; memmap state) across fleet sizes up to a million
+  agents, memory-guarded, streamed-vs-one-shot bit-identity asserted;
 * ``gossip/sparse`` — dense vs CSR gossip kernels (bit-identity checked);
 * ``gossip/compressed`` — dense vs top-k vs int8 gossip wire bytes
   (identity-codec bit-identity checked);
@@ -14,7 +17,8 @@ Each suite packages one hot path of the system behind the
 * ``topology/dynamic-cache`` — schedule snapshot LRU vs naive rebuild;
 * ``orchestrator/pool`` — process-pool grid vs serial (plus warm store);
 * ``checkpoint/roundtrip`` — ``state_dict`` → save → load → restore;
-* ``game/shapley-mc`` — the vectorized Monte-Carlo Shapley estimator;
+* ``game/shapley-mc`` — the vectorized Monte-Carlo Shapley estimator plus
+  the fleet-scale prefix walk (axiom-checked in-sweep);
 * ``privacy/noise-rows`` — batched per-owner Gaussian noise rows;
 * ``attacks/inversion-fleet`` — fleet gradient inversion vs the sequential
   per-victim loop (bit-identity checked);
@@ -42,11 +46,13 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.bench.registry import Benchmark, FloorSpec, benchmark
+from repro.bench.timer import peak_rss_bytes
 
 __all__ = [
     "SMOKE_SCALE",
     "apply_scale",
     "EngineRoundSuite",
+    "StreamedRoundSuite",
     "SparseGossipSuite",
     "CompressedGossipSuite",
     "GossipScalingSweepSuite",
@@ -65,6 +71,9 @@ __all__ = [
 SMOKE_SCALE: Dict[str, str] = {
     "REPRO_BENCH_ENGINE_AGENTS": "16,64",
     "REPRO_BENCH_ENGINE_ROUNDS": "1",
+    "REPRO_BENCH_ROUND_AGENTS": "64,256",
+    "REPRO_BENCH_ROUND_WORKERS": "2",
+    "REPRO_BENCH_ROUND_BATCH": "8",
     "REPRO_BENCH_SPARSE_AGENTS": "256",
     "REPRO_BENCH_SPARSE_ROUNDS": "1",
     "REPRO_BENCH_COMPRESS_AGENTS": "64",
@@ -79,6 +88,8 @@ SMOKE_SCALE: Dict[str, str] = {
     "REPRO_BENCH_CKPT_ROUNDS": "2",
     "REPRO_BENCH_SHAPLEY_PLAYERS": "8",
     "REPRO_BENCH_SHAPLEY_PERMS": "50",
+    "REPRO_BENCH_SHAPLEY_FLEET": "256",
+    "REPRO_BENCH_SHAPLEY_FLEET_PERMS": "1",
     "REPRO_BENCH_NOISE_AGENTS": "256",
     "REPRO_BENCH_NOISE_DIM": "32",
     "REPRO_BENCH_SWEEP_AGENTS": "64,256",
@@ -189,6 +200,214 @@ class EngineRoundSuite(Benchmark):
         baseline = metrics.get(f"loop_s@{largest}")
         total = None if baseline is None else baseline * self.rounds
         return largest >= self.FULL_SCALE_AGENTS, total
+
+
+# ---------------------------------------------------------------------------
+# engine/round-streamed
+# ---------------------------------------------------------------------------
+def _csr_ring_topology(num_agents: int):
+    """A Metropolis-weighted ring built directly as CSR, no networkx.
+
+    ``networkx`` graph construction is O(N) Python objects — at a million
+    agents that alone dwarfs the round being measured.  Every entry of the
+    ring's Metropolis–Hastings matrix is 1/3 (uniform degree 2), so the CSR
+    arrays can be written down directly; the graph object only has to answer
+    ``number_of_nodes()`` for :class:`~repro.topology.graphs.Topology`
+    (connectivity validation is skipped via ``require_connected=False`` —
+    a ring is connected by construction).
+    """
+    import scipy.sparse as sp
+
+    from repro.topology.graphs import Topology
+
+    if num_agents < 3:
+        raise ValueError("a ring needs at least 3 agents")
+
+    class _RingNodes:
+        def __init__(self, n: int) -> None:
+            self._n = n
+
+        def number_of_nodes(self) -> int:
+            return self._n
+
+    n = num_agents
+    agents = np.arange(n, dtype=np.int64)
+    indices = np.empty(3 * n, dtype=np.int64)
+    indices[0::3] = (agents - 1) % n
+    indices[1::3] = agents
+    indices[2::3] = (agents + 1) % n
+    indptr = 3 * np.arange(n + 1, dtype=np.int64)
+    data = np.full(3 * n, 1.0 / 3.0)
+    matrix = sp.csr_array((data, indices, indptr), shape=(n, n))
+    return Topology(
+        _RingNodes(n), matrix, name=f"ring-{n}", require_connected=False
+    )
+
+
+@benchmark
+class StreamedRoundSuite(Benchmark):
+    """A full streamed DP-DPSGD round across fleet sizes up to a million agents.
+
+    Where ``gossip/scaling-sweep`` times the mixing kernel in isolation,
+    this suite times one *complete* communication round — blocked batch
+    drawing, stacked gradient passes, per-agent clip + Gaussian noise, codec
+    and gossip — through the streamed pipeline (``block_rows`` +
+    ``storage="memmap"``), on a CSR ring with one shared data shard and a
+    small linear model so the per-agent bookkeeping (samplers, mechanisms,
+    RNG streams) dominates exactly as it does at fleet scale.
+
+    Metrics per ``N`` in ``REPRO_BENCH_ROUND_AGENTS``:
+
+    * ``round_s@N`` — seconds for one streamed serial round;
+    * ``workersK_s@N`` — the same round with ``block_workers=K``
+      (``REPRO_BENCH_ROUND_WORKERS``), numerically identical by
+      construction;
+    * ``oneshot_s@N`` — the in-RAM one-shot round, only at sizes where the
+      bit-identity check runs (streamed vs one-shot state asserted equal).
+
+    Too-large points are skipped (never failed) through the shared memory
+    guard, with reasons recorded in the artifact notes; ``max_agents``
+    reports the ceiling actually reached.
+    """
+
+    name = "engine/round-streamed"
+    description = "full streamed round (gradients+noise+gossip) across N, memory-guarded"
+    default_repeats = 1
+    default_warmup = False
+    #: Streamed-vs-one-shot bit-identity is asserted in-sweep up to this N
+    #: (cheap); beyond it the property-test grid owns the guarantee.
+    BIT_CHECK_MAX_AGENTS = 4096
+    NUM_FEATURES = 4
+    NUM_CLASSES = 2
+
+    def __init__(self) -> None:
+        self.agent_counts = _env_ints(
+            "REPRO_BENCH_ROUND_AGENTS", "4096,65536,262144,1048576"
+        )
+        self.block_workers = _env_int("REPRO_BENCH_ROUND_WORKERS", 4, minimum=1)
+        self.batch_size = _env_int("REPRO_BENCH_ROUND_BATCH", 16)
+        self._sizes: List[int] = []
+        self._notes: Dict[str, str] = {}
+        self._dataset = None
+
+    def params(self) -> Dict[str, object]:
+        return {
+            "agents": self.agent_counts,
+            "block_workers": self.block_workers,
+            "batch_size": self.batch_size,
+        }
+
+    def notes(self) -> Dict[str, str]:
+        return dict(self._notes)
+
+    def point_memory_bytes(self, num_agents: int) -> int:
+        """Steady-state estimate for one sweep point.
+
+        Dominated by the per-agent Python objects (~1 kB each for
+        ``BatchSampler``, ``GaussianMechanism`` and the agent RNG, plus the
+        network mailbox and the 3-entry CSR row); the memmap-backed fleet
+        buffers (state, momentum, gradient and gossip scratch) stay resident
+        as dirty page cache until writeback, so they count too.
+        """
+        dimension = (
+            self.NUM_FEATURES * self.NUM_CLASSES + self.NUM_CLASSES
+        )
+        return num_agents * (3400 + 6 * dimension * 8) + (64 << 20)
+
+    def setup(self) -> None:
+        from repro.bench.guard import check_memory
+        from repro.data.synthetic import make_classification_dataset
+
+        self._sizes = []
+        self._notes = {}
+        for num_agents in self.agent_counts:
+            decision = check_memory(self.point_memory_bytes(num_agents))
+            if not decision.fits:
+                self._notes[f"skip@{num_agents}"] = decision.reason
+                continue
+            self._sizes.append(num_agents)
+        # One tiny shard shared by every agent: the suite measures the round
+        # pipeline, not data loading, and a per-agent shard list at N = 10^6
+        # would cost more memory than the fleet state itself.
+        self._dataset = make_classification_dataset(
+            num_samples=64,
+            num_features=self.NUM_FEATURES,
+            num_classes=self.NUM_CLASSES,
+            cluster_std=1.0,
+            seed=0,
+        )
+
+    def teardown(self) -> None:
+        self._dataset = None
+
+    def _build(self, num_agents: int, **overrides):
+        from repro.baselines import DPDPSGD
+        from repro.core.config import AlgorithmConfig
+        from repro.nn.zoo import make_linear_classifier
+
+        config = AlgorithmConfig(
+            learning_rate=0.05,
+            sigma=0.5,
+            clip_threshold=1.0,
+            batch_size=self.batch_size,
+            seed=0,
+            backend="vectorized",
+            **overrides,
+        )
+        model = make_linear_classifier(self.NUM_FEATURES, self.NUM_CLASSES, seed=0)
+        return DPDPSGD(
+            model,
+            _csr_ring_topology(num_agents),
+            [self._dataset] * num_agents,
+            config,
+        )
+
+    def _round_seconds(self, num_agents: int, **overrides) -> Tuple[float, np.ndarray]:
+        algorithm = self._build(num_agents, **overrides)
+        try:
+            started = time.perf_counter()
+            algorithm.run_round()
+            elapsed = time.perf_counter() - started
+            state = (
+                np.array(algorithm.state)
+                if num_agents <= self.BIT_CHECK_MAX_AGENTS
+                else np.empty(0)
+            )
+        finally:
+            close = getattr(algorithm, "close", None)
+            if close is not None:
+                close()
+        return elapsed, state
+
+    def run(self) -> Dict[str, float]:
+        metrics: Dict[str, float] = {}
+        for num_agents in self._sizes:
+            # ~4 blocks at small N (so the sweep exercises real block
+            # boundaries), capped at 64k rows per block at fleet scale.
+            streamed = dict(
+                block_rows=min(65536, max(1, num_agents // 4)),
+                storage="memmap",
+            )
+            seconds, state = self._round_seconds(num_agents, **streamed)
+            metrics[f"round_s@{num_agents}"] = seconds
+            if self.block_workers > 1:
+                workers_s, workers_state = self._round_seconds(
+                    num_agents, block_workers=self.block_workers, **streamed
+                )
+                metrics[f"workers{self.block_workers}_s@{num_agents}"] = workers_s
+                if state.size:
+                    np.testing.assert_array_equal(state, workers_state)
+            if num_agents <= self.BIT_CHECK_MAX_AGENTS:
+                oneshot_s, oneshot_state = self._round_seconds(num_agents)
+                metrics[f"oneshot_s@{num_agents}"] = oneshot_s
+                # The streamed round is bit-identical to the historic
+                # one-shot path — asserted in-sweep, every run.
+                np.testing.assert_array_equal(state, oneshot_state)
+        metrics["max_agents"] = float(max(self._sizes, default=0))
+        peak = peak_rss_bytes()
+        if peak is not None:
+            metrics["peak_rss_bytes"] = float(peak)
+        return metrics
 
 
 # ---------------------------------------------------------------------------
@@ -772,26 +991,64 @@ class CheckpointRoundtripSuite(Benchmark):
 # ---------------------------------------------------------------------------
 @benchmark
 class MonteCarloShapleySuite(Benchmark):
-    """The vectorized permutation-sampling Shapley estimator."""
+    """Permutation-sampling Shapley: the small-game estimator and the fleet walk.
+
+    Two regimes share the suite: the neighbourhood-sized games PDSL plays
+    every round (``REPRO_BENCH_SHAPLEY_PLAYERS`` players through
+    :func:`~repro.game.shapley.monte_carlo_shapley`), and fleet-scale player
+    counts (``REPRO_BENCH_SHAPLEY_FLEET``) through the prefix-walk
+    :func:`~repro.game.shapley.monte_carlo_shapley_fleet`, which drops the
+    coalition canonicalisation/memoisation bookkeeping that dominates once
+    every prefix is unique.  The fleet estimator is cross-validated in-sweep:
+    exact stream agreement with the generic estimator at a small N, and at
+    the largest N the efficiency axiom (the estimates telescope to
+    ``v(grand) - v(empty)`` exactly per permutation) plus per-player
+    exactness on an additive game.
+    """
 
     name = "game/shapley-mc"
-    description = "Monte-Carlo Shapley over a synthetic cooperative game"
+    description = "Monte-Carlo Shapley: small games and the fleet prefix walk"
     default_repeats = 3
+    #: Exact-agreement cross-check between the two estimators runs at this
+    #: player count (the generic estimator's sequential walk is O(N^3) with
+    #: set hashing, so fleet sizes are out of its reach by construction).
+    CROSS_CHECK_PLAYERS = 128
 
     def __init__(self) -> None:
         self.players = _env_int("REPRO_BENCH_SHAPLEY_PLAYERS", 12, minimum=2)
         self.permutations = _env_int("REPRO_BENCH_SHAPLEY_PERMS", 200)
+        self.fleet_players = _env_ints("REPRO_BENCH_SHAPLEY_FLEET", "4096,16384")
+        self.fleet_permutations = _env_int("REPRO_BENCH_SHAPLEY_FLEET_PERMS", 2)
         self._weights: Optional[np.ndarray] = None
+        self._notes: Dict[str, str] = {}
 
     def params(self) -> Dict[str, object]:
-        return {"players": self.players, "permutations": self.permutations}
+        return {
+            "players": self.players,
+            "permutations": self.permutations,
+            "fleet_players": self.fleet_players,
+            "fleet_permutations": self.fleet_permutations,
+        }
+
+    def notes(self) -> Dict[str, str]:
+        return dict(self._notes)
 
     def setup(self) -> None:
         self._weights = np.random.default_rng(3).normal(size=self.players) ** 2
+        self._notes = {}
+
+    @staticmethod
+    def _fleet_characteristic(weights: np.ndarray):
+        def characteristic(members) -> float:
+            members = np.asarray(members, dtype=np.int64)
+            return float(weights[members].sum()) + 0.01 * len(members) ** 2
+
+        return characteristic
 
     def run(self) -> Dict[str, float]:
+        from repro.bench.guard import check_memory
         from repro.game.cooperative import CooperativeGame
-        from repro.game.shapley import monte_carlo_shapley
+        from repro.game.shapley import monte_carlo_shapley, monte_carlo_shapley_fleet
 
         weights = self._weights
         assert weights is not None
@@ -805,10 +1062,81 @@ class MonteCarloShapleySuite(Benchmark):
         # or the repeated timings would measure the cache, not the estimator.
         game = CooperativeGame(list(range(self.players)), characteristic)
         monte_carlo_shapley(game, self.permutations, np.random.default_rng(0))
-        return {
+        metrics: Dict[str, float] = {
             "unique_coalitions": float(game.num_evaluations),
             "permutations": float(self.permutations),
         }
+
+        # Cross-check: both estimators consume one rng.permutation per round,
+        # so on the same seed they must agree to float round-off.
+        cross_n = self.CROSS_CHECK_PLAYERS
+        cross_w = np.random.default_rng(3).normal(size=cross_n) ** 2
+        fleet_char = self._fleet_characteristic(cross_w)
+        cross_game = CooperativeGame(
+            list(range(cross_n)),
+            lambda coalition: fleet_char(np.fromiter(coalition, dtype=np.int64)),
+        )
+        generic = monte_carlo_shapley(cross_game, 2, np.random.default_rng(5))
+        walked = monte_carlo_shapley_fleet(
+            fleet_char, cross_n, 2, np.random.default_rng(5)
+        )
+        np.testing.assert_allclose(
+            np.asarray([generic[i] for i in range(cross_n)]),
+            walked,
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
+        ran_sizes: List[int] = []
+        for num_players in self.fleet_players:
+            # O(N) memory but O(N^2) characteristic work per permutation —
+            # the guard keeps absurd sizes out on small machines.
+            decision = check_memory(num_players * 64 + (16 << 20))
+            if not decision.fits:
+                self._notes[f"skip@{num_players}"] = decision.reason
+                continue
+            fleet_w = np.random.default_rng(3).normal(size=num_players) ** 2
+            fleet_char = self._fleet_characteristic(fleet_w)
+            started = time.perf_counter()
+            estimates = monte_carlo_shapley_fleet(
+                fleet_char,
+                num_players,
+                self.fleet_permutations,
+                np.random.default_rng(5),
+            )
+            metrics[f"fleet_s@{num_players}"] = time.perf_counter() - started
+            ran_sizes.append(num_players)
+        if ran_sizes:
+            # Axioms at the largest N that ran.  Efficiency: prefix marginals
+            # telescope, so the estimate total equals the grand-coalition
+            # value exactly.  Additivity/dummy: on a purely additive game
+            # every marginal is the player's own weight, so per-player
+            # estimates are exact (zero-weight players get exactly zero).
+            largest = max(ran_sizes)
+            fleet_w = np.random.default_rng(3).normal(size=largest) ** 2
+            fleet_char = self._fleet_characteristic(fleet_w)
+            estimates = monte_carlo_shapley_fleet(
+                fleet_char, largest, 1, np.random.default_rng(5)
+            )
+            grand = fleet_char(np.arange(largest))
+            np.testing.assert_allclose(estimates.sum(), grand, rtol=1e-9, atol=1e-9)
+            additive = monte_carlo_shapley_fleet(
+                lambda members: float(
+                    fleet_w[np.asarray(members, dtype=np.int64)].sum()
+                ),
+                largest,
+                1,
+                np.random.default_rng(7),
+            )
+            # Each marginal is the difference of two prefix sums of ~N
+            # weights, so its float error scales with eps * sum(|w|), not
+            # with the (possibly tiny) weight itself — the absolute
+            # tolerance must carry that factor.
+            np.testing.assert_allclose(
+                additive, fleet_w, rtol=1e-9, atol=1e-12 * max(1.0, fleet_w.sum())
+            )
+        metrics["fleet_max_players"] = float(max(ran_sizes, default=0))
+        return metrics
 
 
 # ---------------------------------------------------------------------------

@@ -75,6 +75,16 @@ class CompressionState:
             self._residuals[channel] = residual
         return residual
 
+    def ensure_channel(self, channel: str) -> None:
+        """Eagerly create the channel's residual buffer (normally lazy).
+
+        The streamed round pipeline calls this before dispatching blocks to
+        a parallel scheduler: lazy creation from concurrent blocks would
+        race, with one block's residual updates landing in a buffer that is
+        immediately discarded.
+        """
+        self._residual_for(channel)
+
     def compress_rows(
         self,
         channel: str,
@@ -128,36 +138,56 @@ class CompressionState:
             return self.compress_rows(channel, matrix, active_mask)
         if block_rows < 1:
             raise ValueError("block_rows must be a positive integer")
-        residual = self._residual_for(channel)
         out = np.empty_like(matrix)
         for start in range(0, self.num_agents, block_rows):
             stop = min(start + block_rows, self.num_agents)
-            block = matrix[start:stop]
-            sub_mask = None if active_mask is None else active_mask[start:stop]
-            if sub_mask is None or bool(sub_mask.all()):
-                work = block + residual[start:stop] if residual is not None else block
-                rngs = None if self.rngs is None else self.rngs[start:stop]
-                decoded = self.codec.decode_rows(work, rngs)
-                if residual is not None:
-                    residual[start:stop] = work - decoded
-                out[start:stop] = decoded
-                continue
-            active = np.flatnonzero(sub_mask)
-            out[start:stop] = block
-            if active.size == 0:
-                continue
-            work = block[active]
-            if residual is not None:
-                work = work + residual[start:stop][active]
-            rngs = (
-                None
-                if self.rngs is None
-                else [self.rngs[start + int(i)] for i in active]
+            out[start:stop] = self.compress_block(
+                channel, matrix[start:stop], start, stop, active_mask
             )
+        return out
+
+    def compress_block(
+        self,
+        channel: str,
+        block: np.ndarray,
+        start: int,
+        stop: int,
+        active_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Compress the rows of agents ``start..stop`` (one streamed-round block).
+
+        This is the loop body of :meth:`compress_rows_blocked` — residuals
+        and sparsifier streams are addressed by absolute agent index, so
+        processing disjoint blocks in any order (including concurrently,
+        after :meth:`ensure_channel`) is bit-identical to the one-shot call.
+        Returns the decoded ``(stop - start, d)`` block (float64).
+        """
+        block = np.asarray(block, dtype=np.float64)
+        residual = self._residual_for(channel)
+        sub_mask = None if active_mask is None else active_mask[start:stop]
+        if sub_mask is None or bool(sub_mask.all()):
+            work = block + residual[start:stop] if residual is not None else block
+            rngs = None if self.rngs is None else self.rngs[start:stop]
             decoded = self.codec.decode_rows(work, rngs)
-            out[start + active] = decoded
             if residual is not None:
-                residual[start + active] = work - decoded
+                residual[start:stop] = work - decoded
+            return decoded
+        active = np.flatnonzero(sub_mask)
+        out = block.copy()
+        if active.size == 0:
+            return out
+        work = block[active]
+        if residual is not None:
+            work = work + residual[start:stop][active]
+        rngs = (
+            None
+            if self.rngs is None
+            else [self.rngs[start + int(i)] for i in active]
+        )
+        decoded = self.codec.decode_rows(work, rngs)
+        out[active] = decoded
+        if residual is not None:
+            residual[start + active] = work - decoded
         return out
 
     def compress_row(self, channel: str, agent: int, vector: np.ndarray) -> np.ndarray:

@@ -56,6 +56,7 @@ from repro.nn.layers import Dropout
 from repro.nn.model import Model
 from repro.privacy.accountant import PrivacyAccountant
 from repro.privacy.mechanisms import GaussianMechanism, clip_by_l2_norm, clip_rows_by_l2_norm
+from repro.sharding import FleetState, RoundScheduler, resolve_block_rows, row_blocks
 from repro.simulation.metrics import consensus_distance
 from repro.simulation.network import Network
 from repro.topology.graphs import Topology
@@ -111,6 +112,45 @@ class AgentRows:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"AgentRows(shape={self._matrix.shape})"
+
+
+class LazySeededRngs:
+    """Per-agent generators materialised on first access.
+
+    Behaves like the eager ``List[np.random.Generator]`` it replaces
+    (indexing, iteration, ``len``) but only constructs a generator when an
+    agent's stream is actually drawn from.  Each generator is seeded
+    independently from its entry of the pre-split seed array, so laziness
+    cannot change any stream — construction consumes no randomness.
+    Iteration (e.g. ``state_dict`` capturing every stream position)
+    materialises all of them.
+    """
+
+    def __init__(self, seeds: np.ndarray) -> None:
+        self._seeds = np.asarray(seeds)
+        self._rngs: Dict[int, np.random.Generator] = {}
+
+    def __len__(self) -> int:
+        return int(self._seeds.shape[0])
+
+    def __getitem__(self, index: int) -> np.random.Generator:
+        index = int(index)
+        if index < 0:
+            index += len(self)
+        rng = self._rngs.get(index)
+        if rng is None:
+            rng = np.random.default_rng(int(self._seeds[index]))
+            self._rngs[index] = rng
+        return rng
+
+    def __iter__(self):
+        return (self[i] for i in range(len(self)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LazySeededRngs({len(self)} streams, "
+            f"{len(self._rngs)} materialised)"
+        )
 
 
 class DecentralizedAlgorithm:
@@ -216,6 +256,23 @@ class DecentralizedAlgorithm:
         )
         self._grad_dtype: np.dtype = np.dtype(np.float64)
         self._block_rows: Optional[int] = getattr(config, "block_rows", None)
+        # Streamed-round plumbing.  ``_stream_rows`` is the resolved row-block
+        # size every blocked stage uses (the explicit ``block_rows`` when set,
+        # else a ~32 MiB default); ``_scheduler`` runs independent row blocks
+        # of one stage, serially (``block_workers=1``) or on a thread pool;
+        # ``_pinned`` backs the fleet matrices with memmap FleetStates
+        # (``storage="memmap"``) so whole-fleet state never has to be
+        # resident; ``_scratch`` holds the handful of reusable fleet-shaped
+        # working buffers the streamed round writes block by block.
+        self._storage: str = getattr(config, "storage", "ram")
+        self._pinned: bool = self._storage == "memmap"
+        self._block_workers: int = max(1, int(getattr(config, "block_workers", 1)))
+        self._scheduler = RoundScheduler(self._block_workers)
+        self._stream_rows: int = resolve_block_rows(
+            topology.num_agents, model.num_params, self._block_rows, itemsize=8
+        )
+        self._fleet_backing: Dict[str, FleetState] = {}
+        self._scratch: Dict[str, np.ndarray] = {}
         # The codec compresses gossip payloads; its per-agent error-feedback
         # residuals and sparsifier streams live in a CompressionState.  The
         # identity codec carries no state at all, so the legacy path stays
@@ -250,11 +307,20 @@ class DecentralizedAlgorithm:
         initial = np.asarray(model.get_flat_params(), dtype=self._dtype)
         # Canonical fleet state: row i is agent i's parameter vector.  The
         # initial vector is cast *before* tiling so low-precision modes never
-        # materialise a float64 fleet matrix even transiently.
-        self.state = np.tile(initial[None, :], (self.num_agents, 1))
-        self.momentum_state = np.zeros(
-            (self.num_agents, self.dimension), dtype=self._dtype
-        )
+        # materialise a float64 fleet matrix even transiently.  With
+        # ``storage="memmap"`` both fleet matrices live in memmap-backed
+        # FleetStates and are filled block by block, so even initialisation
+        # never needs a whole-fleet in-RAM temporary.
+        if self._pinned:
+            self._state = self._alloc_fleet_matrix("state")
+            for start, stop in self._fleet_blocks():
+                self._state[start:stop] = initial[None, :]
+            self._momentum_state = self._alloc_fleet_matrix("momentum_state")
+        else:
+            self.state = np.tile(initial[None, :], (self.num_agents, 1))
+            self.momentum_state = np.zeros(
+                (self.num_agents, self.dimension), dtype=self._dtype
+            )
         self._stacked: Optional[StackedSequential] = (
             StackedSequential(model) if supports_stacked(model) else None
         )
@@ -284,24 +350,51 @@ class DecentralizedAlgorithm:
             for i in range(self.num_agents)
         ]
         # A dedicated per-agent generator for algorithm-level randomness
-        # (e.g. Shapley permutations) so it does not perturb the DP noise stream.
-        self.agent_rngs: List[np.random.Generator] = [
-            np.random.default_rng(int(child_seeds[2 * self.num_agents + i]))
-            for i in range(self.num_agents)
-        ]
+        # (e.g. Shapley permutations) so it does not perturb the DP noise
+        # stream.  Materialised lazily: a Generator costs ~1 kB, and the
+        # algorithms that never draw agent-level randomness (DP-DPSGD,
+        # D-MSGD, ...) should not pay a gigabyte for a million of them.
+        self.agent_rngs = LazySeededRngs(
+            child_seeds[2 * self.num_agents : 3 * self.num_agents]
+        )
         self.rounds_completed = 0
 
     # ------------------------------------------------------------------
     # Fleet state accessors (list-compatible views over the state matrix)
     # ------------------------------------------------------------------
     def _as_state_matrix(self, value: Sequence[np.ndarray]) -> np.ndarray:
-        matrix = np.array(list(value), dtype=self._dtype)
+        if isinstance(value, np.ndarray) and value.ndim == 2:
+            # Fast path for matrix payloads (checkpoints, fleet-scale
+            # assignments): a single cast-copy instead of materialising N
+            # Python row objects.  Always a fresh writable array — callers
+            # rely on the result never aliasing their input.
+            matrix = np.array(value, dtype=self._dtype)
+        else:
+            matrix = np.array(list(value), dtype=self._dtype)
         if matrix.shape != (self.num_agents, self.dimension):
             raise ValueError(
                 f"fleet state must have shape ({self.num_agents}, {self.dimension}), "
                 f"got {matrix.shape}"
             )
         return matrix
+
+    def _store_blocked(self, dest: np.ndarray, value: np.ndarray) -> None:
+        """Blocked in-place copy into a pinned (memmap-backed) fleet matrix.
+
+        Per-block assignment casts into ``dest``'s dtype exactly like the
+        one-shot ``np.asarray(value, dtype)`` rebind would, so the pinned
+        setters are bit-identical to the RAM setters while never
+        materialising a second fleet-sized array.
+        """
+        value = np.asarray(value)
+        if value.shape != dest.shape:
+            raise ValueError(
+                f"fleet state must have shape {dest.shape}, got {value.shape}"
+            )
+        if value is dest:
+            return
+        for start, stop in row_blocks(dest.shape[0], self._stream_rows):
+            dest[start:stop] = value[start:stop]
 
     @property
     def state(self) -> np.ndarray:
@@ -312,8 +405,13 @@ class DecentralizedAlgorithm:
     def state(self, value: np.ndarray) -> None:
         # Every whole-fleet assignment funnels through the configured state
         # dtype: an update computed in float64 (gradients always are) is
-        # rounded into float32 state here, under either engine.
-        self._state = np.asarray(value, dtype=self._dtype)
+        # rounded into float32 state here, under either engine.  Pinned
+        # (memmap) storage streams the assignment into the backing store
+        # block by block instead of rebinding.
+        if getattr(self, "_pinned", False):
+            self._store_blocked(self._state, value)
+        else:
+            self._state = np.asarray(value, dtype=self._dtype)
 
     @property
     def momentum_state(self) -> np.ndarray:
@@ -322,7 +420,10 @@ class DecentralizedAlgorithm:
 
     @momentum_state.setter
     def momentum_state(self, value: np.ndarray) -> None:
-        self._momentum_state = np.asarray(value, dtype=self._dtype)
+        if getattr(self, "_pinned", False):
+            self._store_blocked(self._momentum_state, value)
+        else:
+            self._momentum_state = np.asarray(value, dtype=self._dtype)
 
     @property
     def params(self) -> AgentRows:
@@ -419,6 +520,206 @@ class DecentralizedAlgorithm:
             return updated
         return np.where(self.active_mask[:, None], updated, current)
 
+    # ------------------------------------------------------------------
+    # Streamed round pipeline
+    # ------------------------------------------------------------------
+    # With ``block_rows`` configured, the vectorized engine executes the
+    # *whole* round as a pipeline over disjoint ``(block_rows, d)`` row
+    # blocks: each block draws its agents' batches, evaluates gradients with
+    # the stacked passes, applies clip+noise, updates momentum/state and
+    # stages its gossip payload — never materialising more than a handful of
+    # block-sized transients plus the reusable fleet-shaped scratch buffers.
+    # Every per-agent random stream (sampler, mechanism, codec) is an
+    # independent generator consumed exactly once per round per agent, and
+    # all whole-fleet kernels used here are row-wise (or row-blocked with
+    # unchanged accumulation order), so the streamed round is bit-identical
+    # to the historical one-shot round — including under a parallel
+    # ``RoundScheduler``, because blocks own disjoint rows and streams.
+
+    @property
+    def _streamed(self) -> bool:
+        """Whether the vectorized round runs on the blocked stream pipeline."""
+        return self._block_rows is not None
+
+    def _fleet_blocks(self) -> List[Tuple[int, int]]:
+        """The round's ``(start, stop)`` row blocks over the whole fleet."""
+        return list(row_blocks(self.num_agents, self._stream_rows))
+
+    def _alloc_fleet_matrix(
+        self, name: str, dtype: Optional[np.dtype] = None
+    ) -> np.ndarray:
+        """A zeroed ``(num_agents, dimension)`` matrix on the configured storage.
+
+        Under ``storage="memmap"`` the matrix is backed by a
+        :class:`~repro.sharding.FleetState` memmap (tracked so :meth:`close`
+        unlinks the file); otherwise it is an ordinary zeros array.
+        """
+        dtype = self._dtype if dtype is None else np.dtype(dtype)
+        if not self._pinned:
+            return np.zeros((self.num_agents, self.dimension), dtype=dtype)
+        previous = self._fleet_backing.pop(name, None)
+        if previous is not None:
+            previous.close()
+        backing = FleetState(
+            self.num_agents,
+            self.dimension,
+            dtype=dtype,
+            block_rows=self._stream_rows,
+            storage="memmap",
+        )
+        self._fleet_backing[name] = backing
+        return backing.array
+
+    def _round_scratch(self, name: str, dtype: np.dtype = np.float64) -> np.ndarray:
+        """A reusable fleet-shaped working buffer for the streamed round.
+
+        Scratches are keyed by ``(name, dtype)`` and persist across rounds,
+        so the streamed pipeline's steady-state allocation rate is zero.
+        Contents are unspecified between rounds: every stage fully overwrites
+        the blocks it reads back.
+        """
+        dtype = np.dtype(dtype)
+        key = f"{name}.{dtype.name}"
+        scratch = self._scratch.get(key)
+        if scratch is None:
+            scratch = self._alloc_fleet_matrix(f"scratch.{key}", dtype=dtype)
+            self._scratch[key] = scratch
+        return scratch
+
+    def _freeze_block(
+        self, updated: np.ndarray, current: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """:meth:`freeze_inactive_rows` restricted to rows ``start:stop``."""
+        if self._all_active:
+            return updated
+        return np.where(self.active_mask[start:stop, None], updated, current)
+
+    def _block_perturbed_gradients(
+        self,
+        start: int,
+        stop: int,
+        param_rows: Optional[np.ndarray] = None,
+        batches_out: Optional[List[Optional[Batch]]] = None,
+    ) -> np.ndarray:
+        """Draw, evaluate and privatize one row block's local gradients.
+
+        The blocked twin of ``privatize_rows(fleet_gradients(state,
+        draw_batches()))``: agents ``start..stop`` draw their round batch
+        from their own samplers (inactive agents draw nothing and contribute
+        zero rows), gradients are evaluated at ``param_rows`` (default: the
+        corresponding state rows) with the stacked passes, and clip+noise
+        uses each row's own mechanism stream — all bit-identical to the
+        whole-fleet calls because every kernel involved is per-row and every
+        stream is per-agent.
+        """
+        batches: List[Optional[Batch]] = [
+            self.samplers[i].next_batch() if self.active_mask[i] else None
+            for i in range(start, stop)
+        ]
+        if batches_out is not None:
+            batches_out[start:stop] = batches
+        rows = self.state[start:stop] if param_rows is None else param_rows
+        gradients = self.fleet_gradients(rows, batches)
+        return self.privatize_rows(gradients, agents=range(start, stop))
+
+    def _streamed_local_perturbed(
+        self,
+    ) -> Tuple[List[Optional[Batch]], np.ndarray]:
+        """Blocked phase 1: every agent's perturbed local gradient.
+
+        Returns the drawn batches (kept for algorithms that re-evaluate at
+        neighbour models, e.g. cross-gradients) and a fleet-shaped float64
+        scratch holding each agent's clipped-and-noised local gradient.
+        """
+        batches: List[Optional[Batch]] = [None] * self.num_agents
+        out = self._round_scratch("own_perturbed", np.float64)
+
+        def run(start: int, stop: int) -> None:
+            out[start:stop] = self._block_perturbed_gradients(
+                start, stop, batches_out=batches
+            )
+
+        self._scheduler.map(run, self._fleet_blocks(), serial=self._stacked is None)
+        return batches, out
+
+    def _compress_block(
+        self, channel: str, block: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """Codec-encode one row block of a gossip channel (identity: pass-through).
+
+        Callers must have primed the channel with
+        :meth:`_prepare_gossip_channels` before dispatching blocks to a
+        parallel scheduler (residual buffers are created lazily).
+        """
+        if self._compression_state is None:
+            return block
+        mask = None if self._all_active else self.active_mask
+        return self._compression_state.compress_block(channel, block, start, stop, mask)
+
+    def _prepare_gossip_channels(self, *channels: str) -> None:
+        """Eagerly create the codec's per-channel residual buffers.
+
+        The buffers are otherwise created lazily on first use, which would
+        race when parallel blocks hit a fresh channel simultaneously.
+        """
+        if self._compression_state is None:
+            return
+        for channel in channels:
+            self._compression_state.ensure_channel(channel)
+
+    def _gossip_dtype(self, payload_dtype: np.dtype) -> np.dtype:
+        """Element type a gossip-channel scratch must have.
+
+        A lossy codec always emits float64 (``compress_rows`` casts its
+        input up before encoding), regardless of the payload dtype; the
+        identity codec passes the payload through unchanged.
+        """
+        if self._compression_state is None:
+            return np.dtype(payload_dtype)
+        return np.dtype(np.float64)
+
+    def _mix_into(self, matrix: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """The gossip product ``W @ matrix`` written into ``out``.
+
+        Reproduces :meth:`mix_rows`'s dispatch (mixed-precision float32
+        payloads use the float64-accumulating kernel) while writing blocks
+        straight into ``out`` — which may be state itself, a pinned memmap,
+        or a scratch — through the block scheduler.  ``matrix`` is read
+        through a write-protected view: it is a pure input of the product,
+        so an aliasing bug raises instead of corrupting it mid-mix.
+        """
+        source = np.asarray(matrix)
+        source = source.view()
+        source.flags.writeable = False
+        if self._precision == "mixed" and source.dtype == np.float32:
+            self.mixing.apply_mixed(source, block_rows=self._block_rows, out=out)
+            return out
+        self._scheduler.map(
+            lambda start, stop: self.mixing.mix_block(source, start, stop, out),
+            self._fleet_blocks(),
+        )
+        return out
+
+    def close(self) -> None:
+        """Release streamed-round resources (worker pool, memmap backings).
+
+        Idempotent.  After closing, the algorithm instance must not be used
+        for further rounds: pinned fleet matrices are detached from their
+        (unlinked) backing files.
+        """
+        self._scheduler.close()
+        backings = list(self._fleet_backing.values())
+        self._fleet_backing.clear()
+        self._scratch.clear()
+        for backing in backings:
+            backing.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
     def _step_loop(self, round_index: int) -> None:
         """One round via per-agent message passing (must be overridden)."""
         raise NotImplementedError(
@@ -491,10 +792,19 @@ class DecentralizedAlgorithm:
             [batches[k] for k in present]
         ):
             owners = [present[r] for r in rows]
-            _, group_grads = self._stacked.loss_and_gradients(
-                param_rows[owners], inputs, labels
-            )
-            grads[owners] = group_grads
+            if owners == list(range(grads.shape[0])):
+                # One dense group covering every row in order (the common
+                # case inside a streamed block): write gradients straight
+                # into the output buffer, skipping the fancy-index gather of
+                # param_rows and the scatter copy of the results.
+                self._stacked.loss_and_gradients(
+                    param_rows, inputs, labels, out=grads
+                )
+            else:
+                _, group_grads = self._stacked.loss_and_gradients(
+                    param_rows[owners], inputs, labels
+                )
+                grads[owners] = group_grads
         return grads
 
     @staticmethod
@@ -591,12 +901,57 @@ class DecentralizedAlgorithm:
         pairs = self.topology.directed_pairs()
         evaluators = [i for i, _ in pairs]
         owners = [j for _, j in pairs]
-        cross = self.fleet_gradients(
-            self.state[owners], [batches[i] for i in evaluators]
-        )
-        cross_perturbed = self.privatize_rows(cross, agents=evaluators)
+        if self._streamed and pairs:
+            # Streamed twin: evaluate the pair rows in evaluator-aligned
+            # chunks of ~block_rows rows.  Each evaluator's rows stay inside
+            # one chunk in their one-shot order, so its mechanism stream is
+            # consumed by the same batched draws — bit-identical to the
+            # one-shot call, under any chunking and any block schedule.
+            cross_perturbed = np.empty(
+                (len(pairs), self.dimension), dtype=self._grad_dtype
+            )
+
+            def run_chunk(start: int, stop: int) -> None:
+                chunk_owners = owners[start:stop]
+                chunk_evaluators = evaluators[start:stop]
+                gradients = self.fleet_gradients(
+                    self.state[chunk_owners],
+                    [batches[i] for i in chunk_evaluators],
+                )
+                cross_perturbed[start:stop] = self.privatize_rows(
+                    gradients, agents=chunk_evaluators
+                )
+
+            self._scheduler.map(
+                run_chunk,
+                self._evaluator_chunks(evaluators),
+                serial=self._stacked is None,
+            )
+        else:
+            cross = self.fleet_gradients(
+                self.state[owners], [batches[i] for i in evaluators]
+            )
+            cross_perturbed = self.privatize_rows(cross, agents=evaluators)
         pair_rows = {pair: row for row, pair in enumerate(pairs)}
         return cross_perturbed, pair_rows
+
+    def _evaluator_chunks(self, evaluators: Sequence[int]) -> List[Tuple[int, int]]:
+        """Row chunks over the directed-pair list, cut at evaluator boundaries.
+
+        Chunks hold at least ``_stream_rows`` rows (except the last) and
+        never split one evaluator's rows across chunks, which is what makes
+        the chunked cross-gradient noise draws identical to the one-shot
+        batched draw per evaluator.
+        """
+        chunks: List[Tuple[int, int]] = []
+        start = 0
+        for k in range(1, len(evaluators) + 1):
+            if k == len(evaluators) or (
+                evaluators[k] != evaluators[k - 1] and k - start >= self._stream_rows
+            ):
+                chunks.append((start, k))
+                start = k
+        return chunks
 
     def clip(self, gradient: np.ndarray) -> np.ndarray:
         """Clip a gradient to the configured threshold without adding noise."""
@@ -922,7 +1277,7 @@ class DecentralizedAlgorithm:
                 if self._compression_state is None
                 else self._compression_state.state_dict()
             ),
-            "extra": self._extra_state(),
+            "extra": self._extra_state(copy=copy),
         }
 
     def load_state_dict(self, payload: Dict[str, object]) -> None:
@@ -965,8 +1320,17 @@ class DecentralizedAlgorithm:
                 raise ValueError(
                     f"checkpoint has {len(payload[key])} {key}, expected {expected}"
                 )
-        self.state = self._as_state_matrix(payload["state"])
-        self.momentum_state = self._as_state_matrix(payload["momentum_state"])
+        if self._pinned:
+            # Pinned storage: stream the payload matrices straight into the
+            # memmap backings (the setters cast block by block) instead of
+            # materialising a second in-RAM fleet copy first.  Checkpoint
+            # sidecar arrays load as read-only memmaps, so the restore is
+            # disk-to-disk with only block-sized transients.
+            self.state = np.asarray(payload["state"])
+            self.momentum_state = np.asarray(payload["momentum_state"])
+        else:
+            self.state = self._as_state_matrix(payload["state"])
+            self.momentum_state = self._as_state_matrix(payload["momentum_state"])
         self._rng.bit_generator.state = payload["rng_state"]
         for sampler, sampler_state in zip(self.samplers, payload["sampler_states"]):
             sampler.load_state_dict(sampler_state)
@@ -1005,12 +1369,14 @@ class DecentralizedAlgorithm:
         self._all_active = True
         self._load_extra_state(payload.get("extra", {}))
 
-    def _extra_state(self) -> Dict[str, object]:
+    def _extra_state(self, copy: bool = True) -> Dict[str, object]:
         """Subclass hook: algorithm-specific resumable state.
 
         The base class covers parameters, momentum and every stream; an
         algorithm with additional per-agent matrices (e.g. DP-NET-FLEET's
-        gradient-tracking variables) returns them here as copies.
+        gradient-tracking variables) returns them here — as copies by
+        default, as views with ``copy=False`` (out-of-core checkpointing,
+        mirroring :meth:`state_dict`'s contract).
         """
         return {}
 

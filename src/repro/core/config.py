@@ -93,8 +93,27 @@ class AlgorithmConfig:
         applied over ``(block_rows, d)`` output chunks
         (:meth:`~repro.topology.mixing.MixingOperator.mix_rows_blocked`,
         bit-identical to the one-shot product) and clip+noise/codec passes
-        stream over the same blocks.  ``None`` (the default) keeps the
-        historical one-shot kernels.
+        stream over the same blocks.  On the vectorized backend a non-None
+        ``block_rows`` also switches the *whole* round (batch drawing,
+        gradient evaluation, momentum/state updates) onto the streamed
+        block pipeline, which never materialises more than a handful of
+        ``(block_rows, d)`` scratch chunks at a time.  ``None`` (the
+        default) keeps the historical one-shot kernels.
+    block_workers:
+        Number of threads the :class:`~repro.sharding.RoundScheduler` uses
+        to execute independent row blocks of a streamed round stage.  The
+        default 1 runs blocks serially (bit-identical to the one-shot
+        path); values > 1 dispatch blocks onto a ``ThreadPoolExecutor``
+        and remain numerically identical because every block owns disjoint
+        rows and pre-split per-agent RNG streams.  Ignored unless
+        ``block_rows`` enables the streamed round.
+    storage:
+        Backing store of the fleet state matrices: ``"ram"`` (default)
+        keeps ordinary arrays; ``"memmap"`` backs state/momentum (and
+        algorithm-specific fleet matrices) with
+        :class:`~repro.sharding.FleetState` memory-mapped ``.npy`` files,
+        so the OS pages row blocks in and out and a full round at
+        N=10^6 runs under a bounded RSS.
     """
 
     learning_rate: float = 0.01
@@ -110,6 +129,8 @@ class AlgorithmConfig:
     compression: Optional[CompressionConfig] = None
     dtype: str = "float64"
     block_rows: Optional[int] = None
+    block_workers: int = 1
+    storage: str = "ram"
 
     def __post_init__(self) -> None:
         if self.compression is not None and not isinstance(
@@ -145,6 +166,10 @@ class AlgorithmConfig:
             raise ValueError("dtype must be 'float64', 'float32' or 'mixed'")
         if self.block_rows is not None and self.block_rows < 1:
             raise ValueError("block_rows must be a positive integer when provided")
+        if self.block_workers < 1:
+            raise ValueError("block_workers must be a positive integer")
+        if self.storage not in ("ram", "memmap"):
+            raise ValueError("storage must be 'ram' or 'memmap'")
 
     @property
     def sensitivity(self) -> float:

@@ -77,11 +77,12 @@ class PDSL(DecentralizedAlgorithm):
         self.last_shapley: List[Dict[int, float]] = [{} for _ in range(self.num_agents)]
         self.last_weights: List[Dict[int, float]] = [{} for _ in range(self.num_agents)]
 
-    def _extra_state(self) -> Dict[str, object]:
+    def _extra_state(self, copy: bool = True) -> Dict[str, object]:
         # The Shapley diagnostics do not influence the trajectory (the
         # permutation streams live in agent_rngs, captured by the base
         # class), but a resumed run should report the same "most recent
-        # weights" an uninterrupted one would.
+        # weights" an uninterrupted one would.  The per-agent dicts are
+        # small, so ``copy`` has no out-of-core significance here.
         return {
             "last_shapley": [dict(entry) for entry in self.last_shapley],
             "last_weights": [dict(entry) for entry in self.last_weights],
@@ -235,12 +236,18 @@ class PDSL(DecentralizedAlgorithm):
     def _step_vectorized(self, round_index: int) -> None:
         gamma = self.config.learning_rate
         alpha = self.config.momentum
-        batches = self.draw_batches()
 
-        # Phase 1 — all local gradients in one stacked pass, privatized in
-        # agent order (first noise draw per agent, as in the loop backend).
-        own = self.fleet_gradients(self.state, batches)
-        own_perturbed = self.privatize_rows(own)
+        # Phase 1 — all local gradients, privatized in agent order (first
+        # noise draw per agent, as in the loop backend).  The streamed
+        # pipeline evaluates them block by block into a reusable scratch
+        # (bit-identical: every stream is per-agent, every kernel row-wise);
+        # the one-shot path uses a single stacked pass.
+        if self._streamed:
+            batches, own_perturbed = self._streamed_local_perturbed()
+        else:
+            batches = self.draw_batches()
+            own = self.fleet_gradients(self.state, batches)
+            own_perturbed = self.privatize_rows(own)
         self.record_fleet_exchange("model", self.dimension)
 
         # Phase 2 — all cross-gradients in one stacked pass over the directed

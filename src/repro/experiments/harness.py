@@ -238,6 +238,8 @@ def build_algorithm(
         compression=spec.compression,
         dtype=spec.dtype,
         block_rows=spec.block_rows,
+        block_workers=spec.block_workers,
+        storage=spec.storage,
     )
     model = components.model_factory()
     shards = components.partition.shards

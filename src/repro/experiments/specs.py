@@ -104,6 +104,11 @@ class ExperimentSpec:
     or ``"mixed"`` — float32 state with float64 mixing accumulation), and
     ``block_rows`` streams the fleet-wide kernels over row blocks
     (bit-identical to one-shot; ``None`` keeps the one-shot path).
+    ``block_workers`` executes independent row blocks of a streamed round on
+    a thread pool (1 = serial, the bit-identical default; parallel execution
+    is numerically identical — disjoint rows, pre-split RNG streams), and
+    ``storage`` selects where the fleet matrices live (``"ram"`` or
+    ``"memmap"`` for disk-backed out-of-core state).
 
     ``cluster_size`` applies only with ``topology="hierarchical"``: the
     dense intra-cluster group size (``None`` picks
@@ -137,6 +142,8 @@ class ExperimentSpec:
     compression: Optional[Dict[str, object]] = None
     dtype: str = "float64"
     block_rows: Optional[int] = None
+    block_workers: int = 1
+    storage: str = "ram"
     cluster_size: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -157,6 +164,10 @@ class ExperimentSpec:
             raise ValueError("dtype must be 'float64', 'float32' or 'mixed'")
         if self.block_rows is not None and int(self.block_rows) < 1:
             raise ValueError("block_rows must be a positive integer or None")
+        if int(self.block_workers) < 1:
+            raise ValueError("block_workers must be a positive integer")
+        if self.storage not in ("ram", "memmap"):
+            raise ValueError("storage must be 'ram' or 'memmap'")
         if self.cluster_size is not None:
             if int(self.cluster_size) < 1:
                 raise ValueError("cluster_size must be a positive integer or None")

@@ -18,6 +18,7 @@ from repro.game.cooperative import CooperativeGame
 __all__ = [
     "exact_shapley",
     "monte_carlo_shapley",
+    "monte_carlo_shapley_fleet",
     "normalize_shapley",
     "shapley_aggregation_weights",
 ]
@@ -113,6 +114,47 @@ def monte_carlo_shapley(
     totals = np.zeros(n, dtype=np.float64)
     np.add.at(totals, orders.reshape(-1), marginals)
     return {players[k]: float(totals[k]) for k in range(n)}
+
+
+def monte_carlo_shapley_fleet(
+    characteristic,
+    num_players: int,
+    num_permutations: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Permutation-sampling Shapley estimator for fleet-scale player counts.
+
+    The generic :func:`monte_carlo_shapley` routes every coalition through a
+    :class:`~repro.game.cooperative.CooperativeGame` — frozenset
+    canonicalisation plus a memo dict per unique coalition.  At ``N`` in the
+    thousands the prefix coalitions of one permutation are all distinct, so
+    that bookkeeping is pure overhead (and the ≤ 63-player bitmask fast path
+    does not apply).  This variant walks each sampled permutation directly:
+    players are the integers ``0..num_players-1``, the coalition grows as a
+    prefix view of the permutation array (no sets, no hashing, no caching),
+    and ``characteristic(members)`` is called with that int64 index array —
+    it must be a set function (order-invariant) and is evaluated
+    ``num_players + 1`` times per permutation.
+
+    Returns the ``(num_players,)`` float64 vector of estimates.  The
+    permutation stream (one ``rng.permutation`` per round, sampled in order)
+    matches the sequential estimator's, so for a characteristic wrapped in a
+    ``CooperativeGame`` the two agree to float round-off.
+    """
+    if num_players <= 0:
+        raise ValueError("num_players must be positive")
+    if num_permutations <= 0:
+        raise ValueError("num_permutations must be positive")
+    totals = np.zeros(num_players, dtype=np.float64)
+    inverse_rounds = 1.0 / num_permutations
+    for _ in range(num_permutations):
+        order = rng.permutation(num_players)
+        previous = float(characteristic(order[:0]))
+        for size in range(1, num_players + 1):
+            current = float(characteristic(order[:size]))
+            totals[order[size - 1]] += (current - previous) * inverse_rounds
+            previous = current
+    return totals
 
 
 def _monte_carlo_shapley_sequential(

@@ -204,7 +204,11 @@ class StackedSequential:
         return params, inputs, labels, chunk
 
     def loss_and_gradients(
-        self, params: np.ndarray, inputs: np.ndarray, labels: np.ndarray
+        self,
+        params: np.ndarray,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        out: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Softmax-cross-entropy loss and gradient for every stacked model.
 
@@ -218,18 +222,32 @@ class StackedSequential:
             under model ``k``.
         labels:
             ``(M, B)`` integer class labels.
+        out:
+            Optional pre-allocated ``(M, d)`` float64 gradient buffer; the
+            backward pass already writes chunk slices in place, so passing a
+            caller-owned buffer (e.g. the streamed round's block view) skips
+            the allocation and the copy-out without changing a single bit.
 
         Returns
         -------
         (losses, grads):
             ``(M,)`` per-model mean losses and the ``(M, d)`` matrix of flat
-            gradients, matching ``Model.loss_and_gradient`` row by row up to
-            floating-point round-off.
+            gradients (``out`` when given), matching
+            ``Model.loss_and_gradient`` row by row up to floating-point
+            round-off.
         """
         params, inputs, labels, chunk = self._validate_stack(params, inputs, labels)
         m = params.shape[0]
         losses = np.empty(m, dtype=np.float64)
-        grads = np.empty((m, self.dimension), dtype=np.float64)
+        if out is None:
+            grads = np.empty((m, self.dimension), dtype=np.float64)
+        else:
+            if out.shape != (m, self.dimension) or out.dtype != np.float64:
+                raise ValueError(
+                    f"out must be a float64 ({m}, {self.dimension}) array, got "
+                    f"{out.dtype} {out.shape}"
+                )
+            grads = out
         for start in range(0, m, chunk):
             stop = min(m, start + chunk)
             logits, caches = self._forward(params[start:stop], inputs[start:stop])

@@ -10,6 +10,11 @@ blocked gossip path is bit-identical to the one-shot product (see
 is purely a memory/performance knob — configured per algorithm through
 ``AlgorithmConfig.block_rows`` and per experiment through
 ``ExperimentSpec.block_rows``.
+
+:class:`RoundScheduler` executes the independent row blocks of a streamed
+round stage on a thread pool (``AlgorithmConfig.block_workers``); because
+every block owns disjoint rows and pre-split per-agent RNG streams, the
+parallel schedule is numerically identical to the serial one.
 """
 
 from repro.sharding.fleet import (
@@ -18,10 +23,12 @@ from repro.sharding.fleet import (
     resolve_block_rows,
     row_blocks,
 )
+from repro.sharding.scheduler import RoundScheduler
 
 __all__ = [
     "DEFAULT_BLOCK_BYTES",
     "FleetState",
+    "RoundScheduler",
     "resolve_block_rows",
     "row_blocks",
 ]

@@ -165,10 +165,28 @@ class FleetState:
     # ------------------------------------------------------------------
     # Blocked access
     # ------------------------------------------------------------------
-    def blocks(self) -> Iterator[Tuple[int, int, np.ndarray]]:
-        """Yield ``(start, stop, view)`` over the configured row blocks."""
+    def blocks(self, readonly: bool = False) -> Iterator[Tuple[int, int, np.ndarray]]:
+        """Yield ``(start, stop, view)`` over the configured row blocks.
+
+        With ``readonly=True`` each view is write-protected: stages that
+        only *read* the fleet (e.g. the gossip source rows) iterate over
+        these views, so a buggy stage that tries to write through one
+        raises immediately instead of silently corrupting the backing
+        store.
+        """
         for start, stop in row_blocks(self.num_agents, self.block_rows):
-            yield start, stop, self._array[start:stop]
+            view = self._array[start:stop]
+            if readonly:
+                view = view.view()
+                view.flags.writeable = False
+            yield start, stop, view
+
+    @property
+    def readonly_array(self) -> np.ndarray:
+        """A write-protected view of the whole backing array (no copy)."""
+        view = self._array.view()
+        view.flags.writeable = False
+        return view
 
     def map_blocks(self, fn: Callable[[np.ndarray], np.ndarray]) -> "FleetState":
         """Apply ``fn`` to each ``(block, d)`` chunk, writing results in place.
@@ -205,7 +223,10 @@ class FleetState:
         """
         if source.num_agents != self.num_agents or source.dimension != self.dimension:
             raise ValueError("source fleet shape does not match")
-        operator.mix_rows_blocked(source.array, self.block_rows, out=self._array)
+        # The source is a pure input of the gossip product: read it through
+        # a write-protected view so an aliasing bug in the kernel raises
+        # instead of corrupting the source mid-mix.
+        operator.mix_rows_blocked(source.readonly_array, self.block_rows, out=self._array)
         return self
 
     def to_array(self) -> np.ndarray:

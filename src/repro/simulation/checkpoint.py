@@ -65,7 +65,12 @@ MEMMAP_THRESHOLD_BYTES = 1 << 20
 #: Marker key identifying an externalized array inside a pickled payload.
 _MEMMAP_MARKER = "__memmap_sidecar__"
 
-#: Row-block size for streaming array copies into a memmap sidecar.
+#: Default byte budget per staged row block when streaming an array into a
+#: memmap sidecar.  The row-block size is derived from this and the row
+#: width, so a wide fleet matrix never stages gigabytes per block.
+_COPY_BLOCK_BYTES = 32 << 20
+
+#: Row-block cap for streaming array copies into a memmap sidecar.
 _COPY_BLOCK_ROWS = 65536
 
 _CHECKPOINT_NAME = re.compile(r"^round_(\d+)\.ckpt$")
@@ -111,7 +116,7 @@ def atomic_write_text(path: PathLike, text: str) -> Path:
 
 
 def save_memmap_array(
-    path: PathLike, array: np.ndarray, block_rows: int = _COPY_BLOCK_ROWS
+    path: PathLike, array: np.ndarray, block_rows: Optional[int] = None
 ) -> Path:
     """Write an array as a ``.npy`` file atomically, streaming row blocks.
 
@@ -119,11 +124,16 @@ def save_memmap_array(
     the destination directory ``block_rows`` rows at a time (so saving a
     fleet matrix never holds a second in-RAM copy), fsynced, and promoted
     with :func:`os.replace` — the same all-or-nothing dance as
-    :func:`atomic_write_bytes`.
+    :func:`atomic_write_bytes`.  When ``block_rows`` is omitted it is sized
+    so each staged block stays near ``_COPY_BLOCK_BYTES`` regardless of row
+    width (capped at ``_COPY_BLOCK_ROWS``).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     array = np.asarray(array)
+    if block_rows is None:
+        row_bytes = max(1, array.itemsize * int(np.prod(array.shape[1:], dtype=np.int64)))
+        block_rows = max(1, min(_COPY_BLOCK_ROWS, _COPY_BLOCK_BYTES // row_bytes))
     descriptor, tmp_name = tempfile.mkstemp(
         prefix=f".{path.name}.", suffix=".tmp", dir=path.parent
     )

@@ -220,10 +220,26 @@ class Topology:
 
     @property
     def num_directed_edges(self) -> int:
-        """Number of directed communication channels (twice the edge count)."""
-        if self._directed_pairs_cache is None:
-            self.directed_pairs()
-        return len(self._directed_pairs_cache)
+        """Number of directed communication channels (twice the edge count).
+
+        Counted straight off the mixing matrix — positive off-diagonal
+        entries, the same ``w_{ij} > 0`` membership rule :meth:`neighbors`
+        uses — without materialising the :meth:`directed_pairs` list, which
+        at fleet scale costs one Python tuple per channel.
+        """
+        if self._directed_pairs_cache is not None:
+            return len(self._directed_pairs_cache)
+        diagonal = (
+            self.mixing_matrix.diagonal()
+            if self.mixing_is_sparse
+            else np.diagonal(self.mixing_matrix)
+        )
+        positive_diagonal = int(np.count_nonzero(np.asarray(diagonal) > 0.0))
+        if self.mixing_is_sparse:
+            positive = int(np.count_nonzero(self.mixing_matrix.data > 0.0))
+        else:
+            positive = int(np.count_nonzero(self.mixing_matrix > 0.0))
+        return positive - positive_diagonal
 
 
 def _build(

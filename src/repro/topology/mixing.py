@@ -480,6 +480,25 @@ class MixingOperator:
                 out[start:stop] = np.einsum("ij,jk->ik", block, rows)
         return out
 
+    def mix_block(
+        self, rows: np.ndarray, start: int, stop: int, out: np.ndarray
+    ) -> None:
+        """One output block of ``W @ rows``: ``out[start:stop] = W[start:stop] @ rows``.
+
+        This is exactly the loop body of :meth:`mix_rows_blocked`, exposed
+        so a caller (the :class:`~repro.sharding.RoundScheduler`) can run
+        independent output blocks concurrently: each call reads all of
+        ``rows`` but writes only its own disjoint ``out`` slice, so the
+        parallel schedule is bit-identical to the serial one.
+        """
+        rows = self._check_rows(rows)
+        matrix = self._matrix_for(rows.dtype)
+        block = matrix[start:stop]
+        if self.format == "csr":
+            out[start:stop] = block @ rows
+        else:
+            out[start:stop] = np.einsum("ij,jk->ik", block, rows)
+
     def apply_mixed(
         self,
         rows: np.ndarray,

@@ -109,3 +109,32 @@ class TestFleetState:
         fleet = FleetState(4, 2)
         with pytest.raises(ValueError):
             fleet.fill_from(rng.normal(size=(4, 3)))
+
+    def test_readonly_blocks_reject_writes(self, rng):
+        source = rng.normal(size=(10, 4))
+        fleet = FleetState(10, 4, block_rows=3)
+        fleet.fill_from(source)
+        for start, stop, view in fleet.blocks(readonly=True):
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 1.0
+        # The protection is on the view only; the fleet stays writable and
+        # unchanged by the failed assignments.
+        np.testing.assert_array_equal(fleet.to_array(), source)
+        assert fleet.array.flags.writeable
+
+    def test_readonly_blocks_reject_writes_memmap(self, rng):
+        source = rng.normal(size=(10, 4))
+        with FleetState(10, 4, storage="memmap", block_rows=4) as fleet:
+            fleet.fill_from(source)
+            for _, _, view in fleet.blocks(readonly=True):
+                with pytest.raises(ValueError):
+                    view[...] = 0.0
+            np.testing.assert_array_equal(fleet.to_array(), source)
+
+    def test_readonly_array_rejects_writes(self, rng):
+        fleet = FleetState(6, 3)
+        fleet.fill_from(rng.normal(size=(6, 3)))
+        snapshot = fleet.readonly_array
+        with pytest.raises(ValueError):
+            snapshot[2] = 0.0

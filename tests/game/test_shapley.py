@@ -8,6 +8,7 @@ from repro.game.shapley import (
     _monte_carlo_shapley_sequential,
     exact_shapley,
     monte_carlo_shapley,
+    monte_carlo_shapley_fleet,
     normalize_shapley,
     shapley_aggregation_weights,
 )
@@ -196,6 +197,76 @@ class TestVectorizedMonteCarlo:
         game = CooperativeGame([9], lambda c: 2.5 if c else 0.0)
         phi = monte_carlo_shapley(game, 3, np.random.default_rng(0))
         assert phi[9] == pytest.approx(2.5)
+
+
+class TestFleetMonteCarlo:
+    """The array-native large-N estimator (``monte_carlo_shapley_fleet``)."""
+
+    @staticmethod
+    def quadratic(weights):
+        """Order-invariant but non-additive: sum of weights plus a size bonus."""
+
+        def characteristic(members):
+            return float(weights[members].sum()) + 0.01 * len(members) ** 2
+
+        return characteristic
+
+    def test_agrees_with_generic_estimator(self):
+        n = 40
+        weights = np.random.default_rng(3).normal(size=n) ** 2
+        characteristic = self.quadratic(weights)
+        game = CooperativeGame(
+            list(range(n)), lambda c: characteristic(np.fromiter(c, dtype=np.int64))
+        )
+        generic = monte_carlo_shapley(game, 4, np.random.default_rng(5))
+        fleet = monte_carlo_shapley_fleet(
+            characteristic, n, 4, np.random.default_rng(5)
+        )
+        # Both estimators consume one rng.permutation per round, so the
+        # sampled orders — and hence the estimates — coincide exactly.
+        np.testing.assert_allclose(
+            fleet, [generic[k] for k in range(n)], rtol=1e-12, atol=1e-12
+        )
+
+    def test_efficiency_exact_per_permutation(self):
+        n = 257
+        weights = np.random.default_rng(3).normal(size=n) ** 2
+        characteristic = self.quadratic(weights)
+        estimates = monte_carlo_shapley_fleet(
+            characteristic, n, 1, np.random.default_rng(5)
+        )
+        grand = characteristic(np.arange(n, dtype=np.int64))
+        # Marginals telescope along each permutation, so efficiency holds
+        # exactly even with a single sampled permutation.
+        np.testing.assert_allclose(estimates.sum(), grand, rtol=1e-9, atol=1e-9)
+
+    def test_additive_characteristic_recovered_exactly(self):
+        n = 129
+        weights = np.random.default_rng(11).normal(size=n)
+        estimates = monte_carlo_shapley_fleet(
+            lambda members: float(weights[members].sum()),
+            n,
+            1,
+            np.random.default_rng(7),
+        )
+        # Each marginal is a difference of two ~n-term prefix sums, so the
+        # absolute error budget scales with eps * sum(|w|).
+        np.testing.assert_allclose(
+            estimates, weights, rtol=1e-9, atol=1e-12 * np.abs(weights).sum()
+        )
+
+    def test_deterministic_given_rng(self):
+        characteristic = self.quadratic(np.arange(16, dtype=np.float64))
+        a = monte_carlo_shapley_fleet(characteristic, 16, 3, np.random.default_rng(2))
+        b = monte_carlo_shapley_fleet(characteristic, 16, 3, np.random.default_rng(2))
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_arguments_rejected(self):
+        characteristic = self.quadratic(np.ones(4))
+        with pytest.raises(ValueError):
+            monte_carlo_shapley_fleet(characteristic, 0, 1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            monte_carlo_shapley_fleet(characteristic, 4, 0, np.random.default_rng(0))
 
 
 class TestNormalization:
