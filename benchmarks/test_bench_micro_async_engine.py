@@ -1,0 +1,49 @@
+"""Micro-benchmark: the event-driven time model's overhead and throughput.
+
+Thin pytest wrapper over the registered ``engine/async-round`` suite
+(:class:`repro.bench.suites.AsyncRoundSuite`): barrier-mode rounds (timing
+simulation on top of the unchanged synchronous numerics — bit-identity to
+the bare engine is asserted inside the suite) and genuine async rounds
+(per-agent clocks, gossip on arrival) on a heterogeneous log-normal trace
+fleet, reporting events processed per second and the simulated-vs-real
+time ratio.
+
+Environment knobs (shared with ``repro-bench``):
+
+* ``REPRO_BENCH_ASYNC_AGENTS`` — comma-separated agent counts
+  (default "4096");
+* ``REPRO_BENCH_ASYNC_ROUNDS`` — timed rounds per measurement (default 3).
+"""
+
+from __future__ import annotations
+
+from repro.bench.registry import assert_floor, run_benchmark
+from repro.bench.suites import AsyncRoundSuite
+
+
+def test_bench_micro_async_engine():
+    suite = AsyncRoundSuite()
+    result = run_benchmark(suite)
+    metrics = result.metrics
+
+    print()
+    print("=" * 84)
+    print("event-driven engine micro-benchmark: seconds per round")
+    print(
+        f"{'agents':>8s} {'bare':>10s} {'barrier':>10s} {'overhead':>9s} "
+        f"{'async':>10s} {'events/s':>12s} {'sim/real':>9s} {'util':>6s}"
+    )
+    for num_agents in suite.agent_counts:
+        print(
+            f"{num_agents:>8d} {metrics[f'bare_s@{num_agents}']:>10.5f} "
+            f"{metrics[f'barrier_s@{num_agents}']:>10.5f} "
+            f"{metrics[f'barrier_overhead@{num_agents}']:>8.2f}x "
+            f"{metrics[f'async_s@{num_agents}']:>10.5f} "
+            f"{metrics[f'async_events_per_s@{num_agents}']:>12.1f} "
+            f"{metrics[f'sim_real_ratio@{num_agents}']:>8.1f}x "
+            f"{metrics[f'utilization@{num_agents}']:>6.3f}"
+        )
+
+    assert metrics["async_events_per_s"] > 0
+    assert metrics["sim_real_ratio"] > 0
+    assert_floor(result)

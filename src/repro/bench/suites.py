@@ -14,6 +14,9 @@ Each suite packages one hot path of the system behind the
   mixed-precision, hierarchical two-level) across fleet sizes up to the
   machine's memory ceiling, with too-large points skipped via the shared
   memory guard;
+* ``engine/async-round`` — the event-driven time model: event throughput
+  and simulated-vs-real time ratio of barrier and async rounds on a
+  heterogeneous trace fleet (unit-trace bit-identity checked);
 * ``topology/dynamic-cache`` — schedule snapshot LRU vs naive rebuild;
 * ``orchestrator/pool`` — process-pool grid vs serial (plus warm store);
 * ``checkpoint/roundtrip`` — ``state_dict`` → save → load → restore;
@@ -53,6 +56,7 @@ __all__ = [
     "apply_scale",
     "EngineRoundSuite",
     "StreamedRoundSuite",
+    "AsyncRoundSuite",
     "SparseGossipSuite",
     "CompressedGossipSuite",
     "GossipScalingSweepSuite",
@@ -74,6 +78,8 @@ SMOKE_SCALE: Dict[str, str] = {
     "REPRO_BENCH_ROUND_AGENTS": "64,256",
     "REPRO_BENCH_ROUND_WORKERS": "2",
     "REPRO_BENCH_ROUND_BATCH": "8",
+    "REPRO_BENCH_ASYNC_AGENTS": "128",
+    "REPRO_BENCH_ASYNC_ROUNDS": "2",
     "REPRO_BENCH_SPARSE_AGENTS": "256",
     "REPRO_BENCH_SPARSE_ROUNDS": "1",
     "REPRO_BENCH_COMPRESS_AGENTS": "64",
@@ -200,6 +206,143 @@ class EngineRoundSuite(Benchmark):
         baseline = metrics.get(f"loop_s@{largest}")
         total = None if baseline is None else baseline * self.rounds
         return largest >= self.FULL_SCALE_AGENTS, total
+
+
+# ---------------------------------------------------------------------------
+# engine/async-round
+# ---------------------------------------------------------------------------
+@benchmark
+class AsyncRoundSuite(Benchmark):
+    """The event-driven time model's overhead and throughput.
+
+    For ``N`` in ``REPRO_BENCH_ASYNC_AGENTS`` (default 4096) on a ring:
+
+    * ``barrier_events_per_s@N`` / ``async_events_per_s@N`` — discrete
+      events processed per real second in each mode;
+    * ``sim_real_ratio@N`` — simulated seconds produced per real second of
+      simulation (how much faster than reality the simulator runs on the
+      heterogeneous trace fleet);
+    * ``barrier_overhead@N`` — barrier-mode wall time over the bare
+      synchronous round (the cost of simulating time at all).
+
+    Correctness is embedded: before timing, a small unit-trace barrier run
+    is checked bit-identical to the bare vectorized engine.
+    """
+
+    name = "engine/async-round"
+    description = "event-driven time model: events/sec and simulated-vs-real ratio"
+    default_repeats = 1
+    default_warmup = False
+    FULL_SCALE_AGENTS = 4096
+
+    def __init__(self) -> None:
+        self.agent_counts = _env_ints("REPRO_BENCH_ASYNC_AGENTS", "4096")
+        self.rounds = _env_int("REPRO_BENCH_ASYNC_ROUNDS", 3)
+
+    def params(self) -> Dict[str, object]:
+        return {"agents": self.agent_counts, "rounds": self.rounds}
+
+    @staticmethod
+    def build(num_agents: int, wrap: str = "bare"):
+        """A ring DP-DPSGD fleet: bare, barrier-wrapped, or async-wrapped."""
+        from repro.baselines import DPDPSGD
+        from repro.core.config import AlgorithmConfig
+        from repro.data.partition import partition_iid
+        from repro.data.synthetic import make_classification_dataset
+        from repro.nn.zoo import make_linear_classifier
+        from repro.simulation.events import (
+            AsyncEngine,
+            synthetic_traces,
+            uniform_traces,
+        )
+        from repro.topology.graphs import ring_graph
+
+        data = make_classification_dataset(
+            num_samples=max(2048, 4 * num_agents),
+            num_features=16,
+            num_classes=4,
+            cluster_std=1.0,
+            seed=0,
+        )
+        shards = partition_iid(data, num_agents, np.random.default_rng(0)).shards
+        model = make_linear_classifier(16, 4, seed=0)
+        config = AlgorithmConfig(
+            learning_rate=0.05,
+            sigma=0.5,
+            clip_threshold=1.0,
+            batch_size=4,
+            seed=0,
+            backend="vectorized",
+        )
+        algorithm = DPDPSGD(model, ring_graph(num_agents), shards, config)
+        if wrap == "bare":
+            return algorithm
+        if wrap == "barrier":
+            return AsyncEngine(algorithm, traces=uniform_traces(num_agents))
+        if wrap == "async":
+            return AsyncEngine(
+                algorithm,
+                traces=synthetic_traces(num_agents, seed=1),
+                async_mode=True,
+            )
+        raise ValueError(f"unknown wrap mode {wrap!r}")
+
+    def _check_bit_identity(self) -> None:
+        """Unit-trace barrier mode must reproduce the bare engine exactly."""
+        check_agents = min(64, min(self.agent_counts))
+        bare = self.build(check_agents, "bare")
+        wrapped = self.build(check_agents, "barrier")
+        for _ in range(2):
+            bare.run_round()
+            wrapped.run_round()
+        np.testing.assert_array_equal(bare.state, wrapped.state)
+
+    def run(self) -> Dict[str, float]:
+        self._check_bit_identity()
+        metrics: Dict[str, float] = {}
+        for num_agents in self.agent_counts:
+            bare_s = _timed(
+                self.build(num_agents, "bare").run_round,
+                rounds=self.rounds,
+                warm=False,
+            )
+            barrier = self.build(num_agents, "barrier")
+            barrier_s = _timed(barrier.run_round, rounds=self.rounds, warm=False)
+            async_engine = self.build(num_agents, "async")
+            started = time.perf_counter()
+            for _ in range(self.rounds):
+                async_engine.run_round()
+            async_total = time.perf_counter() - started
+            metrics[f"bare_s@{num_agents}"] = bare_s
+            metrics[f"barrier_s@{num_agents}"] = barrier_s
+            metrics[f"barrier_overhead@{num_agents}"] = (
+                barrier_s / bare_s if bare_s > 0 else float("inf")
+            )
+            metrics[f"barrier_events_per_s@{num_agents}"] = (
+                barrier.events_processed / (barrier_s * self.rounds)
+                if barrier_s > 0
+                else float("inf")
+            )
+            metrics[f"async_s@{num_agents}"] = async_total / self.rounds
+            metrics[f"async_events_per_s@{num_agents}"] = (
+                async_engine.events_processed / async_total
+                if async_total > 0
+                else float("inf")
+            )
+            metrics[f"sim_real_ratio@{num_agents}"] = (
+                async_engine.simulated_time / async_total
+                if async_total > 0
+                else float("inf")
+            )
+            metrics[f"utilization@{num_agents}"] = async_engine.mean_utilization()
+        largest = max(self.agent_counts)
+        metrics["async_events_per_s"] = metrics[f"async_events_per_s@{largest}"]
+        metrics["sim_real_ratio"] = metrics[f"sim_real_ratio@{largest}"]
+        return metrics
+
+    def floor_context(self, metrics: Dict[str, float]) -> Tuple[bool, Optional[float]]:
+        largest = max(self.agent_counts)
+        return largest >= self.FULL_SCALE_AGENTS, metrics.get(f"async_s@{largest}")
 
 
 # ---------------------------------------------------------------------------

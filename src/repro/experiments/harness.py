@@ -225,7 +225,25 @@ def build_algorithm(
     Every algorithm receives the same topology, the same data partition and a
     freshly constructed (but identically seeded, hence identical) model, so
     comparisons isolate the algorithmic differences.
+
+    When the spec declares a ``time_model``, the algorithm comes back wrapped
+    in an :class:`~repro.simulation.events.engine.AsyncEngine` — run on
+    simulated time through every execution path (harness and orchestrator
+    alike), recording simulated wall-clock and utilization into the history.
     """
+    algorithm = _instantiate_algorithm(name, components, sigma=sigma)
+    if components.spec.time_model:
+        from repro.simulation.events import engine_from_time_model
+
+        return engine_from_time_model(algorithm, components.spec.time_model)
+    return algorithm
+
+
+def _instantiate_algorithm(
+    name: str,
+    components: ExperimentComponents,
+    sigma: Optional[float] = None,
+) -> DecentralizedAlgorithm:
     spec = components.spec
     base_kwargs = dict(
         learning_rate=spec.learning_rate,

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.compression.config import validate_compression
+from repro.simulation.events.traces import validate_time_model
 from repro.topology.schedule import validate_dynamics
 
 __all__ = [
@@ -113,6 +114,15 @@ class ExperimentSpec:
     ``cluster_size`` applies only with ``topology="hierarchical"``: the
     dense intra-cluster group size (``None`` picks
     :func:`~repro.topology.hierarchical.default_cluster_size`).
+
+    ``time_model`` (optional) runs the cell on simulated time: a mapping
+    over the :data:`repro.simulation.events.traces.TIME_MODEL_KEYS`
+    vocabulary, e.g. ``{"traces": {"kind": "synthetic", "seed": 3},
+    "async": True, "staleness_decay": 0.1}``, turned into an
+    :class:`~repro.simulation.events.engine.AsyncEngine` wrapper by the
+    harness.  ``None`` (the default) keeps real-time-only execution;
+    ``{"traces": "uniform"}`` simulates timing while staying bit-identical
+    to the synchronous engines.
     """
 
     name: str
@@ -145,6 +155,7 @@ class ExperimentSpec:
     block_workers: int = 1
     storage: str = "ram"
     cluster_size: Optional[int] = None
+    time_model: Optional[Dict[str, object]] = None
 
     def __post_init__(self) -> None:
         if self.dataset not in ("classification", "mnist", "cifar"):
@@ -175,6 +186,7 @@ class ExperimentSpec:
                 raise ValueError(
                     "cluster_size applies only with topology='hierarchical'"
                 )
+        validate_time_model(self.time_model, num_agents=self.num_agents)
 
     def with_updates(self, **kwargs) -> "ExperimentSpec":
         from dataclasses import replace
@@ -191,11 +203,13 @@ def fast_spec(
     seed: int = 7,
     dynamics: Optional[Dict[str, float]] = None,
     compression: Optional[Dict[str, object]] = None,
+    time_model: Optional[Dict[str, object]] = None,
 ) -> ExperimentSpec:
     """A small spec (generic Gaussian-cluster data + linear model) for tests and CI."""
     return ExperimentSpec(
         dynamics=dynamics,
         compression=compression,
+        time_model=time_model,
         name=f"fast_{topology}_M{num_agents}_eps{epsilon}",
         dataset="classification",
         model="linear",
@@ -412,6 +426,8 @@ def spec_to_dict(spec: ExperimentSpec) -> Dict[str, object]:
         elif name == "dynamics" and value is not None:
             value = dict(value)
         elif name == "compression" and value is not None:
+            value = dict(value)
+        elif name == "time_model" and value is not None:
             value = dict(value)
         payload[name] = value
     return payload

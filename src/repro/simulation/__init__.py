@@ -13,6 +13,11 @@ gradients over a communication graph.  This package provides that substrate:
   events and bit-identical checkpoint/resume;
 * :func:`run_decentralized` — the one-call wrapper: step the algorithm,
   evaluate, record.
+* :mod:`repro.simulation.events` — the discrete-event time model: a
+  deterministic event queue, per-agent :class:`DeviceTrace` objects and the
+  :class:`AsyncEngine` wrapper that runs any algorithm on simulated time
+  (barrier mode is bit-identical to the plain engines under uniform unit
+  traces; async mode gossips on message arrival).
 """
 
 from repro.simulation.checkpoint import (
@@ -35,6 +40,17 @@ from repro.simulation.runner import (
     RunSession,
     run_decentralized,
 )
+from repro.simulation.events import (
+    AsyncEngine,
+    DeviceTrace,
+    Event,
+    EventQueue,
+    engine_from_time_model,
+    load_traces,
+    save_traces,
+    synthetic_traces,
+    uniform_traces,
+)
 
 __all__ = [
     "Message",
@@ -52,4 +68,13 @@ __all__ = [
     "EvaluationConfig",
     "RunSession",
     "run_decentralized",
+    "AsyncEngine",
+    "DeviceTrace",
+    "Event",
+    "EventQueue",
+    "engine_from_time_model",
+    "load_traces",
+    "save_traces",
+    "synthetic_traces",
+    "uniform_traces",
 ]

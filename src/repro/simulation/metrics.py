@@ -60,6 +60,11 @@ class RoundRecord:
     wall_clock_seconds: Optional[float] = None
     active_agents: Optional[int] = None
     topology_events: List[Dict[str, object]] = field(default_factory=list)
+    # Simulated seconds the time model attributes to the covered rounds, and
+    # the fleet-mean compute utilization at the record point; ``None`` for
+    # runs without a time model (the synchronous engines).
+    sim_seconds: Optional[float] = None
+    utilization: Optional[float] = None
 
 
 @dataclass
@@ -98,6 +103,20 @@ class TrainingHistory:
         return float(
             sum(r.wall_clock_seconds for r in self.records if r.wall_clock_seconds)
         )
+
+    @property
+    def sim_seconds_per_record(self) -> List[Optional[float]]:
+        """Simulated seconds each record covers (``None`` without a time model)."""
+        return [r.sim_seconds for r in self.records]
+
+    def total_sim_seconds(self) -> float:
+        """Total simulated wall-clock of the learning process.
+
+        The first-class output of the event-driven time model: how long the
+        run would have taken on the declared device fleet.  0 for runs
+        without a time model.
+        """
+        return float(sum(r.sim_seconds for r in self.records if r.sim_seconds))
 
     @property
     def topology_events(self) -> List[Dict[str, object]]:
@@ -151,6 +170,8 @@ class TrainingHistory:
             "wall_clock_seconds": self.wall_clock_per_record,
             "active_agents": [r.active_agents for r in self.records],
             "topology_events": self.topology_events,
+            "sim_seconds": self.sim_seconds_per_record,
+            "utilization": [r.utilization for r in self.records],
         }
 
 
@@ -176,6 +197,8 @@ def history_to_dict(history: TrainingHistory) -> Dict[str, object]:
                 "wall_clock_seconds": record.wall_clock_seconds,
                 "active_agents": record.active_agents,
                 "topology_events": [dict(e) for e in record.topology_events],
+                "sim_seconds": record.sim_seconds,
+                "utilization": record.utilization,
             }
             for record in history.records
         ],
@@ -202,6 +225,8 @@ def history_from_dict(payload: Mapping[str, object]) -> TrainingHistory:
                 wall_clock_seconds=item.get("wall_clock_seconds"),
                 active_agents=item.get("active_agents"),
                 topology_events=[dict(e) for e in item.get("topology_events", [])],
+                sim_seconds=item.get("sim_seconds"),
+                utilization=item.get("utilization"),
             )
         )
     return history
@@ -234,6 +259,8 @@ def histories_equal(
             or rec_a.active_agents != rec_b.active_agents
             or dict(rec_a.extra) != dict(rec_b.extra)
             or rec_a.topology_events != rec_b.topology_events
+            or rec_a.sim_seconds != rec_b.sim_seconds
+            or rec_a.utilization != rec_b.utilization
         ):
             return False
         if include_timing and rec_a.wall_clock_seconds != rec_b.wall_clock_seconds:

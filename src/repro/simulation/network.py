@@ -92,6 +92,11 @@ class Network:
         self.bytes_sent = 0
         self.traffic_by_tag: Dict[str, int] = defaultdict(int)
         self.bytes_by_tag: Dict[str, int] = defaultdict(int)
+        # Simulated-time delivery statistics (event-driven engine): how many
+        # messages actually arrived and how long they spent in transit.
+        self.messages_arrived = 0
+        self.latency_seconds_total = 0.0
+        self.latency_by_tag: Dict[str, float] = defaultdict(float)
 
     # ------------------------------------------------------------------
     # Round bookkeeping
@@ -137,12 +142,24 @@ class Network:
         if not 0 <= agent < self.num_agents:
             raise ValueError(f"agent id {agent} out of range [0, {self.num_agents})")
 
-    def send(self, sender: int, recipient: int, tag: str, payload: Any) -> bool:
+    def send(
+        self,
+        sender: int,
+        recipient: int,
+        tag: str,
+        payload: Any,
+        latency: Optional[float] = None,
+    ) -> bool:
         """Send ``payload`` from ``sender`` to ``recipient`` under ``tag``.
 
         Returns ``True`` if the message was delivered, ``False`` if it was
         dropped by fault injection or rejected because either endpoint has
         departed the fleet.
+
+        ``latency`` is the simulated transit time the event-driven engine
+        observed for this message; it is recorded only on actual delivery —
+        a rejected send counts no bytes and no latency, a dropped send
+        counts its bytes (the wire carried them) but never arrived.
         """
         self._validate_agent(sender)
         self._validate_agent(recipient)
@@ -168,7 +185,29 @@ class Network:
                 return False
         message = Message(sender=sender, recipient=recipient, tag=tag, payload=payload, round=self._round)
         self._mailboxes[recipient][tag].append(message)
+        if latency is not None:
+            self.record_latency(tag, latency)
         return True
+
+    def record_latency(self, tag: str, seconds: float, messages: int = 1) -> None:
+        """Account a delivered message's simulated transit time.
+
+        The event-driven barrier mode moves real payloads through
+        :meth:`record_bulk` (the vectorized exchange) but still knows each
+        message's individual arrival time; this hook tags the latency
+        without enqueueing anything.  Async mode records latency through
+        ``send(..., latency=...)`` instead.
+        """
+        if not tag:
+            raise ValueError("tag must be a non-empty string")
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ValueError(f"latency must be non-negative, got {seconds!r}")
+        if messages < 0:
+            raise ValueError("message count must be non-negative")
+        self.messages_arrived += int(messages)
+        self.latency_seconds_total += seconds
+        self.latency_by_tag[tag] += seconds
 
     def record_bulk(
         self,
@@ -257,6 +296,9 @@ class Network:
             "bytes_sent": self.bytes_sent,
             "traffic_by_tag": dict(self.traffic_by_tag),
             "bytes_by_tag": dict(self.bytes_by_tag),
+            "messages_arrived": self.messages_arrived,
+            "latency_seconds_total": self.latency_seconds_total,
+            "latency_by_tag": dict(self.latency_by_tag),
         }
 
     # ------------------------------------------------------------------
@@ -280,6 +322,9 @@ class Network:
             "bytes_sent": self.bytes_sent,
             "traffic_by_tag": dict(self.traffic_by_tag),
             "bytes_by_tag": dict(self.bytes_by_tag),
+            "messages_arrived": self.messages_arrived,
+            "latency_seconds_total": self.latency_seconds_total,
+            "latency_by_tag": dict(self.latency_by_tag),
             "rng_state": None if self.rng is None else self.rng.bit_generator.state,
         }
 
@@ -306,6 +351,12 @@ class Network:
                 {tag: 8 * count for tag, count in self.traffic_by_tag.items()},
             )
         )
+        # Latency counters appeared with the event-driven engine; checkpoints
+        # written before it carried none (synchronous runs observe zero).
+        self.messages_arrived = int(payload.get("messages_arrived", 0))
+        self.latency_seconds_total = float(payload.get("latency_seconds_total", 0.0))
+        self.latency_by_tag = defaultdict(float)
+        self.latency_by_tag.update(payload.get("latency_by_tag", {}))
         if payload["rng_state"] is not None:
             if self.rng is None:
                 raise ValueError(

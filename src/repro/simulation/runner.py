@@ -191,6 +191,11 @@ class RunSession:
         self._base_offset = int(getattr(algorithm, "rounds_completed", 0))
         self._pending_seconds = 0.0
         self._pending_events: List[Dict[str, object]] = []
+        # Simulated-time bookkeeping (only for AsyncEngine-wrapped runs):
+        # accumulate the simulated clock's advance between records, exactly
+        # as _pending_seconds accumulates real time.
+        self._pending_sim_seconds = 0.0
+        self._sim_mark = self._current_sim_time()
         self._history: Optional[TrainingHistory] = None
         self._finished = False
         self._started = False
@@ -198,6 +203,16 @@ class RunSession:
         # record of this run — discard them rather than mis-attribute them.
         if hasattr(algorithm, "consume_events"):
             algorithm.consume_events()
+
+    def _current_sim_time(self) -> Optional[float]:
+        """The algorithm's simulated clock, or ``None`` without a time model."""
+        value = getattr(self.algorithm, "simulated_time", None)
+        return None if value is None else float(value)
+
+    def _mean_utilization(self) -> Optional[float]:
+        """Fleet-mean compute utilization, or ``None`` without a time model."""
+        fn = getattr(self.algorithm, "mean_utilization", None)
+        return None if fn is None else float(fn())
 
     # ------------------------------------------------------------------
     # Introspection
@@ -244,6 +259,9 @@ class RunSession:
             # The experiment's identity is the base graph, not whichever
             # per-round snapshot happens to be swapped in right now.
             metadata["topology"] = schedule.base.name
+        time_model = getattr(algorithm, "time_model_metadata", None)
+        if time_model is not None:
+            metadata["time_model"] = dict(time_model)
         return TrainingHistory(algorithm=algorithm.name, metadata=metadata)
 
     # ------------------------------------------------------------------
@@ -282,6 +300,10 @@ class RunSession:
         algorithm.run_round()
         seconds = time.perf_counter() - started
         self._pending_seconds += seconds
+        sim_now = self._current_sim_time()
+        if sim_now is not None:
+            self._pending_sim_seconds += sim_now - (self._sim_mark or 0.0)
+            self._sim_mark = sim_now
         if hasattr(algorithm, "consume_events"):
             # Schedules number rounds 0-based (the engine's round index);
             # records number them 1-based within this run — renumber at this
@@ -321,9 +343,14 @@ class RunSession:
                     int(np.sum(active_mask)) if active_mask is not None else None
                 ),
                 topology_events=self._pending_events,
+                sim_seconds=(
+                    self._pending_sim_seconds if sim_now is not None else None
+                ),
+                utilization=self._mean_utilization(),
             )
             self._pending_seconds = 0.0
             self._pending_events = []
+            self._pending_sim_seconds = 0.0
             self.history.append(record)
             self.bus.emit("record", round=round_index, record=record)
 
@@ -407,6 +434,7 @@ class RunSession:
                     "base_offset": self._base_offset,
                     "pending_seconds": self._pending_seconds,
                     "pending_events": [dict(e) for e in self._pending_events],
+                    "pending_sim_seconds": self._pending_sim_seconds,
                 },
             },
             out_of_core=self.out_of_core,
@@ -456,6 +484,9 @@ class RunSession:
         session._base_offset = int(saved["base_offset"])
         session._pending_seconds = float(saved["pending_seconds"])
         session._pending_events = [dict(e) for e in saved["pending_events"]]
+        # (The constructor already re-read the restored simulated clock into
+        # _sim_mark — algorithm state loads before the session is built.)
+        session._pending_sim_seconds = float(saved.get("pending_sim_seconds", 0.0))
         expected = session._base_offset + session._rounds_done
         actual = int(getattr(algorithm, "rounds_completed", expected))
         if actual != expected:

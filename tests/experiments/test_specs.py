@@ -167,3 +167,49 @@ class TestScalingKnobs:
         assert restored.block_rows == 128
         assert restored.cluster_size == 4
         assert restored == spec
+
+
+class TestTimeModelField:
+    def test_defaults_to_real_time(self):
+        assert fast_spec().time_model is None
+
+    def test_valid_time_model_accepted(self):
+        spec = fast_spec(num_agents=6).with_updates(
+            time_model={
+                "traces": {"kind": "synthetic", "seed": 3},
+                "async": True,
+                "staleness_decay": 0.1,
+            }
+        )
+        assert spec.time_model["async"] is True
+
+    def test_uniform_shorthand_accepted(self):
+        spec = fast_spec().with_updates(time_model={"traces": "uniform"})
+        assert spec.time_model == {"traces": "uniform"}
+
+    def test_unknown_time_model_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown time_model keys"):
+            fast_spec().with_updates(time_model={"trace": "uniform"})
+
+    def test_non_bool_async_rejected(self):
+        with pytest.raises(ValueError, match="async"):
+            fast_spec().with_updates(time_model={"async": 1})
+
+    def test_negative_staleness_decay_rejected(self):
+        with pytest.raises(ValueError, match="staleness_decay"):
+            fast_spec().with_updates(time_model={"staleness_decay": -0.5})
+
+    def test_explicit_trace_list_must_match_fleet_size(self):
+        traces = [{"compute_seconds": 1.0}] * 3
+        with pytest.raises(ValueError, match="3 explicit traces"):
+            fast_spec(num_agents=6).with_updates(time_model={"traces": traces})
+
+    def test_time_model_survives_serialization(self):
+        from repro.experiments.specs import spec_from_dict, spec_to_dict
+
+        spec = fast_spec(num_agents=6).with_updates(
+            time_model={"traces": {"kind": "synthetic", "seed": 3}, "async": True}
+        )
+        restored = spec_from_dict(spec_to_dict(spec))
+        assert restored.time_model == spec.time_model
+        assert restored == spec

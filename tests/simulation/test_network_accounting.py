@@ -142,3 +142,100 @@ def test_load_state_dict_reconstructs_bytes_for_old_checkpoints():
     restored.load_state_dict(state)
     assert restored.bytes_sent == 8 * restored.floats_sent == 40
     assert restored.bytes_by_tag == {"model": 40}
+
+
+# ---------------------------------------------------------------------------
+# Accounting under asynchrony: latency is tagged per message *arrival*
+# ---------------------------------------------------------------------------
+
+
+def test_send_with_latency_tags_the_arrival():
+    net = Network(3)
+    assert net.send(0, 1, "model", np.ones(4), latency=0.25)
+    assert net.send(0, 2, "model", np.ones(4), latency=0.75)
+    assert net.messages_arrived == 2
+    assert net.latency_seconds_total == pytest.approx(1.0)
+    assert net.latency_by_tag == {"model": pytest.approx(1.0)}
+    # Byte accounting is unchanged by the latency annotation.
+    assert net.bytes_sent == 64
+    summary = net.traffic_summary()
+    assert summary["messages_arrived"] == 2
+    assert summary["latency_seconds_total"] == pytest.approx(1.0)
+
+
+def test_send_without_latency_records_no_arrival_statistics():
+    # Synchronous sends carry no simulated transit time: the latency
+    # counters stay untouched, so real-time-only runs report zeros.
+    net = Network(3)
+    assert net.send(0, 1, "model", np.ones(4))
+    assert net.messages_arrived == 0
+    assert net.latency_seconds_total == 0.0
+    assert net.latency_by_tag == {}
+
+
+def test_rejected_sends_with_latency_count_nothing():
+    # A message to (or from) a departed agent never arrives: no bytes, no
+    # latency, only the rejection counter moves — even when the event
+    # engine annotated the send with its simulated transit time.
+    net = Network(3)
+    net.set_active_mask(np.array([True, False, True]))
+    assert not net.send(0, 1, "model", np.ones(4), latency=0.5)
+    assert not net.send(1, 2, "model", np.ones(4), latency=0.5)
+    assert net.messages_rejected == 2
+    assert net.messages_arrived == 0
+    assert net.latency_seconds_total == 0.0
+    assert net.bytes_sent == 0
+
+
+def test_dropped_sends_with_latency_count_bytes_but_no_arrival():
+    # Loss on the wire: bandwidth was spent, but the payload never lands,
+    # so the arrival/latency counters must not move.
+    net = Network(2, drop_probability=1.0, rng=np.random.default_rng(0))
+    assert not net.send(0, 1, "model", np.ones(4), latency=0.5)
+    assert net.messages_dropped == 1
+    assert net.bytes_sent == 32
+    assert net.messages_arrived == 0
+    assert net.latency_seconds_total == 0.0
+
+
+def test_record_latency_accounts_without_enqueueing():
+    net = Network(3)
+    net.record_latency("model", 0.5)
+    net.record_latency("model", 1.5)
+    assert net.messages_arrived == 2
+    assert net.latency_seconds_total == pytest.approx(2.0)
+    assert net.pending(0) == net.pending(1) == net.pending(2) == 0
+    with pytest.raises(ValueError, match="non-negative"):
+        net.record_latency("model", -0.1)
+    with pytest.raises(ValueError, match="non-empty"):
+        net.record_latency("", 0.1)
+
+
+def test_state_dict_roundtrip_preserves_latency_counters():
+    net = Network(3)
+    net.send(0, 1, "model", np.ones(4), latency=0.25)
+    net.receive(1, "model")
+    net.record_latency("grad", 1.0, messages=3)
+    state = net.state_dict()
+
+    restored = Network(3)
+    restored.load_state_dict(state)
+    assert restored.traffic_summary() == net.traffic_summary()
+    assert restored.messages_arrived == 4
+    assert restored.latency_by_tag == {"model": 0.25, "grad": 1.0}
+
+
+def test_old_checkpoints_without_latency_counters_restore_to_zero():
+    net = Network(2)
+    net.send(0, 1, "model", np.ones(5), latency=0.5)
+    net.receive(1, "model")
+    state = net.state_dict()
+    del state["messages_arrived"]
+    del state["latency_seconds_total"]
+    del state["latency_by_tag"]
+
+    restored = Network(2)
+    restored.load_state_dict(state)
+    assert restored.messages_arrived == 0
+    assert restored.latency_seconds_total == 0.0
+    assert restored.latency_by_tag == {}
