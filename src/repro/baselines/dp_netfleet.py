@@ -33,6 +33,8 @@ class DPNetFleet(DecentralizedAlgorithm):
     """Gradient-tracking decentralized SGD with local steps and DP perturbation."""
 
     name = "DP-NET-FLEET"
+    # Gossip carries a (model, tracking) pair per message.
+    num_gossip_channels = 2
 
     def __init__(self, model, topology, shards, config, validation=None) -> None:
         if not isinstance(config, NetFleetConfig):
@@ -268,7 +270,7 @@ class DPNetFleet(DecentralizedAlgorithm):
         # 2. (model, tracking) gossip; off-interval rounds alias the local
         #    quantities instead (nothing on the wire).
         if self.gossip_now(round_index):
-            values, wire_bytes = self.gossip_wire_cost(2)
+            values, wire_bytes = self.gossip_wire_cost(self.num_gossip_channels)
             mixed_params = self._round_scratch("netfleet.mixed0", np.float64)
             mixed_tracking = self._round_scratch("netfleet.mixed1", np.float64)
             if self._compression_state is None:
@@ -346,7 +348,7 @@ class DPNetFleet(DecentralizedAlgorithm):
         if self.gossip_now(round_index):
             params_shared = self.compress_gossip_rows("state.0", local_params)
             tracking_shared = self.compress_gossip_rows("state.1", self.tracking_state)
-            values, wire_bytes = self.gossip_wire_cost(2)
+            values, wire_bytes = self.gossip_wire_cost(self.num_gossip_channels)
             self.record_fleet_exchange("state", values, wire_bytes)
             mixed_params = self.mix_rows(params_shared)
             mixed_tracking = self.mix_rows(tracking_shared)

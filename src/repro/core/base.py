@@ -186,6 +186,13 @@ class DecentralizedAlgorithm:
 
     name: str = "decentralized"
 
+    #: Logical payload streams in one gossip message (2 for algorithms that
+    #: transmit ``(momentum, model)`` or ``(model, tracking)`` pairs).  The
+    #: event-driven timing layer sizes simulated transfers with
+    #: ``gossip_wire_cost(num_gossip_channels)``, so overriding this keeps
+    #: simulated wire time consistent with the bytes the round accounts.
+    num_gossip_channels: int = 1
+
     def __init__(
         self,
         model: Model,

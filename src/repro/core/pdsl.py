@@ -57,6 +57,8 @@ class PDSL(DecentralizedAlgorithm):
     """The paper's algorithm: Shapley-weighted, differentially private decentralized SGD."""
 
     name = "PDSL"
+    # Gossip carries a (momentum, model) pair per message.
+    num_gossip_channels = 2
 
     def __init__(
         self,
@@ -281,7 +283,7 @@ class PDSL(DecentralizedAlgorithm):
             return
         momentum_shared = self.compress_gossip_rows("mix.0", momentum_hat)
         params_shared = self.compress_gossip_rows("mix.1", params_hat)
-        values, wire_bytes = self.gossip_wire_cost(2)
+        values, wire_bytes = self.gossip_wire_cost(self.num_gossip_channels)
         self.record_fleet_exchange("mix", values, wire_bytes)
 
         # Phase 4 — gossip averaging as two matrix multiplies.

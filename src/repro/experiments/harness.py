@@ -232,7 +232,9 @@ def build_algorithm(
     alike), recording simulated wall-clock and utilization into the history.
     """
     algorithm = _instantiate_algorithm(name, components, sigma=sigma)
-    if components.spec.time_model:
+    # `is not None` (not truthiness): an empty mapping still means "run on
+    # simulated time" and gets the default uniform-trace barrier engine.
+    if components.spec.time_model is not None:
         from repro.simulation.events import engine_from_time_model
 
         return engine_from_time_model(algorithm, components.spec.time_model)

@@ -32,7 +32,10 @@ staleness-weighted gossip — ``x_j += W_ji * exp(-staleness_decay * s) *
 (payload - x_j)`` where ``s`` is the payload's simulated age.  Stragglers
 and slow links are emergent behaviour of the traces rather than per-round
 masks; a "round" (for history/eval purposes) completes when every agent has
-finished one more local step, so fast agents legitimately run ahead.
+finished one more local step, so fast agents legitimately run ahead.  Each
+completed local step is a separate clipped+noised release, so the privacy
+accountant composes over the *fastest* agent's step count (the worst-case
+per-agent loss), not one event per round.
 Requires a static topology and the identity codec.
 
 Both modes checkpoint: :meth:`AsyncEngine.state_dict` embeds the event
@@ -127,6 +130,9 @@ class AsyncEngine:
         self._sim_time = 0.0
         self._steps_done = np.zeros(algorithm.num_agents, dtype=np.int64)
         self._busy_seconds = np.zeros(algorithm.num_agents, dtype=np.float64)
+        # Async mode: privatized local steps already composed into the
+        # privacy accountant (tracks the fastest agent's release count).
+        self._accounted_steps = 0
         self._bootstrapped = False
         self.events_processed = 0
 
@@ -202,6 +208,19 @@ class AsyncEngine:
         clock to the latest arrival, and records per-message latency — so
         ``algorithm.run_round()`` sees exactly the world it would see
         without the wrapper.  That is the whole bit-identity argument.
+
+        Messages are sized at the algorithm's full wire payload
+        (``gossip_wire_cost(num_gossip_channels)``), so two-channel
+        algorithms like PDSL pay for both streams in simulated time.
+
+        Latency counters here are **pre-fault-injection**: the delegated
+        numeric round applies drop faults and departed-agent rejection with
+        its own RNG, which this timing pass must not consume (doing so
+        would break bit-identity with the bare engine).  With
+        ``drop_probability > 0`` the barrier-mode arrival/latency counters
+        therefore describe scheduled transmissions, not confirmed
+        deliveries; async mode, which routes real payloads through
+        :meth:`Network.send`, counts actual deliveries only.
         """
         algorithm = self._algorithm
         round_index = algorithm.rounds_completed
@@ -209,7 +228,7 @@ class AsyncEngine:
         mask = None if schedule.is_static else schedule.active_mask_at(round_index)
         topology = self._round_topology(round_index)
         gossiping = algorithm.gossip_now(round_index)
-        _, wire_bytes = algorithm.gossip_wire_cost(1)
+        _, wire_bytes = algorithm.gossip_wire_cost(algorithm.num_gossip_channels)
         start = self._sim_time
         queue = self.queue
         for agent in range(algorithm.num_agents):
@@ -284,7 +303,19 @@ class AsyncEngine:
             elif event.kind == "arrival":
                 self._deliver(event)
         if algorithm.config.epsilon is not None and algorithm.sigma > 0:
-            algorithm.accountant.record(algorithm.config.epsilon, algorithm.config.delta)
+            # Every completed local step is a separate clipped+noised
+            # release, and fast agents finish several per round — compose
+            # over the fastest agent's release count, not one per round,
+            # so the reported budget covers the worst-case agent.
+            max_steps = int(self._steps_done.max())
+            releases = max_steps - self._accounted_steps
+            if releases > 0:
+                algorithm.accountant.record(
+                    algorithm.config.epsilon,
+                    algorithm.config.delta,
+                    count=releases,
+                )
+            self._accounted_steps = max_steps
         algorithm.rounds_completed = target
 
     def _complete_local_step(self, agent: int, now: float) -> None:
@@ -368,6 +399,7 @@ class AsyncEngine:
             "sim_time": self._sim_time,
             "steps_done": self._steps_done.tolist(),
             "busy_seconds": self._busy_seconds.tolist(),
+            "accounted_steps": self._accounted_steps,
             "bootstrapped": self._bootstrapped,
             "events_processed": self.events_processed,
             "queue": self.queue.state_dict(),
@@ -394,6 +426,7 @@ class AsyncEngine:
         self._sim_time = float(timing["sim_time"])
         self._steps_done = np.asarray(timing["steps_done"], dtype=np.int64)
         self._busy_seconds = np.asarray(timing["busy_seconds"], dtype=np.float64)
+        self._accounted_steps = int(timing["accounted_steps"])
         self._bootstrapped = bool(timing["bootstrapped"])
         self.events_processed = int(timing["events_processed"])
         self.queue.load_state_dict(timing["queue"])

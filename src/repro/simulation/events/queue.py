@@ -83,6 +83,9 @@ class EventQueue:
     def __init__(self) -> None:
         self._heap: List[Tuple[float, int, int, str, int, Dict[str, Any]]] = []
         self._cancelled: set = set()
+        # Sequence numbers currently live in the heap — the O(1) membership
+        # test behind cancel().
+        self._live: set = set()
         self._next_seq = 0
         self._now = 0.0
 
@@ -135,6 +138,7 @@ class EventQueue:
         seq = self._next_seq
         self._next_seq += 1
         heapq.heappush(self._heap, (time, int(priority), seq, str(kind), int(agent), data))
+        self._live.add(seq)
         return seq
 
     def cancel(self, seq: int) -> bool:
@@ -145,12 +149,11 @@ class EventQueue:
         existed.  Cancellation never reorders surviving events.
         """
         seq = int(seq)
-        if seq in self._cancelled:
+        if seq not in self._live:
             return False
-        if any(entry[2] == seq for entry in self._heap):
-            self._cancelled.add(seq)
-            return True
-        return False
+        self._live.discard(seq)
+        self._cancelled.add(seq)
+        return True
 
     def _discard_cancelled(self) -> None:
         while self._heap and self._heap[0][2] in self._cancelled:
@@ -166,6 +169,7 @@ class EventQueue:
         if not self._heap:
             raise IndexError("pop from an empty event queue")
         time, priority, seq, kind, agent, data = heapq.heappop(self._heap)
+        self._live.discard(seq)
         self._now = time
         return Event(
             time=time, priority=priority, seq=seq, kind=kind, agent=agent, data=data
@@ -175,6 +179,7 @@ class EventQueue:
         """Drop every pending event (the clock and counter are kept)."""
         self._heap = []
         self._cancelled = set()
+        self._live = set()
 
     # ------------------------------------------------------------------
     # Checkpoint support
@@ -208,3 +213,4 @@ class EventQueue:
             for time, priority, seq, kind, agent, data in payload["entries"]
         ]
         heapq.heapify(self._heap)
+        self._live = {entry[2] for entry in self._heap}

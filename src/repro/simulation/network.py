@@ -197,6 +197,12 @@ class Network:
         message's individual arrival time; this hook tags the latency
         without enqueueing anything.  Async mode records latency through
         ``send(..., latency=...)`` instead.
+
+        Because this hook bypasses :meth:`send`, callers decide what
+        "arrived" means: barrier mode records every *scheduled* edge (its
+        numeric round applies drop faults separately, with RNG the timing
+        pass must not touch), so with fault injection these counters are
+        pre-drop; async mode counts confirmed deliveries only.
         """
         if not tag:
             raise ValueError("tag must be a non-empty string")

@@ -73,14 +73,14 @@ def make_small_fleet():
             net = make_linear_classifier(8, 4, seed=0)
         else:
             net = make_mlp(8, 4, hidden_sizes=(8,), seed=0)
-        config = config_cls(
+        defaults = dict(
             learning_rate=0.1,
             sigma=0.1,
             clip_threshold=1.0,
             batch_size=16,
             seed=7,
-            **{**extra, **config_overrides},
         )
+        config = config_cls(**{**defaults, **extra, **config_overrides})
         if cls is PDSL:
             algorithm = cls(net, topology, shards, config, validation=validation)
         else:

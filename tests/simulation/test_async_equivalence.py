@@ -141,6 +141,30 @@ class TestBarrierTiming:
         assert engine.network.messages_arrived == engine.network.messages_sent
         assert engine.network.latency_seconds_total > 0
 
+    def test_two_channel_algorithms_pay_full_wire_time(self, make_small_fleet):
+        # PDSL and DP-NET-FLEET ship (momentum/tracking, model) pairs per
+        # message; the simulated transfer must be sized at both channels,
+        # not the single-channel payload.
+        bandwidth = 1e4
+        durations = {}
+        for name in ("DMSGD", "PDSL"):
+            algorithm, _ = make_small_fleet(name)
+            engine = AsyncEngine(
+                algorithm,
+                traces=uniform_traces(
+                    algorithm.num_agents, bandwidth_bytes_per_s=bandwidth
+                ),
+            )
+            engine.run_round()
+            _, wire_bytes = algorithm.gossip_wire_cost(algorithm.num_gossip_channels)
+            assert engine.simulated_time == pytest.approx(1.0 + wire_bytes / bandwidth)
+            durations[name] = engine.simulated_time
+        # Same model dimension, so PDSL's two channels serialize exactly
+        # twice DMSGD's single-channel payload.
+        assert durations["PDSL"] - 1.0 == pytest.approx(
+            2.0 * (durations["DMSGD"] - 1.0)
+        )
+
     def test_latency_is_tagged_per_arrival(self, make_small_fleet):
         algorithm, _ = make_small_fleet("DP-DPSGD")
         engine = AsyncEngine(
@@ -259,6 +283,23 @@ class TestAsyncMode:
         summary_b = resumed_engine.network.traffic_summary()
         assert summary_a == summary_b
 
+    def test_privacy_accounting_covers_the_fastest_agent(self, make_small_fleet):
+        # Each completed local step is a separate privatized release.  With
+        # a 2x-faster agent the accountant must compose over that agent's
+        # step count — one event per round would understate its budget.
+        algorithm, _ = make_small_fleet("DMSGD", sigma=None, epsilon=1.0, delta=1e-5)
+        traces = [
+            DeviceTrace(compute_seconds=0.5 if agent == 0 else 1.0)
+            for agent in range(algorithm.num_agents)
+        ]
+        engine = AsyncEngine(algorithm, traces=traces, async_mode=True)
+        rounds = 3
+        for _ in range(rounds):
+            engine.run_round()
+        steps_done = engine.state_dict()["time_model"]["steps_done"]
+        assert max(steps_done) > rounds  # the fast agent really ran ahead
+        assert len(algorithm.accountant.events) == max(steps_done)
+
     def test_async_mode_rejects_incompatible_configurations(self, make_small_fleet):
         dynamic, _ = make_small_fleet("DMSGD", topology=dynamic_schedule())
         with pytest.raises(ValueError, match="static topology"):
@@ -328,6 +369,23 @@ class TestSpecIntegration:
         history = run_single("DMSGD", components)
         assert [r.sim_seconds for r in history.records] == [1.0, 1.0]
         assert history.metadata["time_model"]["traces"] == "uniform"
+
+    def test_time_model_empty_mapping_gets_default_engine(self):
+        # A mapping — even an empty one — means "run on simulated time";
+        # only None keeps the bare algorithm.
+        from repro.experiments.harness import (
+            build_algorithm,
+            build_experiment_components,
+        )
+        from repro.experiments.specs import fast_spec
+
+        spec = fast_spec(num_agents=4, num_rounds=2, algorithms=["DMSGD"])
+        spec = spec.with_updates(time_model={})
+        components = build_experiment_components(spec)
+        algorithm = build_algorithm("DMSGD", components)
+        assert isinstance(algorithm, AsyncEngine)
+        assert algorithm.async_mode is False
+        assert algorithm.traces == uniform_traces(algorithm.num_agents)
 
     def test_time_model_none_keeps_the_bare_algorithm(self):
         from repro.experiments.harness import (
